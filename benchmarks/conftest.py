@@ -1,0 +1,22 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or an
+ablation of a design choice called out in DESIGN.md).  The functions being
+timed are full experiments, not micro-kernels, so each benchmark runs a single
+round -- the value of the harness is (a) a one-command regeneration of every
+artefact and (b) a stable record of how long each one takes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under the benchmark timer and return its result."""
+
+    def _run(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,45 @@
+"""Benchmarks for the meaningfulness-analysis core (Section 6 criteria).
+
+These are not figures in the paper; they time the paper's *recommendations*
+turned into code: the lexical confusability analyses and the assembly of a
+full per-domain meaningfulness report.
+"""
+
+from repro.core.inclusion_analysis import ZipfLexiconModel, analyze_lexical_inclusions
+from repro.core.prefix_analysis import analyze_lexical_prefixes
+from repro.core.report import assess_meaningfulness
+from repro.data.words import LEXICON
+
+
+def test_bench_lexical_confusability_analysis(benchmark):
+    def analyse():
+        prefix = analyze_lexical_prefixes(["cat", "dog", "gun", "point"], LEXICON)
+        inclusion = analyze_lexical_inclusions(["cat", "dog", "gun", "point"], LEXICON)
+        zipf = ZipfLexiconModel(list(LEXICON))
+        ratios = {
+            target: zipf.innocuous_occurrence_ratio(
+                target, [c.confounder for c in inclusion.collisions if c.target == target]
+            )
+            for target in ("gun", "point")
+        }
+        return prefix, inclusion, ratios
+
+    prefix, inclusion, ratios = benchmark(analyse)
+    assert not prefix.collision_free
+    assert not inclusion.collision_free
+    assert ratios["point"] > 1.0  # inclusions of "point" are collectively more common
+
+
+def test_bench_meaningfulness_report_assembly(benchmark):
+    prefix = analyze_lexical_prefixes(["cat", "dog"], LEXICON)
+    inclusion = analyze_lexical_inclusions(["cat", "dog"], LEXICON)
+
+    def assemble():
+        return assess_meaningfulness(
+            domain="spoken keywords",
+            prefix_result=prefix,
+            inclusion_result=inclusion,
+        )
+
+    report = benchmark(assemble)
+    assert not report.meaningful

@@ -1,0 +1,111 @@
+"""ICU ECG monitoring: the motivating example the paper takes apart (Section 2.2, Fig. 7).
+
+ETSC papers routinely motivate themselves with early diagnosis from ECGs.
+This script walks through the paper's two counter-arguments with actual
+numbers from the synthetic ECG substrate:
+
+1. **The earliness is worth almost nothing.**  A beat lasts ~0.8 s; classifying
+   it from 64% of its samples buys you a fraction of a second -- for an alarm
+   that still carries a meaningful false-positive risk.
+2. **The normalisation assumption is false on telemetry.**  Per-beat means and
+   deviations wander for non-medical reasons (respiration, electrode contact),
+   so a model trained on z-normalised UCR beats is not seeing the data a
+   monitor would feed it.
+
+Run with:  python examples/icu_ecg_monitoring.py
+"""
+
+import numpy as np
+
+from repro.classifiers import ProbabilityThresholdClassifier
+from repro.core import assess_meaningfulness, audit_normalization_sensitivity
+from repro.core.criteria import CostBenefitCriterion
+from repro.data.ecg import ECGGenerator, beat_statistics, make_ecg_beat_dataset
+from repro.data.ucr_format import train_test_split
+from repro.evaluation import evaluate_early_classifier
+from repro.streaming.costs import CostModel
+from repro.streaming.metrics import StreamingEvaluation
+
+
+def main() -> None:
+    generator = ECGGenerator()
+    beat_seconds = 60.0 / generator.heart_rate_bpm
+
+    # ------------------------------------------------------------ the UCR-style result
+    dataset = make_ecg_beat_dataset(n_per_class=40)
+    train, test = train_test_split(dataset, train_fraction=0.5)
+    model = ProbabilityThresholdClassifier(threshold=0.9, min_length=10, checkpoint_step=2)
+    model.fit(train.series, train.labels)
+    result = evaluate_early_classifier(model, test.series, test.labels)
+    seconds_saved = (1.0 - result.earliness) * beat_seconds
+    print(
+        f"On curated beats the early classifier reports accuracy {result.accuracy:.1%} "
+        f"at earliness {result.earliness:.1%}."
+    )
+    print(
+        f"A full beat lasts {beat_seconds:.2f} s, so the early decision arrives "
+        f"{seconds_saved:.2f} s sooner than simply waiting for the beat to finish."
+    )
+    print("That is the entire benefit the intervention story has to pay for.\n")
+
+    # ------------------------------------------------------------ Fig. 7: raw telemetry
+    signal, beats = generator.telemetry(20.0, n_leads=2)
+    lead1_means, _ = beat_statistics(signal[0], beats)  # reused below for the audit offset
+    _, lead2_stds = beat_statistics(signal[1], beats)
+    print(
+        f"Raw telemetry over {len(beats)} beats: per-beat mean spans "
+        f"{np.ptp(lead1_means):.2f} units on lead 1 and per-beat std spans "
+        f"{np.ptp(lead2_stds):.2f} on lead 2 -- none of it medically meaningful, "
+        f"all of it invisible to a model trained on z-normalised beats."
+    )
+
+    # ------------------------------------------------------------ the Table 1 protocol on ECG
+    # The audit is run on beats in their raw telemetry units, and the offset
+    # applied is the baseline wander we just *measured* on the telemetry --
+    # i.e. the perturbation every deployed monitor actually experiences.
+    raw_beats = make_ecg_beat_dataset(n_per_class=40, znormalize=False)
+    raw_train, raw_test = train_test_split(raw_beats, train_fraction=0.5)
+    measured_wander = float(np.ptp(lead1_means)) / 2.0
+    audit = audit_normalization_sensitivity(
+        lambda: ProbabilityThresholdClassifier(threshold=0.9, min_length=10, checkpoint_step=2),
+        raw_train,
+        raw_test,
+        algorithm_name="threshold-0.9 on ECG beats",
+        offset_range=(-measured_wander, measured_wander),
+    )
+    print(
+        f"\nNormalisation audit: accuracy {audit.normalized.accuracy:.1%} on curated beats, "
+        f"{audit.denormalized.accuracy:.1%} once the measured baseline wander "
+        f"(±{measured_wander:.2f}) is applied "
+        f"(drop of {audit.accuracy_drop * 100:.0f} points)."
+    )
+
+    # ------------------------------------------------------------ cost framing
+    # Alarm-fatigue framing: if the monitor pages a clinician on every alarm,
+    # a paged clinician costs ~minutes of attention; an unprevented event is
+    # costly but the early warning buys only `seconds_saved` seconds.
+    hypothetical = StreamingEvaluation(
+        n_alarms=120,
+        true_positives=20,
+        false_positives=100,
+        false_negatives=5,
+        precision=20 / 120,
+        recall=20 / 25,
+        false_positives_per_true_positive=5.0,
+        false_alarms_per_1000_samples=1.0,
+        mean_fraction_of_event_seen=0.64,
+        stream_length=1_000_000,
+    )
+    cost_result = CostBenefitCriterion(CostModel(event_cost=1000.0, action_cost=200.0)).evaluate(
+        hypothetical
+    )
+    report = assess_meaningfulness(
+        domain="ICU ECG early warning",
+        cost_criterion=cost_result,
+        normalization_audit=audit,
+    )
+    print("\n" + report.to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Deploying an ETSC model on a stream: the Appendix B experiment, step by step.
+
+The paper's sharpest experiment: take a well-regarded early classifier, train
+it on the curated GunPoint exemplars it was designed for, then deploy it the
+only way a real system could be deployed -- sliding over an unbounded stream
+in which genuine events are rare islands in featureless background -- and
+count what it costs.
+
+Run with:  python examples/streaming_deployment.py
+"""
+
+import numpy as np
+
+from repro.classifiers import TEASERClassifier
+from repro.core.criteria import CostBenefitCriterion, PriorProbabilityCriterion
+from repro.data import make_gunpoint_dataset
+from repro.data.random_walk import random_walk_background
+from repro.data.stream import StreamComposer
+from repro.streaming import CostModel, StreamingEarlyDetector, evaluate_alarms
+
+
+def main() -> None:
+    # 1. Train on the curated data, exactly as the ETSC literature does.
+    train, test = make_gunpoint_dataset()
+    classifier = TEASERClassifier()
+    classifier.fit(train.series, train.labels)
+    print(f"Trained TEASER on {train.n_exemplars} curated exemplars "
+          f"(consistency requirement v = {classifier.consecutive_required_}).")
+
+    # 2. Build the deployment stream: a handful of genuine 'gun' events
+    #    embedded in long stretches of smoothed random walk.
+    rng = np.random.default_rng(17)
+    gun_rows = test.exemplars_of_class("gun")
+    picks = rng.integers(0, gun_rows.shape[0], size=20)
+    composer = StreamComposer(
+        background=random_walk_background(smoothing=16, step_scale=0.3),
+        gap_range=(2_000, 6_000),
+        seed=17,
+    )
+    stream = composer.compose([gun_rows[i] for i in picks], ["gun"] * 20)
+    print(
+        f"Deployment stream: {len(stream):,} samples, {stream.n_events} genuine events "
+        f"({1 - stream.background_fraction():.2%} of the stream)."
+    )
+
+    # 3. Deploy.  The detector even gets the benefit of whole-window
+    #    z-normalisation ("peeking"); the false positives come anyway.
+    detector = StreamingEarlyDetector(classifier, stride=10, normalization="window")
+    alarms = detector.detect(stream)
+    gun_alarms = [a for a in alarms if a.label == "gun"]
+    evaluation = evaluate_alarms(
+        gun_alarms, stream, target_labels=("gun",), onset_tolerance=train.series_length // 4
+    )
+    print(
+        f"\nAlarms raised for the actionable class: {len(gun_alarms)}\n"
+        f"  true positives : {evaluation.true_positives}\n"
+        f"  false positives: {evaluation.false_positives}\n"
+        f"  missed events  : {evaluation.false_negatives}\n"
+        f"  false positives per true positive: "
+        f"{evaluation.false_positives_per_true_positive:.1f}"
+    )
+
+    # 4. Price it with the Appendix B cost model.
+    cost_model = CostModel(event_cost=1000.0, action_cost=200.0)
+    outcome = cost_model.price(evaluation)
+    print(
+        f"\nAppendix B cost model ($1000 per unprevented event, $200 per action):\n"
+        f"  doing nothing would have cost ${outcome.baseline_cost:,.0f}\n"
+        f"  the deployment cost            ${outcome.total_cost:,.0f}\n"
+        f"  net saving                     ${outcome.net_saving:,.0f} "
+        f"({'breaks even' if outcome.breaks_even else 'loses money'})"
+    )
+
+    criterion = CostBenefitCriterion(cost_model).evaluate(evaluation)
+    prior = PriorProbabilityCriterion(
+        max_false_positives_per_event=cost_model.event_cost / cost_model.action_cost
+    ).evaluate(
+        event_prior=1.0 - stream.background_fraction(),
+        per_window_false_positive_rate=min(
+            evaluation.false_positives / max(len(stream) / detector.stride, 1), 1.0
+        ),
+        per_window_true_positive_rate=max(evaluation.recall, 0.01),
+    )
+    print(f"\n[cost model]  {criterion.summary}")
+    print(f"[base rates]  {prior.summary}")
+    print(
+        "\nThe paper's version of this experiment (stride 1, days of stream) reports\n"
+        "thousands of false positives per true positive; the structure is already\n"
+        "visible at this scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

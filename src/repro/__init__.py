@@ -1,0 +1,29 @@
+"""repro -- a reproduction of *When is Early Classification of Time Series Meaningful?*
+
+(Wu, Der & Keogh, ICDE 2022 extended abstract / arXiv:2102.11487.)
+
+The package is organised in layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.distance` -- z-normalisation, Euclidean/DTW distances, sliding
+  distance profiles, nearest-neighbour classifiers.
+* :mod:`repro.data` -- synthetic stand-ins for the datasets the paper draws
+  its evidence from (GunPoint, spoken words, ECG, chicken accelerometer, EOG,
+  EPG, random walks), plus the UCR-format container and a stream composer.
+* :mod:`repro.classifiers` -- the early-classification algorithms the paper
+  critiques (ECTS, RelaxedECTS, EDSC-CHE/KDE, Reliable/LDG, TEASER, a generic
+  probability-threshold model) and plain-classification baselines.
+* :mod:`repro.streaming` -- running an early classifier over a stream,
+  matching alarms to ground truth, counting false positives and applying a
+  cost model.
+* :mod:`repro.evaluation` -- accuracy/earliness metrics and significance
+  tests for the offline (UCR-style) experiments.
+* :mod:`repro.core` -- the paper's actual contribution: the meaningfulness
+  criteria (prefix / inclusion / homophone analysis, normalisation audit,
+  cost and prior-probability criteria) combined into a per-domain report.
+* :mod:`repro.experiments` -- one module per table/figure of the paper; each
+  regenerates the corresponding numbers from scratch.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,291 @@
+"""Shared interface of the early-classification algorithms.
+
+Terminology (matching Section 2.1 of the paper):
+
+* an exemplar arrives incrementally; after ``L`` samples the classifier has
+  seen the *prefix* of length ``L``;
+* at some point the classifier *triggers* -- it decides it has seen enough
+  and commits to a class label;
+* *earliness* is the fraction of the exemplar that had been seen at the
+  trigger point (lower is earlier).
+
+A deliberately explicit design decision: the classifiers operate on whatever
+values they are handed.  They do **not** silently re-normalise prefixes,
+because the published algorithms do not either -- they implicitly assume the
+exemplar arrives already z-normalised as a whole, which is the "peeking into
+the future" flaw Section 4 of the paper demonstrates.  The honest alternative
+(re-z-normalising each prefix) is available to callers via
+``UCRDataset.truncated(..., renormalize=True)`` and via the prefix-accuracy
+tooling in :mod:`repro.core.prefix_accuracy`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "PartialPrediction",
+    "EarlyPrediction",
+    "BaseEarlyClassifier",
+    "default_checkpoints",
+]
+
+
+def default_checkpoints(
+    series_length: int, n_checkpoints: int = 20, min_length: int | None = None
+) -> list[int]:
+    """Evenly spaced prefix lengths at which an early classifier re-evaluates.
+
+    TEASER uses 20 checkpoints (every 5 % of the series); the other
+    algorithms in this package accept any increasing list of prefix lengths.
+
+    Parameters
+    ----------
+    series_length:
+        Full exemplar length.
+    n_checkpoints:
+        Number of checkpoints to generate.
+    min_length:
+        Smallest prefix length considered (defaults to ``series_length //
+        n_checkpoints``, i.e. the first checkpoint).
+
+    Returns
+    -------
+    list of int
+        Strictly increasing prefix lengths, ending at ``series_length``.
+    """
+    if series_length < 2:
+        raise ValueError("series_length must be at least 2")
+    if n_checkpoints < 1:
+        raise ValueError("n_checkpoints must be >= 1")
+    if min_length is None:
+        min_length = max(3, series_length // n_checkpoints)
+    if not 1 <= min_length <= series_length:
+        raise ValueError("min_length must be in [1, series_length]")
+    raw = np.linspace(min_length, series_length, n_checkpoints)
+    checkpoints = sorted({int(round(v)) for v in raw})
+    if checkpoints[-1] != series_length:
+        checkpoints.append(series_length)
+    return checkpoints
+
+
+@dataclass(frozen=True)
+class PartialPrediction:
+    """The classifier's view after seeing a prefix.
+
+    Attributes
+    ----------
+    label:
+        The label the classifier would output if forced to answer now (always
+        populated, even when not ready -- a deployed system can always be
+        forced to answer).
+    ready:
+        Whether the classifier's own stopping rule says it has seen enough.
+    confidence:
+        The classifier's confidence in ``label`` (algorithm-specific scale,
+        normalised to [0, 1] where possible).
+    probabilities:
+        Optional per-class probability mapping.
+    prefix_length:
+        Number of samples that had been seen.
+    """
+
+    label: object
+    ready: bool
+    confidence: float
+    prefix_length: int
+    probabilities: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class EarlyPrediction:
+    """The outcome of incrementally classifying one exemplar.
+
+    Attributes
+    ----------
+    label:
+        The committed class label.
+    trigger_length:
+        Prefix length at which the classifier triggered.  If it never
+        triggered, this equals ``series_length`` and ``triggered`` is False.
+    series_length:
+        Full exemplar length.
+    triggered:
+        Whether the classifier's stopping rule fired before the exemplar ended.
+    confidence:
+        Confidence at the trigger point.
+    history:
+        One :class:`PartialPrediction` per evaluated checkpoint (useful for
+        the Fig. 3 style plots).
+    """
+
+    label: object
+    trigger_length: int
+    series_length: int
+    triggered: bool
+    confidence: float
+    history: tuple[PartialPrediction, ...] = ()
+
+    @property
+    def earliness(self) -> float:
+        """Fraction of the exemplar seen before committing (lower = earlier)."""
+        return self.trigger_length / self.series_length
+
+
+class BaseEarlyClassifier(ABC):
+    """Abstract base class of all early classifiers in this package."""
+
+    def __init__(self) -> None:
+        self._classes: tuple = ()
+        self._train_length: int | None = None
+
+    # ------------------------------------------------------------ fitting
+    @abstractmethod
+    def fit(self, series: np.ndarray, labels: Sequence) -> "BaseEarlyClassifier":
+        """Train on a 2-D array of equal-length exemplars and their labels."""
+
+    def _store_training_shape(self, series: np.ndarray, labels: np.ndarray) -> None:
+        self._classes = tuple(np.unique(labels).tolist())
+        self._train_length = int(series.shape[1])
+
+    @staticmethod
+    def _validate_training_data(
+        series: np.ndarray, labels: Sequence
+    ) -> tuple[np.ndarray, np.ndarray]:
+        data = np.asarray(series, dtype=float)
+        label_arr = np.asarray(labels)
+        if data.ndim != 2:
+            raise ValueError("series must be a 2-D array (n_exemplars, length)")
+        if data.shape[0] < 2:
+            raise ValueError("need at least two training exemplars")
+        if label_arr.ndim != 1 or label_arr.shape[0] != data.shape[0]:
+            raise ValueError("labels must be 1-D with one entry per exemplar")
+        if np.unique(label_arr).shape[0] < 2:
+            raise ValueError("training data must contain at least two classes")
+        if not np.all(np.isfinite(data)):
+            raise ValueError("series contains non-finite values")
+        return data, label_arr
+
+    # ------------------------------------------------------------ properties
+    @property
+    def classes_(self) -> tuple:
+        """Class labels seen during fit."""
+        return self._classes
+
+    @property
+    def train_length_(self) -> int:
+        """Length of the training exemplars."""
+        if self._train_length is None:
+            raise RuntimeError("classifier must be fitted before use")
+        return self._train_length
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._train_length is not None
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("classifier must be fitted before use")
+
+    def _validate_prefix(self, prefix: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        arr = np.asarray(prefix, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError("prefix must be a single 1-D series")
+        if arr.shape[0] < 1:
+            raise ValueError("prefix must contain at least one sample")
+        if arr.shape[0] > self.train_length_:
+            raise ValueError(
+                f"prefix of length {arr.shape[0]} exceeds the training length "
+                f"{self.train_length_}"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("prefix contains non-finite values")
+        return arr
+
+    # ------------------------------------------------------------ prediction
+    @abstractmethod
+    def predict_partial(self, prefix: np.ndarray) -> PartialPrediction:
+        """Classify a prefix, reporting whether the stopping rule has fired."""
+
+    def checkpoints(self) -> list[int]:
+        """Prefix lengths at which :meth:`predict_early` evaluates the model.
+
+        Subclasses that pre-compute per-length models override this; the
+        default is one checkpoint per sample, which is the framing used by
+        ECTS-style algorithms ("incrementally arriving data").
+        """
+        self._require_fitted()
+        return list(range(1, self.train_length_ + 1))
+
+    def predict_early(self, series: np.ndarray, keep_history: bool = False) -> EarlyPrediction:
+        """Feed one exemplar incrementally and stop at the trigger point.
+
+        Parameters
+        ----------
+        series:
+            The full exemplar (1-D).  Only the prefix up to the trigger point
+            influences the returned label.
+        keep_history:
+            If ``True``, record the :class:`PartialPrediction` at every
+            checkpoint (slower; used by the Fig. 3 experiment).
+
+        Returns
+        -------
+        EarlyPrediction
+        """
+        arr = self._validate_prefix(series)
+        history: list[PartialPrediction] = []
+        last: PartialPrediction | None = None
+        for length in self.checkpoints():
+            if length > arr.shape[0]:
+                break
+            partial = self.predict_partial(arr[:length])
+            if keep_history:
+                history.append(partial)
+            last = partial
+            if partial.ready:
+                return EarlyPrediction(
+                    label=partial.label,
+                    trigger_length=length,
+                    series_length=arr.shape[0],
+                    triggered=True,
+                    confidence=partial.confidence,
+                    history=tuple(history),
+                )
+        if last is None:
+            raise ValueError("series is shorter than the first checkpoint")
+        return EarlyPrediction(
+            label=last.label,
+            trigger_length=arr.shape[0],
+            series_length=arr.shape[0],
+            triggered=False,
+            confidence=last.confidence,
+            history=tuple(history),
+        )
+
+    def predict(self, series: np.ndarray) -> np.ndarray:
+        """Early-classify each row of a 2-D array and return the labels."""
+        data = np.asarray(series, dtype=float)
+        if data.ndim == 1:
+            data = data[None, :]
+        return np.asarray([self.predict_early(row).label for row in data])
+
+    def score(self, series: np.ndarray, labels: Sequence) -> float:
+        """Early-classification accuracy over a test set."""
+        predictions = self.predict(series)
+        truth = np.asarray(labels)
+        if truth.shape[0] != predictions.shape[0]:
+            raise ValueError("labels must have one entry per exemplar")
+        return float(np.mean(predictions == truth))
+
+    def average_earliness(self, series: np.ndarray) -> float:
+        """Mean fraction of each exemplar seen before the trigger point."""
+        data = np.asarray(series, dtype=float)
+        if data.ndim == 1:
+            data = data[None, :]
+        return float(np.mean([self.predict_early(row).earliness for row in data]))

@@ -1,0 +1,460 @@
+"""EDSC -- Early Distinctive Shapelet Classification (Xing et al., SDM 2011).
+
+EDSC extracts *local shapelets*: short subsequences of training exemplars
+that, when matched within a learned distance threshold, identify a class with
+high precision.  Because a shapelet can match inside a short prefix of an
+incoming exemplar, matching one is a licence to classify early.
+
+Training has three stages:
+
+1. **Candidate extraction** -- subsequences of several lengths are sampled
+   from every training exemplar.
+2. **Threshold learning** -- each candidate learns the largest distance
+   threshold that keeps its precision high.  Two estimators are implemented,
+   matching the two rows of Table 1:
+
+   * ``"che"`` -- the Chebyshev bound: the threshold is placed ``k`` standard
+     deviations below the mean distance to non-target exemplars, so the
+     one-sided Chebyshev inequality bounds the false-match probability by
+     ``1 / (1 + k^2)``.
+   * ``"kde"`` -- kernel density estimates of the distance distributions of
+     target and non-target exemplars; the threshold is the largest value at
+     which the estimated precision stays above ``target_precision``.
+
+3. **Selection** -- candidates are ranked by a utility that combines
+   precision, recall and earliness (how early in the exemplar the match
+   happens), and greedily selected until every training exemplar is covered.
+
+Prediction slides every selected shapelet over the observed prefix; the first
+shapelet (in utility order) that matches within its threshold triggers the
+classification.
+
+Simplifications relative to the original publication (documented in
+EXPERIMENTS.md): candidates are subsampled rather than exhaustively
+enumerated, and the utility function is the product of precision and
+earliness-weighted recall rather than the paper's weighted-recall family --
+neither changes the qualitative behaviour Table 1 exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.classifiers.base import BaseEarlyClassifier, PartialPrediction
+
+__all__ = ["EDSCClassifier", "Shapelet"]
+
+
+@dataclass(frozen=True)
+class Shapelet:
+    """A selected local shapelet.
+
+    Attributes
+    ----------
+    values:
+        The subsequence itself (raw values, as EDSC matches without
+        re-normalisation).
+    label:
+        The class the shapelet votes for.
+    threshold:
+        Maximum best-match distance at which the shapelet fires.
+    utility:
+        Training utility used for ranking.
+    precision:
+        Training precision of the shapelet at its threshold.
+    source_index:
+        Index of the training exemplar the shapelet was extracted from.
+    source_position:
+        Start position of the shapelet within that exemplar.
+    """
+
+    values: np.ndarray
+    label: object
+    threshold: float
+    utility: float
+    precision: float
+    source_index: int
+    source_position: int
+
+    @property
+    def length(self) -> int:
+        return int(self.values.shape[0])
+
+
+def _sliding_windows(series: np.ndarray, window: int) -> np.ndarray:
+    """All length-``window`` subsequences of each row of a 2-D array.
+
+    Returns an array of shape ``(n_series, n_windows, window)``.
+    """
+    n_series, length = series.shape
+    n_windows = length - window + 1
+    strides = (series.strides[0], series.strides[1], series.strides[1])
+    return np.lib.stride_tricks.as_strided(
+        series, shape=(n_series, n_windows, window), strides=strides, writeable=False
+    )
+
+
+def _best_match_distances(
+    candidates: np.ndarray, series: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Best-match (minimum sliding Euclidean) distance of each candidate to each series.
+
+    Parameters
+    ----------
+    candidates:
+        Array of shape ``(n_candidates, window)``.
+    series:
+        Array of shape ``(n_series, length)`` with ``length >= window``.
+
+    Returns
+    -------
+    (distances, positions):
+        ``distances[i, j]`` is the smallest Euclidean distance between
+        candidate ``i`` and any window of series ``j``; ``positions[i, j]`` is
+        the index at which that window *ends* (the earliest point at which the
+        match could have been observed on streaming data).
+    """
+    window = candidates.shape[1]
+    windows = _sliding_windows(series, window)
+    n_series, n_windows, _ = windows.shape
+    flat = windows.reshape(n_series * n_windows, window)
+
+    cand_sq = np.sum(candidates * candidates, axis=1)[:, None]
+    win_sq = np.sum(flat * flat, axis=1)[None, :]
+    cross = candidates @ flat.T
+    squared = np.maximum(cand_sq + win_sq - 2.0 * cross, 0.0)
+    distances = np.sqrt(squared).reshape(candidates.shape[0], n_series, n_windows)
+
+    best_positions = np.argmin(distances, axis=2)
+    best = np.min(distances, axis=2)
+    # Convert a start position into the sample index at which the whole
+    # shapelet has been observed.
+    return best, best_positions + window
+
+
+class EDSCClassifier(BaseEarlyClassifier):
+    """Early Distinctive Shapelet Classification.
+
+    Parameters
+    ----------
+    threshold_method:
+        ``"che"`` (Chebyshev bound) or ``"kde"`` (kernel density estimate).
+    chebyshev_k:
+        The ``k`` of the Chebyshev bound (the original recommends 3).
+    target_precision:
+        Precision the KDE threshold must maintain (also used as the minimum
+        training precision a shapelet of either method must reach to be kept).
+    shapelet_length_fractions:
+        Candidate shapelet lengths, as fractions of the exemplar length.
+    position_step:
+        Stride between candidate start positions.
+    max_candidates_per_class:
+        Random subsample cap on candidates per class (keeps training time
+        laptop-scale).
+    min_length:
+        Smallest prefix length at which prediction is attempted.
+    random_state:
+        Seed of the candidate subsampler.
+    """
+
+    def __init__(
+        self,
+        threshold_method: str = "che",
+        chebyshev_k: float = 3.0,
+        target_precision: float = 0.9,
+        shapelet_length_fractions: Sequence[float] = (0.1, 0.15, 0.2, 0.3),
+        position_step: int = 4,
+        max_candidates_per_class: int = 300,
+        min_length: int = 5,
+        random_state: int = 13,
+    ) -> None:
+        super().__init__()
+        method = threshold_method.lower()
+        if method not in ("che", "kde"):
+            raise ValueError("threshold_method must be 'che' or 'kde'")
+        if chebyshev_k <= 0:
+            raise ValueError("chebyshev_k must be positive")
+        if not 0.5 <= target_precision <= 1.0:
+            raise ValueError("target_precision must be in [0.5, 1.0]")
+        if not shapelet_length_fractions:
+            raise ValueError("need at least one shapelet length fraction")
+        if any(not 0.0 < f <= 1.0 for f in shapelet_length_fractions):
+            raise ValueError("shapelet length fractions must be in (0, 1]")
+        if position_step < 1:
+            raise ValueError("position_step must be >= 1")
+        if max_candidates_per_class < 1:
+            raise ValueError("max_candidates_per_class must be >= 1")
+        self.threshold_method = method
+        self.chebyshev_k = chebyshev_k
+        self.target_precision = target_precision
+        self.shapelet_length_fractions = tuple(shapelet_length_fractions)
+        self.position_step = position_step
+        self.max_candidates_per_class = max_candidates_per_class
+        self.min_length = min_length
+        self.random_state = random_state
+        self.shapelets_: list[Shapelet] = []
+        self._fallback_label = None
+
+    # ------------------------------------------------------------ training
+    def fit(self, series: np.ndarray, labels: Sequence) -> "EDSCClassifier":
+        data, label_arr = self._validate_training_data(series, labels)
+        self._store_training_shape(data, label_arr)
+        rng = np.random.default_rng(self.random_state)
+        length = data.shape[1]
+
+        shapelet_lengths = sorted(
+            {max(3, int(round(f * length))) for f in self.shapelet_length_fractions}
+        )
+        shapelet_lengths = [m for m in shapelet_lengths if m < length]
+        if not shapelet_lengths:
+            raise ValueError("all candidate shapelet lengths are >= the series length")
+
+        candidates: list[Shapelet] = []
+        for window in shapelet_lengths:
+            candidates.extend(
+                self._evaluate_candidates_of_length(data, label_arr, window, rng)
+            )
+        if not candidates:
+            raise RuntimeError(
+                "no shapelet reached the target precision; the training data may "
+                "be too small or too noisy for EDSC"
+            )
+        self.shapelets_ = self._select_shapelets(candidates, data, label_arr)
+        # Fall back to the majority class when no shapelet ever matches.
+        values, counts = np.unique(label_arr, return_counts=True)
+        self._fallback_label = values[int(np.argmax(counts))]
+        return self
+
+    def _candidate_positions(self, length: int, window: int) -> np.ndarray:
+        return np.arange(0, length - window + 1, self.position_step)
+
+    def _evaluate_candidates_of_length(
+        self,
+        data: np.ndarray,
+        labels: np.ndarray,
+        window: int,
+        rng: np.random.Generator,
+    ) -> list[Shapelet]:
+        """Extract, threshold and score all candidates of one length."""
+        n_series, length = data.shape
+        positions = self._candidate_positions(length, window)
+
+        candidate_values = []
+        candidate_sources = []
+        for index in range(n_series):
+            for pos in positions:
+                candidate_values.append(data[index, pos : pos + window])
+                candidate_sources.append((index, int(pos)))
+        candidate_matrix = np.asarray(candidate_values)
+        candidate_labels = np.asarray([labels[i] for i, _ in candidate_sources])
+
+        # Subsample per class to keep the quadratic matching step bounded.
+        keep: list[int] = []
+        for cls in np.unique(labels):
+            cls_idx = np.flatnonzero(candidate_labels == cls)
+            if cls_idx.shape[0] > self.max_candidates_per_class:
+                cls_idx = rng.choice(cls_idx, size=self.max_candidates_per_class, replace=False)
+            keep.extend(cls_idx.tolist())
+        keep_arr = np.asarray(sorted(keep))
+        candidate_matrix = candidate_matrix[keep_arr]
+        candidate_sources = [candidate_sources[i] for i in keep_arr]
+        candidate_labels = candidate_labels[keep_arr]
+
+        distances, match_ends = _best_match_distances(candidate_matrix, data)
+
+        shapelets: list[Shapelet] = []
+        for row in range(candidate_matrix.shape[0]):
+            label = candidate_labels[row]
+            source_index, source_position = candidate_sources[row]
+            target_mask = labels == label
+            threshold = self._learn_threshold(
+                distances[row], target_mask, exclude=source_index
+            )
+            if threshold is None or threshold <= 0:
+                continue
+            shapelet = self._score_candidate(
+                values=candidate_matrix[row],
+                label=label,
+                threshold=threshold,
+                distances=distances[row],
+                match_ends=match_ends[row],
+                target_mask=target_mask,
+                series_length=length,
+                source_index=source_index,
+                source_position=source_position,
+            )
+            if shapelet is not None:
+                shapelets.append(shapelet)
+        return shapelets
+
+    def _learn_threshold(
+        self, distances: np.ndarray, target_mask: np.ndarray, exclude: int
+    ) -> float | None:
+        """Learn the matching threshold for one candidate."""
+        non_target = distances[~target_mask]
+        if non_target.shape[0] < 2:
+            return None
+        if self.threshold_method == "che":
+            return self._chebyshev_threshold(non_target)
+        target = np.delete(distances[target_mask], _index_within(target_mask, exclude))
+        if target.shape[0] < 1:
+            return None
+        return self._kde_threshold(target, non_target)
+
+    def _chebyshev_threshold(self, non_target: np.ndarray) -> float | None:
+        mean = float(np.mean(non_target))
+        std = float(np.std(non_target))
+        threshold = mean - self.chebyshev_k * std
+        return threshold if threshold > 0 else None
+
+    def _kde_threshold(self, target: np.ndarray, non_target: np.ndarray) -> float | None:
+        """Largest threshold at which the KDE-estimated precision stays high."""
+        pooled = np.concatenate([target, non_target])
+        spread = float(np.std(pooled))
+        if spread <= 0:
+            return None
+        # Silverman's rule of thumb for the bandwidth.
+        bandwidth = 1.06 * spread * pooled.shape[0] ** (-1 / 5)
+        bandwidth = max(bandwidth, 1e-6)
+        grid = np.linspace(0.0, float(np.max(pooled)), 200)
+
+        def cumulative(samples: np.ndarray) -> np.ndarray:
+            # P(X <= g) under a Gaussian KDE built on `samples`.
+            z = (grid[:, None] - samples[None, :]) / bandwidth
+            return np.mean(_standard_normal_cdf(z), axis=1)
+
+        target_cdf = cumulative(target) * target.shape[0]
+        non_target_cdf = cumulative(non_target) * non_target.shape[0]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            precision = np.where(
+                target_cdf + non_target_cdf > 0,
+                target_cdf / (target_cdf + non_target_cdf),
+                1.0,
+            )
+        acceptable = np.flatnonzero(precision >= self.target_precision)
+        if acceptable.shape[0] == 0:
+            return None
+        threshold = float(grid[acceptable[-1]])
+        return threshold if threshold > 0 else None
+
+    def _score_candidate(
+        self,
+        values: np.ndarray,
+        label,
+        threshold: float,
+        distances: np.ndarray,
+        match_ends: np.ndarray,
+        target_mask: np.ndarray,
+        series_length: int,
+        source_index: int,
+        source_position: int,
+    ) -> Shapelet | None:
+        matched = distances <= threshold
+        matched_target = matched & target_mask
+        matched_non_target = matched & ~target_mask
+        n_matched = int(np.sum(matched))
+        if n_matched == 0:
+            return None
+        precision = float(np.sum(matched_target)) / n_matched
+        if precision < self.target_precision:
+            return None
+        # Earliness-weighted recall: matches that complete earlier in the
+        # exemplar are worth more (this is what makes a shapelet "early").
+        earliness_weights = 1.0 - (match_ends[matched_target] - 1) / series_length
+        recall = float(np.sum(earliness_weights)) / max(int(np.sum(target_mask)), 1)
+        utility = precision * recall
+        if np.sum(matched_non_target) > 0 and precision < 1.0:
+            utility *= precision
+        return Shapelet(
+            values=np.array(values, copy=True),
+            label=label,
+            threshold=float(threshold),
+            utility=float(utility),
+            precision=precision,
+            source_index=int(source_index),
+            source_position=int(source_position),
+        )
+
+    def _select_shapelets(
+        self, candidates: list[Shapelet], data: np.ndarray, labels: np.ndarray
+    ) -> list[Shapelet]:
+        """Greedy utility-ordered selection until all training exemplars are covered."""
+        ranked = sorted(candidates, key=lambda s: s.utility, reverse=True)
+        covered = np.zeros(data.shape[0], dtype=bool)
+        selected: list[Shapelet] = []
+        for shapelet in ranked:
+            distances, _ = _best_match_distances(shapelet.values[None, :], data)
+            matches = (distances[0] <= shapelet.threshold) & (labels == shapelet.label)
+            newly_covered = matches & ~covered
+            if not np.any(newly_covered):
+                continue
+            selected.append(shapelet)
+            covered |= matches
+            if np.all(covered):
+                break
+        return selected if selected else ranked[:1]
+
+    # ------------------------------------------------------------ prediction
+    def predict_partial(self, prefix: np.ndarray) -> PartialPrediction:
+        arr = self._validate_prefix(prefix)
+        length = arr.shape[0]
+        best: tuple[float, Shapelet] | None = None
+        for shapelet in self.shapelets_:
+            if shapelet.length > length:
+                continue
+            distance = self._best_match_in_prefix(shapelet.values, arr)
+            if distance <= shapelet.threshold:
+                score = shapelet.utility
+                if best is None or score > best[0]:
+                    best = (score, shapelet)
+        if best is not None:
+            shapelet = best[1]
+            confidence = shapelet.precision
+            probabilities = {cls: 0.0 for cls in self.classes_}
+            probabilities[shapelet.label] = confidence
+            others = [cls for cls in self.classes_ if cls != shapelet.label]
+            for cls in others:
+                probabilities[cls] = (1.0 - confidence) / len(others)
+            return PartialPrediction(
+                label=shapelet.label,
+                ready=True,
+                confidence=confidence,
+                prefix_length=length,
+                probabilities=probabilities,
+            )
+        uniform = 1.0 / len(self.classes_)
+        return PartialPrediction(
+            label=self._fallback_label,
+            ready=False,
+            confidence=uniform,
+            prefix_length=length,
+            probabilities={cls: uniform for cls in self.classes_},
+        )
+
+    @staticmethod
+    def _best_match_in_prefix(shapelet_values: np.ndarray, prefix: np.ndarray) -> float:
+        windows = _sliding_windows(prefix[None, :], shapelet_values.shape[0])[0]
+        diffs = windows - shapelet_values[None, :]
+        return float(np.sqrt(np.min(np.sum(diffs * diffs, axis=1))))
+
+    def checkpoints(self) -> list[int]:
+        self._require_fitted()
+        start = max(self.min_length, min((s.length for s in self.shapelets_), default=self.min_length))
+        return list(range(start, self.train_length_ + 1))
+
+
+def _index_within(mask: np.ndarray, absolute_index: int) -> int | list[int]:
+    """Position of ``absolute_index`` within ``np.flatnonzero(mask)`` (or [] if absent)."""
+    positions = np.flatnonzero(mask)
+    found = np.flatnonzero(positions == absolute_index)
+    return int(found[0]) if found.shape[0] else []
+
+
+def _standard_normal_cdf(z: np.ndarray) -> np.ndarray:
+    """Standard normal CDF (thin wrapper so the KDE code reads naturally)."""
+    from scipy.special import ndtr
+
+    return ndtr(z)

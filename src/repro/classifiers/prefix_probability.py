@@ -1,0 +1,195 @@
+"""Per-prefix-length probabilistic classification.
+
+Several of the early classifiers (the probability-threshold model of Fig. 3,
+TEASER's slave classifiers, and the streaming detector) need the same
+primitive: *given a prefix of length L, produce class probabilities*.  The
+published systems use a variety of base classifiers for this (1-NN, WEASEL,
+logistic regression); following the UCR-evaluation tradition -- and to keep
+the reproduction dependency-free -- this module uses nearest-neighbour
+evidence converted into probabilities with a distance softmax whose
+temperature is calibrated per prefix length on the training data.
+
+The calibration matters: raw distances grow with the prefix length, so a
+single global temperature would make early probabilities artificially sharp
+or flat.  Calibrating per length is also what keeps the model honest about
+how little it knows early on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.distance.euclidean import pairwise_euclidean
+
+__all__ = ["PrefixProbabilisticClassifier", "PrefixProbabilities"]
+
+
+@dataclass(frozen=True)
+class PrefixProbabilities:
+    """Class probabilities derived from a prefix of an incoming exemplar."""
+
+    probabilities: dict
+    label: object
+    margin: float
+    prefix_length: int
+
+    @property
+    def confidence(self) -> float:
+        """Probability of the winning class."""
+        return float(self.probabilities[self.label])
+
+
+class PrefixProbabilisticClassifier:
+    """Nearest-neighbour class probabilities at arbitrary prefix lengths.
+
+    Parameters
+    ----------
+    checkpoints:
+        Prefix lengths for which temperatures are calibrated.  Queries at
+        other lengths use the nearest calibrated checkpoint's temperature.
+        ``None`` (default) calibrates every length from ``min_length`` to the
+        full training length in steps of ``max(1, length // 30)``.
+    min_length:
+        Smallest usable prefix length.
+    n_neighbors:
+        Number of neighbours per class whose mean distance forms the class
+        evidence (1 reproduces plain 1-NN behaviour).
+    """
+
+    def __init__(
+        self,
+        checkpoints: Sequence[int] | None = None,
+        min_length: int = 3,
+        n_neighbors: int = 1,
+    ) -> None:
+        if min_length < 1:
+            raise ValueError("min_length must be >= 1")
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.min_length = min_length
+        self.n_neighbors = n_neighbors
+        self._requested_checkpoints = list(checkpoints) if checkpoints is not None else None
+        self._train: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._classes: tuple = ()
+        self._temperatures: dict[int, float] = {}
+
+    # ------------------------------------------------------------ fitting
+    def fit(self, series: np.ndarray, labels: Sequence) -> "PrefixProbabilisticClassifier":
+        """Store the training exemplars and calibrate per-length temperatures."""
+        data = np.asarray(series, dtype=float)
+        label_arr = np.asarray(labels)
+        if data.ndim != 2:
+            raise ValueError("series must be 2-D (n_exemplars, length)")
+        if label_arr.shape[0] != data.shape[0]:
+            raise ValueError("labels must have one entry per exemplar")
+        self._train = data
+        self._labels = label_arr
+        self._classes = tuple(np.unique(label_arr).tolist())
+
+        length = data.shape[1]
+        if self._requested_checkpoints is None:
+            step = max(1, length // 30)
+            checkpoints = list(range(self.min_length, length + 1, step))
+            if checkpoints[-1] != length:
+                checkpoints.append(length)
+        else:
+            checkpoints = sorted({int(c) for c in self._requested_checkpoints})
+            if any(c < 1 or c > length for c in checkpoints):
+                raise ValueError("checkpoints must lie within the training length")
+        self._temperatures = {}
+        for checkpoint in checkpoints:
+            prefix = data[:, :checkpoint]
+            distances = pairwise_euclidean(prefix)
+            np.fill_diagonal(distances, np.inf)
+            # The temperature is the typical distance between an exemplar and
+            # its nearest neighbour at this prefix length: the scale of
+            # "distance differences that are meaningful" rather than the scale
+            # of distances overall.  Using the overall median would make the
+            # probabilities far too flat to ever cross a user threshold.
+            nearest = np.min(distances, axis=1)
+            self._temperatures[checkpoint] = max(float(np.median(nearest)), 1e-6)
+        return self
+
+    @property
+    def classes_(self) -> tuple:
+        return self._classes
+
+    @property
+    def train_length_(self) -> int:
+        if self._train is None:
+            raise RuntimeError("classifier must be fitted before use")
+        return int(self._train.shape[1])
+
+    @property
+    def calibrated_checkpoints(self) -> list[int]:
+        """Prefix lengths with a calibrated softmax temperature."""
+        return sorted(self._temperatures)
+
+    # ------------------------------------------------------------ inference
+    def _temperature_for(self, length: int) -> float:
+        calibrated = self.calibrated_checkpoints
+        nearest = min(calibrated, key=lambda c: abs(c - length))
+        return self._temperatures[nearest]
+
+    def predict_proba_prefix(
+        self, prefix: np.ndarray, exclude: int | None = None
+    ) -> PrefixProbabilities:
+        """Class probabilities for a single observed prefix.
+
+        Parameters
+        ----------
+        prefix:
+            The observed prefix (1-D).
+        exclude:
+            Optional index of a training exemplar to leave out of the
+            neighbour search.  Callers evaluating the model *on its own
+            training data* (e.g. TEASER's master training and parameter
+            selection) must pass the exemplar's own index here, otherwise the
+            exemplar finds itself at distance zero and the evaluation is
+            meaninglessly optimistic.
+        """
+        if self._train is None or self._labels is None:
+            raise RuntimeError("classifier must be fitted before use")
+        arr = np.asarray(prefix, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError("prefix must be 1-D")
+        length = arr.shape[0]
+        if length < self.min_length:
+            raise ValueError(f"prefix must have at least {self.min_length} samples")
+        if length > self.train_length_:
+            raise ValueError("prefix is longer than the training exemplars")
+
+        train_prefix = self._train[:, :length]
+        distances = pairwise_euclidean(arr[None, :], train_prefix)[0]
+        if exclude is not None:
+            if not 0 <= exclude < distances.shape[0]:
+                raise IndexError("exclude index out of range")
+            distances = distances.copy()
+            distances[exclude] = np.inf
+
+        class_evidence: dict = {}
+        for cls in self._classes:
+            cls_distances = np.sort(distances[self._labels == cls])
+            k = min(self.n_neighbors, cls_distances.shape[0])
+            class_evidence[cls] = float(np.mean(cls_distances[:k]))
+
+        temperature = self._temperature_for(length)
+        scores = np.asarray([-class_evidence[cls] / temperature for cls in self._classes])
+        scores -= scores.max()
+        weights = np.exp(scores)
+        weights /= weights.sum()
+        probabilities = {cls: float(w) for cls, w in zip(self._classes, weights)}
+
+        ordered = sorted(probabilities.items(), key=lambda item: item[1], reverse=True)
+        label = ordered[0][0]
+        margin = ordered[0][1] - (ordered[1][1] if len(ordered) > 1 else 0.0)
+        return PrefixProbabilities(
+            probabilities=probabilities,
+            label=label,
+            margin=float(margin),
+            prefix_length=length,
+        )

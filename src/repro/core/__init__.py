@@ -1,0 +1,79 @@
+"""The paper's contribution: criteria for deciding whether ETSC is meaningful.
+
+Section 6 of the paper argues that any useful definition of early time-series
+classification must, at a minimum, consider:
+
+1. the cost of a false positive vs. the cost of a false negative for the
+   actionable class(es) (:mod:`repro.core.criteria`),
+2. the probability that the domain contains *prefixes*, *inclusions* and
+   *homophones* that resemble the actionable class(es)
+   (:mod:`repro.core.prefix_analysis`, :mod:`repro.core.inclusion_analysis`,
+   :mod:`repro.core.homophone_analysis`),
+3. the prior probability of seeing a member of the actionable class(es)
+   (:mod:`repro.core.criteria`), and
+4. the appropriateness of the normalisation assumptions for the domain
+   (:mod:`repro.core.normalization_audit`).
+
+Each of these is implemented as a quantitative analysis that can be run
+against any dataset/classifier/stream combination, and
+:mod:`repro.core.report` combines them into a single
+:class:`~repro.core.report.MeaningfulnessReport` -- the artefact a researcher
+or practitioner would consult before claiming that early classification is
+worth doing in their domain.
+
+:mod:`repro.core.prefix_accuracy` implements the companion analysis of Fig. 9:
+how much of the exemplar a *plain* classifier actually needs, which is the
+baseline any ETSC model must beat before its extra machinery is justified.
+"""
+
+from repro.core.criteria import (
+    CostBenefitCriterion,
+    CriterionResult,
+    PriorProbabilityCriterion,
+)
+from repro.core.prefix_analysis import (
+    LexicalCollision,
+    PrefixAnalysisResult,
+    analyze_lexical_prefixes,
+    count_false_triggers,
+)
+from repro.core.inclusion_analysis import (
+    InclusionAnalysisResult,
+    ZipfLexiconModel,
+    analyze_lexical_inclusions,
+)
+from repro.core.homophone_analysis import (
+    HomophoneAnalysisResult,
+    HomophoneQueryResult,
+    find_time_series_homophones,
+    homophone_analysis,
+)
+from repro.core.normalization_audit import (
+    NormalizationAuditResult,
+    audit_normalization_sensitivity,
+)
+from repro.core.prefix_accuracy import PrefixAccuracyCurve, compute_prefix_accuracy_curve
+from repro.core.report import MeaningfulnessReport, assess_meaningfulness
+
+__all__ = [
+    "CriterionResult",
+    "CostBenefitCriterion",
+    "PriorProbabilityCriterion",
+    "LexicalCollision",
+    "PrefixAnalysisResult",
+    "analyze_lexical_prefixes",
+    "count_false_triggers",
+    "InclusionAnalysisResult",
+    "ZipfLexiconModel",
+    "analyze_lexical_inclusions",
+    "HomophoneQueryResult",
+    "HomophoneAnalysisResult",
+    "find_time_series_homophones",
+    "homophone_analysis",
+    "NormalizationAuditResult",
+    "audit_normalization_sensitivity",
+    "PrefixAccuracyCurve",
+    "compute_prefix_accuracy_curve",
+    "MeaningfulnessReport",
+    "assess_meaningfulness",
+]

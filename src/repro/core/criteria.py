@@ -1,0 +1,174 @@
+"""Cost/benefit and prior-probability criteria (Section 6, items 1 and 3).
+
+Both criteria reduce to the same base-rate arithmetic the paper keeps coming
+back to: an early classifier fires on *windows* of a stream, target events
+occupy a vanishing fraction of those windows, and every action has a cost, so
+even a per-window false-positive rate that sounds impressive on a UCR-style
+test set translates into a flood of false alarms whose cost swamps the value
+of the occasional true positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.streaming.costs import CostModel
+from repro.streaming.metrics import StreamingEvaluation
+
+__all__ = ["CriterionResult", "CostBenefitCriterion", "PriorProbabilityCriterion"]
+
+
+@dataclass(frozen=True)
+class CriterionResult:
+    """Outcome of evaluating one meaningfulness criterion.
+
+    Attributes
+    ----------
+    name:
+        Short identifier of the criterion.
+    passed:
+        Whether the domain satisfies the criterion.
+    severity:
+        How badly the criterion is violated, in [0, 1] (0 = satisfied
+        comfortably, 1 = hopeless).  The report uses this for ordering.
+    summary:
+        One-sentence human-readable verdict.
+    details:
+        Free-form numeric details for programmatic consumers.
+    """
+
+    name: str
+    passed: bool
+    severity: float
+    summary: str
+    details: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CostBenefitCriterion:
+    """Criterion 1: the detector must at least break even under its cost model.
+
+    Parameters
+    ----------
+    cost_model:
+        The domain's cost model (defaults to the Appendix B numbers).
+    """
+
+    cost_model: CostModel = field(default_factory=CostModel)
+
+    def evaluate(self, evaluation: StreamingEvaluation) -> CriterionResult:
+        """Price a streaming evaluation and decide whether it pays for itself."""
+        outcome = self.cost_model.price(evaluation)
+        break_even = self.cost_model.break_even_false_positives_per_true_positive
+        observed = evaluation.false_positives_per_true_positive
+        if observed == float("inf"):
+            severity = 1.0
+        elif break_even == float("inf"):
+            severity = 0.0
+        else:
+            # How far past (or within) the break-even budget we are.
+            severity = min(max(observed / (break_even + 1e-9) - 1.0, 0.0), 1.0)
+        passed = outcome.breaks_even
+        summary = (
+            f"net saving ${outcome.net_saving:,.0f} "
+            f"({evaluation.false_positives} false positives vs "
+            f"{evaluation.true_positives} true positives; break-even budget is "
+            f"{break_even:.1f} false positives per true positive)"
+        )
+        return CriterionResult(
+            name="cost_benefit",
+            passed=passed,
+            severity=severity,
+            summary=summary,
+            details={
+                "total_cost": outcome.total_cost,
+                "baseline_cost": outcome.baseline_cost,
+                "net_saving": outcome.net_saving,
+                "false_positives_per_true_positive": observed,
+                "break_even_false_positives_per_true_positive": break_even,
+            },
+        )
+
+
+@dataclass(frozen=True)
+class PriorProbabilityCriterion:
+    """Criterion 3: the actionable class must not be vanishingly rare.
+
+    The criterion converts a per-window false-positive probability (how often
+    the classifier fires on background data -- measurable on a UCR-style test
+    set or on background streams) and the prior probability that a window
+    actually contains a target event into the expected number of false alarms
+    per true event, via Bayes' base-rate arithmetic.
+
+    Parameters
+    ----------
+    max_false_positives_per_event:
+        Largest acceptable expected number of false alarms per true event
+        (default 5.0, the Appendix B break-even budget).
+    """
+
+    max_false_positives_per_event: float = 5.0
+
+    def evaluate(
+        self,
+        event_prior: float,
+        per_window_false_positive_rate: float,
+        per_window_true_positive_rate: float = 1.0,
+    ) -> CriterionResult:
+        """Evaluate the base-rate arithmetic.
+
+        Parameters
+        ----------
+        event_prior:
+            Probability that a randomly chosen candidate window contains a
+            target event (e.g. the fraction of stream samples covered by
+            events).
+        per_window_false_positive_rate:
+            Probability that the classifier fires on a window that contains no
+            target event.
+        per_window_true_positive_rate:
+            Probability that the classifier fires on a window that does
+            contain a target event.
+        """
+        if not 0.0 <= event_prior <= 1.0:
+            raise ValueError("event_prior must be in [0, 1]")
+        if not 0.0 <= per_window_false_positive_rate <= 1.0:
+            raise ValueError("per_window_false_positive_rate must be in [0, 1]")
+        if not 0.0 <= per_window_true_positive_rate <= 1.0:
+            raise ValueError("per_window_true_positive_rate must be in [0, 1]")
+
+        expected_true = event_prior * per_window_true_positive_rate
+        expected_false = (1.0 - event_prior) * per_window_false_positive_rate
+        if expected_true > 0:
+            false_per_true = expected_false / expected_true
+        elif expected_false > 0:
+            false_per_true = float("inf")
+        else:
+            false_per_true = 0.0
+
+        passed = false_per_true <= self.max_false_positives_per_event
+        if false_per_true == float("inf"):
+            severity = 1.0
+        else:
+            severity = min(
+                max(false_per_true / (self.max_false_positives_per_event + 1e-9) - 1.0, 0.0),
+                1.0,
+            )
+        summary = (
+            f"expected {false_per_true:.1f} false alarms per true event "
+            f"(event prior {event_prior:.4%}, per-window false positive rate "
+            f"{per_window_false_positive_rate:.2%})"
+        )
+        return CriterionResult(
+            name="prior_probability",
+            passed=passed,
+            severity=severity,
+            summary=summary,
+            details={
+                "event_prior": event_prior,
+                "per_window_false_positive_rate": per_window_false_positive_rate,
+                "per_window_true_positive_rate": per_window_true_positive_rate,
+                "expected_false_positives_per_true_positive": false_per_true,
+                "max_false_positives_per_event": self.max_false_positives_per_event,
+            },
+        )

@@ -1,0 +1,185 @@
+"""The homophone problem (Section 3.3, Fig. 5).
+
+    "The homophone problem is the assumption that two semantically different
+    events will have different shapes in the time series representation."
+
+The operational test the paper runs (Fig. 5): take exemplars of the target
+class, search large corpora of data that *cannot* contain the target
+behaviour (eye movement, insect feeding, a random walk), and see whether
+those corpora contain subsequences closer to the exemplar -- under
+z-normalised Euclidean distance -- than other exemplars of the same class
+are.  Whenever they do, any detector sensitive enough to find the target will
+also fire on the homophone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.data.ucr_format import UCRDataset
+from repro.distance.euclidean import znormalized_euclidean_distance
+from repro.distance.profile import top_k_nearest_subsequences
+from repro.distance.znorm import znormalize
+
+__all__ = [
+    "HomophoneQueryResult",
+    "HomophoneAnalysisResult",
+    "find_time_series_homophones",
+    "homophone_analysis",
+]
+
+
+@dataclass(frozen=True)
+class HomophoneQueryResult:
+    """Nearest foreign-corpus subsequences for one query exemplar.
+
+    Attributes
+    ----------
+    query_index:
+        Index of the query exemplar within its dataset.
+    query_label:
+        Its class label.
+    in_class_distance:
+        z-normalised distance to a *different* randomly chosen exemplar of the
+        same class (the paper's reference point).
+    corpus_neighbors:
+        Mapping ``corpus name -> list of (start index, distance)`` of the k
+        nearest subsequences of each corpus.
+    has_closer_homophone:
+        Whether at least one corpus contains a subsequence closer to the query
+        than the in-class exemplar is.
+    """
+
+    query_index: int
+    query_label: object
+    in_class_distance: float
+    corpus_neighbors: dict
+    has_closer_homophone: bool
+
+    def nearest_corpus_distance(self) -> float:
+        """Distance of the single closest foreign subsequence across corpora."""
+        best = float("inf")
+        for neighbors in self.corpus_neighbors.values():
+            if neighbors:
+                best = min(best, neighbors[0][1])
+        return best
+
+
+@dataclass(frozen=True)
+class HomophoneAnalysisResult:
+    """Aggregate outcome of the homophone analysis (the Fig. 5 experiment).
+
+    Attributes
+    ----------
+    queries:
+        Per-query results.
+    fraction_with_closer_homophone:
+        Fraction of queries for which some foreign corpus held a closer
+        subsequence than the in-class reference exemplar ("in every case" in
+        the paper's run).
+    corpora_sizes:
+        Number of samples in each searched corpus.
+    """
+
+    queries: tuple[HomophoneQueryResult, ...]
+    fraction_with_closer_homophone: float
+    corpora_sizes: dict
+
+
+def find_time_series_homophones(
+    query: np.ndarray,
+    corpora: Mapping[str, np.ndarray],
+    k: int = 3,
+) -> dict:
+    """Nearest subsequences of each corpus to a single query exemplar.
+
+    Parameters
+    ----------
+    query:
+        The query exemplar (1-D).  It is z-normalised internally.
+    corpora:
+        Mapping ``corpus name -> 1-D array`` of corpus values.
+    k:
+        Neighbours per corpus.
+
+    Returns
+    -------
+    dict
+        Mapping ``corpus name -> list of (start index, z-normalised distance)``.
+    """
+    if not corpora:
+        raise ValueError("need at least one corpus to search")
+    query_arr = znormalize(np.asarray(query, dtype=float))
+    results: dict = {}
+    for name, corpus in corpora.items():
+        corpus_arr = np.asarray(corpus, dtype=float)
+        if corpus_arr.ndim != 1:
+            raise ValueError(f"corpus {name!r} must be a 1-D array")
+        if corpus_arr.shape[0] < query_arr.shape[0]:
+            raise ValueError(f"corpus {name!r} is shorter than the query")
+        results[name] = top_k_nearest_subsequences(query_arr, corpus_arr, k=k)
+    return results
+
+
+def homophone_analysis(
+    dataset: UCRDataset,
+    corpora: Mapping[str, np.ndarray],
+    n_queries: int = 2,
+    k: int = 3,
+    seed: int = 5,
+) -> HomophoneAnalysisResult:
+    """Run the Fig. 5 experiment: random exemplars vs foreign corpora.
+
+    Parameters
+    ----------
+    dataset:
+        The target-class dataset (e.g. synthetic GunPoint).  Queries are drawn
+        from it at random.
+    corpora:
+        The foreign corpora to search (e.g. EOG, EPG, a smoothed random walk).
+    n_queries:
+        Number of random query exemplars (the paper uses two).
+    k:
+        Nearest neighbours per corpus.
+    seed:
+        Seed controlling the query / reference sampling.
+    """
+    if n_queries < 1:
+        raise ValueError("n_queries must be >= 1")
+    rng = np.random.default_rng(seed)
+    query_indices = rng.choice(dataset.n_exemplars, size=n_queries, replace=False)
+
+    query_results = []
+    for index in query_indices:
+        index = int(index)
+        label = dataset.labels[index]
+        same_class = np.flatnonzero((dataset.labels == label))
+        same_class = same_class[same_class != index]
+        if same_class.shape[0] == 0:
+            raise ValueError(f"class {label!r} has only one exemplar; cannot compare")
+        reference = int(rng.choice(same_class))
+        in_class = znormalized_euclidean_distance(
+            dataset.series[index], dataset.series[reference]
+        )
+        neighbors = find_time_series_homophones(dataset.series[index], corpora, k=k)
+        nearest_foreign = min(
+            (hits[0][1] for hits in neighbors.values() if hits), default=float("inf")
+        )
+        query_results.append(
+            HomophoneQueryResult(
+                query_index=index,
+                query_label=label,
+                in_class_distance=float(in_class),
+                corpus_neighbors=neighbors,
+                has_closer_homophone=bool(nearest_foreign < in_class),
+            )
+        )
+    fraction = float(np.mean([q.has_closer_homophone for q in query_results]))
+    return HomophoneAnalysisResult(
+        queries=tuple(query_results),
+        fraction_with_closer_homophone=fraction,
+        corpora_sizes={name: int(np.asarray(c).shape[0]) for name, c in corpora.items()},
+    )

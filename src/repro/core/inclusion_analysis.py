@@ -1,0 +1,179 @@
+"""The inclusion problem (Section 3.2).
+
+    "The inclusion problem is the assumption that the pattern to be early
+    classified is not comprised of smaller atomic units that are frequently
+    observed on their own."
+
+The lexical analysis enumerates the lexicon entries that *contain* a target
+pattern anywhere (not only as a prefix).  The paper's further observation is
+quantitative: by Zipf's law, the short atomic units are vastly more common
+than the long patterns built from them, so the expected ratio of innocuous
+occurrences to genuine ones is large even when the list of confounders is
+short.  :class:`ZipfLexiconModel` turns that observation into a number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.prefix_analysis import LexicalCollision
+
+__all__ = ["InclusionAnalysisResult", "analyze_lexical_inclusions", "ZipfLexiconModel"]
+
+
+@dataclass(frozen=True)
+class InclusionAnalysisResult:
+    """Outcome of the lexical inclusion analysis.
+
+    Attributes
+    ----------
+    targets:
+        The analysed target patterns.
+    collisions:
+        Lexicon entries containing a target (excluding the pure-prefix cases,
+        which :mod:`repro.core.prefix_analysis` reports).
+    collision_counts:
+        Mapping ``target -> number of containing entries``.
+    collision_free:
+        Whether no target is contained in any other entry.
+    """
+
+    targets: tuple[str, ...]
+    collisions: tuple[LexicalCollision, ...]
+    collision_counts: dict = field(default_factory=dict)
+    collision_free: bool = True
+
+
+def analyze_lexical_inclusions(
+    targets: Sequence[str],
+    lexicon: Mapping[str, object] | Sequence[str],
+    include_prefixes: bool = False,
+) -> InclusionAnalysisResult:
+    """Enumerate lexicon entries that contain each target pattern.
+
+    Parameters
+    ----------
+    targets:
+        The actionable patterns.
+    lexicon:
+        Mapping or sequence of known patterns.
+    include_prefixes:
+        If ``False`` (default), entries that merely *begin* with the target
+        are excluded (they belong to the prefix analysis); if ``True`` every
+        containing entry is reported.
+    """
+    if not targets:
+        raise ValueError("need at least one target pattern")
+    vocabulary = list(lexicon.keys()) if isinstance(lexicon, Mapping) else list(lexicon)
+    if not vocabulary:
+        raise ValueError("lexicon must not be empty")
+
+    normalized_targets = tuple(t.lower() for t in targets)
+    collisions: list[LexicalCollision] = []
+    for target in normalized_targets:
+        for word in vocabulary:
+            lowered = word.lower()
+            if lowered == target or target not in lowered:
+                continue
+            if lowered.startswith(target) and not include_prefixes:
+                continue
+            collisions.append(
+                LexicalCollision(
+                    target=target,
+                    confounder=lowered,
+                    kind="inclusion",
+                    overlap_fraction=len(target) / len(lowered),
+                )
+            )
+    counts = {
+        target: sum(1 for c in collisions if c.target == target)
+        for target in normalized_targets
+    }
+    return InclusionAnalysisResult(
+        targets=normalized_targets,
+        collisions=tuple(collisions),
+        collision_counts=counts,
+        collision_free=not collisions,
+    )
+
+
+@dataclass
+class ZipfLexiconModel:
+    """A Zipf-distributed frequency model over a lexicon.
+
+    The model assigns each lexicon entry a usage frequency proportional to
+    ``1 / rank ** exponent`` (rank 1 = most frequent).  Ranks default to the
+    order of the lexicon with shorter words ranked as more frequent, which is
+    the empirical regularity Zipf's law describes and the reason the paper can
+    say "the sub-pattern could be vastly more common than the full modeled
+    pattern".
+
+    Parameters
+    ----------
+    lexicon:
+        The pattern vocabulary.
+    exponent:
+        Zipf exponent (1.0 is the classic value).
+    ranks:
+        Optional explicit ranks; otherwise entries are ranked by length (ties
+        broken alphabetically).
+    """
+
+    lexicon: Sequence[str]
+    exponent: float = 1.0
+    ranks: Mapping[str, int] | None = None
+    _frequencies: dict = field(default_factory=dict, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        vocabulary = [w.lower() for w in self.lexicon]
+        if not vocabulary:
+            raise ValueError("lexicon must not be empty")
+        if self.exponent <= 0:
+            raise ValueError("exponent must be positive")
+        if self.ranks is not None:
+            ranks = {w.lower(): int(r) for w, r in self.ranks.items()}
+            missing = set(vocabulary) - set(ranks)
+            if missing:
+                raise ValueError(f"ranks missing for: {sorted(missing)}")
+        else:
+            ordered = sorted(vocabulary, key=lambda w: (len(w), w))
+            ranks = {w: i + 1 for i, w in enumerate(ordered)}
+        weights = {w: 1.0 / ranks[w] ** self.exponent for w in vocabulary}
+        total = sum(weights.values())
+        self._frequencies = {w: weight / total for w, weight in weights.items()}
+
+    def frequency(self, word: str) -> float:
+        """Relative usage frequency of one lexicon entry."""
+        key = word.lower()
+        if key not in self._frequencies:
+            raise KeyError(f"{word!r} is not in the lexicon")
+        return self._frequencies[key]
+
+    def sample(self, n_words: int, rng: np.random.Generator) -> list[str]:
+        """Draw a bag of words according to the Zipf frequencies."""
+        if n_words < 1:
+            raise ValueError("n_words must be >= 1")
+        words = list(self._frequencies)
+        probabilities = np.asarray([self._frequencies[w] for w in words])
+        picks = rng.choice(len(words), size=n_words, p=probabilities)
+        return [words[i] for i in picks]
+
+    def innocuous_occurrence_ratio(
+        self, target: str, confounders: Sequence[str]
+    ) -> float:
+        """Expected innocuous-to-genuine occurrence ratio for a target pattern.
+
+        Every usage of a confounder contains the target pattern (that is what
+        made it a confounder), so the ratio is simply the total confounder
+        frequency divided by the target's own frequency.  A ratio of ``r``
+        means that for every genuine occurrence of the target the stream
+        carries ``r`` occurrences that must not be acted on.
+        """
+        target_frequency = self.frequency(target)
+        confounder_frequency = sum(self.frequency(w) for w in confounders)
+        if target_frequency == 0:
+            return float("inf")
+        return confounder_frequency / target_frequency

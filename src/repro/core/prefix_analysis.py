@@ -1,0 +1,223 @@
+"""The prefix problem (Section 3.1).
+
+    "The prefix problem is the assumption that the pattern to be early
+    classified is not a prefix of a longer innocuous pattern."
+
+Two complementary analyses are provided:
+
+* **Lexical** -- given a lexicon (pattern vocabulary) and a set of target
+  patterns, enumerate every longer pattern that begins with a target.  For the
+  spoken-word domain this is literal ("cat" vs "catalog", "gun" vs "gunwales");
+  for other domains the lexicon is whatever inventory of recurring patterns
+  the practitioner can produce.
+* **Behavioural** -- given a *fitted early classifier* and a collection of
+  confounder series (utterances of the longer patterns, or any background
+  data), count how many of them cause the classifier to trigger.  This is the
+  operational definition of the problem: each such trigger is an action taken
+  on a pattern that was never going to be a target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.classifiers.base import BaseEarlyClassifier
+
+__all__ = [
+    "LexicalCollision",
+    "PrefixAnalysisResult",
+    "analyze_lexical_prefixes",
+    "count_false_triggers",
+    "FalseTriggerReport",
+]
+
+
+@dataclass(frozen=True)
+class LexicalCollision:
+    """A longer lexicon entry that collides with a target pattern.
+
+    Attributes
+    ----------
+    target:
+        The target (actionable) pattern.
+    confounder:
+        The longer pattern that begins with -- or contains -- the target.
+    kind:
+        ``"prefix"`` when the confounder merely *begins* with the target,
+        ``"inclusion"`` when the target occurs later inside the confounder.
+    overlap_fraction:
+        Length of the target divided by the length of the confounder: how much
+        of the confounder is accounted for by the target.  Small values mean
+        the early classifier will have committed long before the confounder
+        reveals itself.
+    """
+
+    target: str
+    confounder: str
+    kind: str
+    overlap_fraction: float
+
+
+@dataclass(frozen=True)
+class PrefixAnalysisResult:
+    """Outcome of the lexical prefix analysis for a set of targets.
+
+    Attributes
+    ----------
+    targets:
+        The analysed target patterns.
+    collisions:
+        Every colliding lexicon entry found.
+    collision_counts:
+        Mapping ``target -> number of colliding entries``.
+    collision_free:
+        Whether no target has any collision (the implicit assumption of the
+        UCR-format framing).
+    """
+
+    targets: tuple[str, ...]
+    collisions: tuple[LexicalCollision, ...]
+    collision_counts: dict = field(default_factory=dict)
+    collision_free: bool = True
+
+    def collisions_for(self, target: str) -> list[LexicalCollision]:
+        """All collisions involving one target."""
+        return [c for c in self.collisions if c.target == target]
+
+
+def analyze_lexical_prefixes(
+    targets: Sequence[str],
+    lexicon: Mapping[str, object] | Sequence[str],
+) -> PrefixAnalysisResult:
+    """Enumerate the lexicon entries that begin with each target pattern.
+
+    Parameters
+    ----------
+    targets:
+        The actionable patterns (e.g. ``["cat", "dog"]`` or ``["gun",
+        "point"]``).
+    lexicon:
+        Either a mapping whose keys are the known patterns (such as
+        :data:`repro.data.words.LEXICON`) or a plain sequence of pattern
+        names.
+
+    Returns
+    -------
+    PrefixAnalysisResult
+    """
+    if not targets:
+        raise ValueError("need at least one target pattern")
+    vocabulary = list(lexicon.keys()) if isinstance(lexicon, Mapping) else list(lexicon)
+    if not vocabulary:
+        raise ValueError("lexicon must not be empty")
+
+    normalized_targets = tuple(t.lower() for t in targets)
+    collisions: list[LexicalCollision] = []
+    for target in normalized_targets:
+        for word in vocabulary:
+            lowered = word.lower()
+            if lowered == target:
+                continue
+            if lowered.startswith(target):
+                collisions.append(
+                    LexicalCollision(
+                        target=target,
+                        confounder=lowered,
+                        kind="prefix",
+                        overlap_fraction=len(target) / len(lowered),
+                    )
+                )
+    counts = {
+        target: sum(1 for c in collisions if c.target == target)
+        for target in normalized_targets
+    }
+    return PrefixAnalysisResult(
+        targets=normalized_targets,
+        collisions=tuple(collisions),
+        collision_counts=counts,
+        collision_free=not collisions,
+    )
+
+
+@dataclass(frozen=True)
+class FalseTriggerReport:
+    """How often a fitted early classifier triggers on confounder series.
+
+    Attributes
+    ----------
+    n_confounders:
+        Number of confounder series examined.
+    n_triggered:
+        How many of them caused the classifier's stopping rule to fire.
+    trigger_rate:
+        ``n_triggered / n_confounders``.
+    mean_trigger_fraction:
+        Among the triggered confounders, the mean fraction of the series that
+        had been seen at the trigger point (early triggers are worse: the
+        action was taken with even less evidence).
+    labels:
+        The class labels the classifier (wrongly) committed to, in order.
+    """
+
+    n_confounders: int
+    n_triggered: int
+    trigger_rate: float
+    mean_trigger_fraction: float | None
+    labels: tuple
+
+
+def count_false_triggers(
+    classifier: BaseEarlyClassifier,
+    confounders: Sequence[np.ndarray] | np.ndarray,
+) -> FalseTriggerReport:
+    """Count early-classification triggers on series that are not targets.
+
+    Every trigger reported here is, by construction, a false positive: the
+    confounders are series of non-target patterns (longer words, inclusions,
+    homophones, or plain background).
+
+    Parameters
+    ----------
+    classifier:
+        A fitted early classifier.
+    confounders:
+        Sequence of 1-D series.  Series longer than the classifier's training
+        length are truncated to it (the classifier would never see further
+        than that anyway); shorter series are skipped.
+    """
+    if not classifier.is_fitted:
+        raise ValueError("classifier must be fitted")
+    series_list = (
+        [np.asarray(row, dtype=float) for row in confounders]
+        if not isinstance(confounders, np.ndarray) or confounders.ndim != 2
+        else [row for row in np.asarray(confounders, dtype=float)]
+    )
+    window = classifier.train_length_
+
+    n_examined = 0
+    triggered_labels = []
+    trigger_fractions = []
+    for series in series_list:
+        if series.ndim != 1:
+            raise ValueError("each confounder must be a 1-D series")
+        if series.shape[0] < max(4, window // 10):
+            continue
+        clipped = series[:window]
+        n_examined += 1
+        outcome = classifier.predict_early(clipped)
+        if outcome.triggered:
+            triggered_labels.append(outcome.label)
+            trigger_fractions.append(outcome.trigger_length / window)
+    if n_examined == 0:
+        raise ValueError("no confounder was long enough to examine")
+    n_triggered = len(triggered_labels)
+    return FalseTriggerReport(
+        n_confounders=n_examined,
+        n_triggered=n_triggered,
+        trigger_rate=n_triggered / n_examined,
+        mean_trigger_fraction=float(np.mean(trigger_fractions)) if trigger_fractions else None,
+        labels=tuple(triggered_labels),
+    )

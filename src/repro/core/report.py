@@ -1,0 +1,238 @@
+"""The combined meaningfulness report (Section 6).
+
+Everything the other :mod:`repro.core` modules measure, rolled into one
+artefact.  The intent mirrors the paper's recommendation list: before anyone
+claims that early classification is useful in a domain, they should be able to
+produce (and defend) the numbers collected here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.criteria import CriterionResult
+from repro.core.homophone_analysis import HomophoneAnalysisResult
+from repro.core.inclusion_analysis import InclusionAnalysisResult
+from repro.core.normalization_audit import NormalizationAuditResult
+from repro.core.prefix_accuracy import PrefixAccuracyCurve
+from repro.core.prefix_analysis import PrefixAnalysisResult
+
+__all__ = ["MeaningfulnessReport", "assess_meaningfulness"]
+
+
+@dataclass(frozen=True)
+class MeaningfulnessReport:
+    """A per-domain assessment of whether ETSC is a meaningful problem.
+
+    Attributes
+    ----------
+    domain:
+        Human-readable domain name.
+    criteria:
+        The individual criterion results (cost/benefit, prior probability,
+        confusability, normalisation, added value over trivial truncation).
+    meaningful:
+        ``True`` only if every criterion passed.
+    """
+
+    domain: str
+    criteria: tuple[CriterionResult, ...]
+    meaningful: bool
+
+    def failed_criteria(self) -> list[CriterionResult]:
+        """The criteria the domain fails, most severe first."""
+        return sorted(
+            (c for c in self.criteria if not c.passed),
+            key=lambda c: c.severity,
+            reverse=True,
+        )
+
+    def criterion(self, name: str) -> CriterionResult:
+        """Look up one criterion by name."""
+        for criterion in self.criteria:
+            if criterion.name == name:
+                return criterion
+        raise KeyError(f"no criterion named {name!r}")
+
+    def to_text(self) -> str:
+        """Render the report as readable plain text (used by the examples)."""
+        lines = [
+            f"Meaningfulness report for domain: {self.domain}",
+            f"Overall verdict: {'MEANINGFUL' if self.meaningful else 'NOT MEANINGFUL as specified'}",
+            "",
+        ]
+        for criterion in self.criteria:
+            status = "PASS" if criterion.passed else "FAIL"
+            lines.append(f"[{status}] {criterion.name}: {criterion.summary}")
+        if not self.meaningful:
+            lines.append("")
+            lines.append("Failed criteria (most severe first):")
+            for criterion in self.failed_criteria():
+                lines.append(f"  - {criterion.name} (severity {criterion.severity:.2f})")
+        return "\n".join(lines)
+
+
+def _confusability_criterion(
+    prefix_result: PrefixAnalysisResult | None,
+    inclusion_result: InclusionAnalysisResult | None,
+    homophone_result: HomophoneAnalysisResult | None,
+) -> CriterionResult:
+    """Criterion 2: prefixes, inclusions and homophones resembling the targets."""
+    problems = []
+    details: dict = {}
+    if prefix_result is not None:
+        details["prefix_collisions"] = dict(prefix_result.collision_counts)
+        if not prefix_result.collision_free:
+            total = sum(prefix_result.collision_counts.values())
+            problems.append(f"{total} prefix collisions")
+    if inclusion_result is not None:
+        details["inclusion_collisions"] = dict(inclusion_result.collision_counts)
+        if not inclusion_result.collision_free:
+            total = sum(inclusion_result.collision_counts.values())
+            problems.append(f"{total} inclusion collisions")
+    if homophone_result is not None:
+        details["fraction_with_closer_homophone"] = (
+            homophone_result.fraction_with_closer_homophone
+        )
+        if homophone_result.fraction_with_closer_homophone > 0:
+            problems.append(
+                f"homophones closer than in-class exemplars for "
+                f"{homophone_result.fraction_with_closer_homophone:.0%} of queries"
+            )
+    passed = not problems
+    severity = min(len(problems) / 3.0, 1.0)
+    summary = "; ".join(problems) if problems else "no prefix/inclusion/homophone collisions found"
+    return CriterionResult(
+        name="confusability",
+        passed=passed,
+        severity=severity,
+        summary=summary,
+        details=details,
+    )
+
+
+def _normalization_criterion(audit: NormalizationAuditResult) -> CriterionResult:
+    """Criterion 4: the model must not depend on data that has not arrived yet."""
+    passed = not audit.is_sensitive
+    severity = min(max(audit.accuracy_drop, 0.0) / 0.3, 1.0)
+    summary = (
+        f"{audit.algorithm}: accuracy {audit.normalized.accuracy:.1%} on normalised "
+        f"data vs {audit.denormalized.accuracy:.1%} after a trivial offset "
+        f"(drop of {audit.accuracy_drop * 100:.1f} points)"
+    )
+    return CriterionResult(
+        name="normalization",
+        passed=passed,
+        severity=severity,
+        summary=summary,
+        details={
+            "accuracy_normalized": audit.normalized.accuracy,
+            "accuracy_denormalized": audit.denormalized.accuracy,
+            "accuracy_drop": audit.accuracy_drop,
+        },
+    )
+
+
+def _added_value_criterion(
+    curve: PrefixAccuracyCurve, claimed_earliness: float | None
+) -> CriterionResult:
+    """The paper's extra demand: explain what the model adds beyond truncation.
+
+    If a plain 1-NN classifier restricted to the first X% of the exemplar
+    already matches full-length accuracy, then an ETSC model that triggers
+    after roughly X% has added nothing but complexity.
+    """
+    fraction_needed = curve.fraction_needed(tolerance=0.0)
+    details = {
+        "fraction_needed_by_plain_classifier": fraction_needed,
+        "best_prefix_length": curve.best_length(),
+        "beats_full_length": curve.beats_full_length(),
+    }
+    if claimed_earliness is None:
+        summary = (
+            f"a plain classifier already matches full-length accuracy using "
+            f"{fraction_needed:.1%} of the exemplar; any ETSC model must beat that"
+        )
+        return CriterionResult(
+            name="added_value",
+            passed=True,
+            severity=0.0,
+            summary=summary,
+            details=details,
+        )
+    details["claimed_earliness"] = claimed_earliness
+    adds_value = claimed_earliness < fraction_needed
+    gap = fraction_needed - claimed_earliness
+    summary = (
+        f"ETSC model triggers after {claimed_earliness:.1%} of the exemplar; a plain "
+        f"classifier needs {fraction_needed:.1%} -- "
+        + ("a real improvement" if adds_value else "no improvement over trivial truncation")
+    )
+    return CriterionResult(
+        name="added_value",
+        passed=adds_value,
+        severity=0.0 if adds_value else min(max(-gap, 0.0) / 0.5 + 0.2, 1.0),
+        summary=summary,
+        details=details,
+    )
+
+
+def assess_meaningfulness(
+    domain: str,
+    cost_criterion: CriterionResult | None = None,
+    prior_criterion: CriterionResult | None = None,
+    prefix_result: PrefixAnalysisResult | None = None,
+    inclusion_result: InclusionAnalysisResult | None = None,
+    homophone_result: HomophoneAnalysisResult | None = None,
+    normalization_audit: NormalizationAuditResult | None = None,
+    prefix_curve: PrefixAccuracyCurve | None = None,
+    claimed_earliness: float | None = None,
+) -> MeaningfulnessReport:
+    """Combine whatever analyses are available into a meaningfulness report.
+
+    Every argument is optional: the report simply covers the criteria for
+    which evidence was supplied.  (A report built from no evidence at all is
+    rejected -- that would be the current state of the literature the paper
+    complains about.)
+
+    Parameters
+    ----------
+    domain:
+        Name of the domain being assessed.
+    cost_criterion, prior_criterion:
+        Pre-computed results from
+        :class:`~repro.core.criteria.CostBenefitCriterion` /
+        :class:`~repro.core.criteria.PriorProbabilityCriterion`.
+    prefix_result, inclusion_result, homophone_result:
+        Confusability evidence.
+    normalization_audit:
+        A Table 1 style audit of the intended model.
+    prefix_curve:
+        The Fig. 9 curve for the domain.
+    claimed_earliness:
+        The earliness (fraction of the exemplar) the ETSC model under
+        assessment claims to achieve; compared against the prefix curve.
+    """
+    criteria: list[CriterionResult] = []
+    if cost_criterion is not None:
+        criteria.append(cost_criterion)
+    if prior_criterion is not None:
+        criteria.append(prior_criterion)
+    if any(r is not None for r in (prefix_result, inclusion_result, homophone_result)):
+        criteria.append(
+            _confusability_criterion(prefix_result, inclusion_result, homophone_result)
+        )
+    if normalization_audit is not None:
+        criteria.append(_normalization_criterion(normalization_audit))
+    if prefix_curve is not None:
+        criteria.append(_added_value_criterion(prefix_curve, claimed_earliness))
+    if not criteria:
+        raise ValueError(
+            "assess_meaningfulness needs at least one piece of evidence; "
+            "supply a criterion result or an analysis output"
+        )
+    return MeaningfulnessReport(
+        domain=domain,
+        criteria=tuple(criteria),
+        meaningful=all(c.passed for c in criteria),
+    )

@@ -1,0 +1,221 @@
+"""Backpack-accelerometer chicken-behaviour simulator.
+
+Section 5 of the paper studies the one dataset the authors found where a form
+of early classification *might* make sense: 12.5 billion points of chicken
+behaviour from a backpack accelerometer, in which a short *dustbathing*
+template (and even a truncated prefix of it) reliably matches dustbathing
+bouts and essentially nothing else.
+
+The real archive is obviously not available here, so this module provides a
+behaviour-level simulator: a semi-Markov chain over behaviours (resting,
+walking, pecking, preening, dustbathing), each behaviour emitting a
+characteristic accelerometer-magnitude waveform.  Dustbathing bouts are
+generated as noisy instances of a canonical template whose **onset** (the
+vigorous initial shaking) already carries the identifying information -- which
+is exactly the property Fig. 8 needs: a truncated template is as selective as
+the full one.
+
+The default stream length is two million points (configurable), a laptop-scale
+stand-in for the paper's 12.5 billion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.stream import ComposedStream, GroundTruthEvent
+
+__all__ = [
+    "BEHAVIORS",
+    "DUSTBATHING",
+    "ChickenBehaviorSimulator",
+    "dustbathing_template",
+]
+
+#: Behaviour labels emitted by the simulator.
+DUSTBATHING = "dustbathing"
+BEHAVIORS: tuple[str, ...] = ("resting", "walking", "pecking", "preening", DUSTBATHING)
+
+#: Relative frequency of each behaviour in the semi-Markov chain.  Dustbathing
+#: is deliberately rare: the paper's prior-probability criterion is about
+#: exactly this imbalance.
+_BEHAVIOR_WEIGHTS: dict[str, float] = {
+    "resting": 0.46,
+    "walking": 0.27,
+    "pecking": 0.17,
+    "preening": 0.08,
+    DUSTBATHING: 0.02,
+}
+
+#: (min, max) bout duration in samples for each behaviour.  Dustbathing bouts
+#: take their duration from the template itself (plus a short lead-in and
+#: lead-out), so the entry below is only the nominal value used for duration
+#: book-keeping.
+_BOUT_DURATIONS: dict[str, tuple[int, int]] = {
+    "resting": (400, 2500),
+    "walking": (200, 1200),
+    "pecking": (100, 600),
+    "preening": (150, 700),
+    DUSTBATHING: (130, 145),
+}
+
+
+def dustbathing_template(length: int = 120, seed: int = 0) -> np.ndarray:
+    """The canonical dustbathing waveform used as the Fig. 8 template.
+
+    The bout has three phases:
+
+    1. an **onset** of vigorous, accelerating vertical shaking (the bird
+       throws substrate over itself) -- this is the discriminative prefix;
+    2. a sustained rhythmic wing-shuffle; and
+    3. a tapering settle.
+
+    A fixed small amount of deterministic detail (seeded) keeps the template
+    from being a pure sinusoid, so matches are non-trivial.
+    """
+    if length < 40:
+        raise ValueError("template length must be at least 40 samples")
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 1.0, length)
+
+    onset = (t < 0.3)
+    shuffle = (t >= 0.3) & (t < 0.8)
+    settle = t >= 0.8
+
+    template = np.zeros(length)
+    # Onset: chirp-like acceleration from ~2 to ~6 cycles across the phase.
+    phase = 2 * np.pi * (2.0 * t + 8.0 * t * t)
+    template[onset] = 1.6 * np.sin(phase[onset]) * (0.4 + 2.0 * t[onset])
+    # Shuffle: steady oscillation with a slow amplitude ripple.
+    template[shuffle] = 1.1 * np.sin(2 * np.pi * 9.0 * t[shuffle]) * (
+        1.0 + 0.25 * np.sin(2 * np.pi * 1.5 * t[shuffle])
+    )
+    # Settle: decaying wobble back to rest.
+    template[settle] = 0.6 * np.sin(2 * np.pi * 5.0 * t[settle]) * np.exp(
+        -6.0 * (t[settle] - 0.8)
+    )
+    template += 0.05 * rng.standard_normal(length)
+    # Ride on the ~1 g gravity baseline like the raw magnitude signal does.
+    return 1.0 + template
+
+
+@dataclass
+class ChickenBehaviorSimulator:
+    """Semi-Markov simulator of backpack-accelerometer magnitude.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the internal random generator.
+    noise_scale:
+        Broadband sensor noise added to every behaviour.
+    dustbathing_variability:
+        Standard deviation of the multiplicative amplitude jitter applied to
+        each dustbathing bout (how much individual bouts deviate from the
+        template).
+    behavior_weights:
+        Optional override of the behaviour frequencies.
+    """
+
+    seed: int = 29
+    noise_scale: float = 0.05
+    dustbathing_variability: float = 0.08
+    behavior_weights: dict[str, float] = field(default_factory=lambda: dict(_BEHAVIOR_WEIGHTS))
+
+    def __post_init__(self) -> None:
+        unknown = set(self.behavior_weights) - set(BEHAVIORS)
+        if unknown:
+            raise ValueError(f"unknown behaviours in weights: {sorted(unknown)}")
+        if not np.isclose(sum(self.behavior_weights.values()), 1.0, atol=1e-6):
+            total = sum(self.behavior_weights.values())
+            self.behavior_weights = {k: v / total for k, v in self.behavior_weights.items()}
+        self._rng = np.random.default_rng(self.seed)
+        self._template = dustbathing_template()
+
+    # ------------------------------------------------------------ behaviours
+    def _bout(self, behavior: str, rng: np.random.Generator) -> np.ndarray:
+        low, high = _BOUT_DURATIONS[behavior]
+        length = int(rng.integers(low, high + 1))
+        t = np.linspace(0.0, 1.0, length)
+
+        if behavior == "resting":
+            signal = 1.0 + 0.02 * np.sin(2 * np.pi * 0.3 * t * length / 100.0)
+        elif behavior == "walking":
+            stride_hz = rng.uniform(6.0, 10.0)
+            signal = 1.0 + 0.25 * np.abs(np.sin(np.pi * stride_hz * t * length / 100.0))
+        elif behavior == "pecking":
+            signal = np.full(length, 1.0)
+            n_pecks = max(2, length // 40)
+            peck_positions = rng.integers(5, length - 5, size=n_pecks)
+            for pos in peck_positions:
+                width = int(rng.integers(2, 5))
+                signal[pos - width : pos + width] += rng.uniform(0.6, 1.2)
+        elif behavior == "preening":
+            signal = 1.0 + 0.15 * np.sin(2 * np.pi * rng.uniform(2.0, 4.0) * t) * np.sin(np.pi * t)
+        elif behavior == DUSTBATHING:
+            # A noisy instance of the canonical template.  The template is not
+            # time-warped: real dustbathing shaking has a fairly stereotyped
+            # cadence, and preserving it is what makes the bout recoverable by
+            # a z-normalised template match (the property Fig. 8 relies on).
+            # Per-bout variation comes from a global amplitude factor, a short
+            # lead-in/lead-out, and sensor noise.
+            amplitude = 1.0 + rng.normal(0.0, self.dustbathing_variability)
+            core = 1.0 + amplitude * (self._template - 1.0)
+            lead_in = np.linspace(1.0, core[0], int(rng.integers(4, 12)))
+            lead_out = np.linspace(core[-1], 1.0, int(rng.integers(4, 12)))
+            signal = np.concatenate([lead_in, core, lead_out])
+            length = signal.shape[0]
+        else:  # pragma: no cover - behaviour set is closed
+            raise ValueError(f"unknown behaviour {behavior!r}")
+
+        return signal + rng.normal(0.0, self.noise_scale, size=length)
+
+    # ------------------------------------------------------------ streams
+    def generate(
+        self, n_points: int, rng: np.random.Generator | None = None
+    ) -> ComposedStream:
+        """Generate a stream of approximately ``n_points`` samples.
+
+        Returns
+        -------
+        ComposedStream
+            Events are annotated with the behaviour label of every bout (not
+            just dustbathing), so callers can compute priors and confusion
+            statistics per behaviour.
+        """
+        if n_points < 1000:
+            raise ValueError("n_points must be at least 1000")
+        rng = rng or self._rng
+        behaviors = list(self.behavior_weights.keys())
+        probabilities = np.asarray([self.behavior_weights[b] for b in behaviors])
+
+        chunks: list[np.ndarray] = []
+        events: list[GroundTruthEvent] = []
+        cursor = 0
+        previous = None
+        while cursor < n_points:
+            behavior = str(rng.choice(behaviors, p=probabilities))
+            if behavior == previous and behavior != "resting":
+                behavior = "resting"
+            bout = self._bout(behavior, rng)
+            chunks.append(bout)
+            events.append(
+                GroundTruthEvent(start=cursor, end=cursor + bout.shape[0], label=behavior)
+            )
+            cursor += bout.shape[0]
+            previous = behavior
+
+        values = np.concatenate(chunks)[:n_points]
+        events = [e for e in events if e.end <= n_points]
+        return ComposedStream(
+            values=values,
+            events=events,
+            name="SyntheticChickenAccelerometer",
+            metadata={"n_points": n_points, "weights": dict(self.behavior_weights)},
+        )
+
+    def dustbathing_events(self, stream: ComposedStream) -> list[GroundTruthEvent]:
+        """Convenience accessor for the dustbathing bouts in a generated stream."""
+        return stream.events_with_label(DUSTBATHING)

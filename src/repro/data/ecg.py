@@ -1,0 +1,252 @@
+"""Synthetic electrocardiogram (ECG) telemetry.
+
+Two roles in the reproduction:
+
+* **Fig. 7** needs raw, *unsegmented* telemetry from two chest leads in which
+  the per-beat mean (lead 1) and per-beat standard deviation (lead 2) wander
+  dramatically for medically meaningless reasons (respiration, electrode
+  contact, posture).  Published ETSC results on z-normalised UCR ECG snippets
+  implicitly assume this wander away.
+* **Section 2.2 / Section 4** reason about UCR-format heartbeat datasets
+  (normal vs abnormal beats, e.g. ST elevation after myocardial infarction);
+  :func:`make_ecg_beat_dataset` provides such a dataset so the earliness
+  arithmetic ("0.18 seconds earlier") and the normalisation audit can be run.
+
+The beat model is the standard sum-of-Gaussians PQRST construction: each wave
+(P, Q, R, S, T) is a Gaussian bump with its own amplitude, width and offset
+within the beat.  It is not a cardiodynamic simulation and does not need to
+be; the experiments only exercise the statistical structure described above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.ucr_format import UCRDataset
+
+__all__ = ["ECGGenerator", "make_ecg_beat_dataset", "beat_statistics"]
+
+#: (amplitude, center offset within beat [fraction], width [fraction]) per wave.
+_PQRST_WAVES: dict[str, tuple[float, float, float]] = {
+    "P": (0.12, 0.18, 0.030),
+    "Q": (-0.14, 0.35, 0.012),
+    "R": (1.00, 0.40, 0.016),
+    "S": (-0.22, 0.45, 0.014),
+    "T": (0.28, 0.65, 0.055),
+}
+
+
+@dataclass
+class ECGGenerator:
+    """Generator of synthetic ECG beats and continuous telemetry.
+
+    Parameters
+    ----------
+    sampling_rate:
+        Samples per second (the UCR ECG200-style datasets are ~100 Hz).
+    heart_rate_bpm:
+        Mean heart rate; individual beat durations get multiplicative jitter.
+    noise_scale:
+        Standard deviation of the additive broadband measurement noise.
+    seed:
+        Seed of the internal random generator.
+    """
+
+    sampling_rate: int = 128
+    heart_rate_bpm: float = 72.0
+    noise_scale: float = 0.02
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        if self.sampling_rate < 32:
+            raise ValueError("sampling_rate must be at least 32 Hz")
+        if not 30 <= self.heart_rate_bpm <= 220:
+            raise ValueError("heart_rate_bpm must be physiologically plausible (30-220)")
+        self._rng = np.random.default_rng(self.seed)
+
+    # ------------------------------------------------------------ single beat
+    def beat(
+        self,
+        length: int | None = None,
+        st_elevation: float = 0.0,
+        amplitude: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Generate a single beat.
+
+        Parameters
+        ----------
+        length:
+            Number of samples; defaults to one beat at the configured heart
+            rate and sampling rate.
+        st_elevation:
+            Elevation (in R-amplitude units) of the ST segment, the marker of
+            myocardial infarction the paper's quoted motivation refers to.
+            0 gives a normal beat.
+        amplitude:
+            Overall scale of the beat.
+        rng:
+            Optional generator for the per-wave jitter.
+        """
+        rng = rng or self._rng
+        if length is None:
+            length = int(round(self.sampling_rate * 60.0 / self.heart_rate_bpm))
+        if length < 16:
+            raise ValueError("a beat needs at least 16 samples")
+        t = np.linspace(0.0, 1.0, length)
+        beat = np.zeros(length)
+        for name, (amp, center, width) in _PQRST_WAVES.items():
+            amp_jitter = 1.0 + rng.normal(0.0, 0.05)
+            center_jitter = center + rng.normal(0.0, 0.004)
+            beat += amp * amp_jitter * np.exp(-0.5 * ((t - center_jitter) / width) ** 2)
+        if st_elevation:
+            # Raise the segment between the S wave and the T wave.
+            st_mask = (t > 0.47) & (t < 0.62)
+            ramp = np.zeros(length)
+            ramp[st_mask] = st_elevation
+            # Smooth the edges of the elevated segment.
+            kernel = np.ones(5) / 5.0
+            ramp = np.convolve(ramp, kernel, mode="same")
+            beat = beat + ramp
+        beat = amplitude * beat
+        beat = beat + rng.normal(0.0, self.noise_scale, size=length)
+        return beat
+
+    # ------------------------------------------------------------ telemetry
+    def telemetry(
+        self,
+        duration_seconds: float,
+        n_leads: int = 2,
+        baseline_wander: bool = True,
+        amplitude_modulation: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> tuple[np.ndarray, list[tuple[int, int]]]:
+        """Generate continuous multi-lead telemetry.
+
+        Lead 0 carries strong baseline (mean) wander; lead 1 carries strong
+        per-beat amplitude (standard deviation) modulation -- matching the two
+        panels of Fig. 7.
+
+        Returns
+        -------
+        (signal, beats):
+            ``signal`` has shape ``(n_leads, n_samples)``; ``beats`` is a list
+            of (start, end) sample indices, one per beat, usable as ground
+            truth for per-beat statistics.
+        """
+        if duration_seconds <= 0:
+            raise ValueError("duration_seconds must be positive")
+        if n_leads < 1:
+            raise ValueError("n_leads must be >= 1")
+        rng = rng or self._rng
+        n_samples = int(round(duration_seconds * self.sampling_rate))
+
+        beats: list[tuple[int, int]] = []
+        lead_chunks: list[list[np.ndarray]] = [[] for _ in range(n_leads)]
+        cursor = 0
+        while cursor < n_samples:
+            beat_length = int(
+                round(self.sampling_rate * 60.0 / self.heart_rate_bpm * (1.0 + rng.normal(0.0, 0.05)))
+            )
+            beat_length = max(beat_length, 24)
+            for lead in range(n_leads):
+                amplitude = 1.0
+                if amplitude_modulation and lead % 2 == 1:
+                    # Slow multiplicative modulation (electrode contact, respiration).
+                    amplitude = 1.0 + 0.6 * np.sin(2 * np.pi * cursor / (self.sampling_rate * 7.3) + lead)
+                    amplitude = max(amplitude, 0.3)
+                lead_chunks[lead].append(self.beat(length=beat_length, amplitude=amplitude, rng=rng))
+            beats.append((cursor, min(cursor + beat_length, n_samples)))
+            cursor += beat_length
+
+        signal = np.empty((n_leads, cursor))
+        for lead in range(n_leads):
+            signal[lead] = np.concatenate(lead_chunks[lead])
+        signal = signal[:, :n_samples]
+        beats = [(s, e) for s, e in beats if e <= n_samples and e - s > 8]
+
+        if baseline_wander:
+            t = np.arange(n_samples) / self.sampling_rate
+            # Respiration (~0.25 Hz) plus a slower drift, strongest on lead 0.
+            for lead in range(n_leads):
+                strength = 0.8 if lead % 2 == 0 else 0.15
+                wander = (
+                    strength * 0.5 * np.sin(2 * np.pi * 0.25 * t + lead)
+                    + strength * 0.3 * np.sin(2 * np.pi * 0.05 * t + 2.0 * lead)
+                )
+                signal[lead] = signal[lead] + wander
+        return signal, beats
+
+
+def beat_statistics(
+    signal: np.ndarray, beats: list[tuple[int, int]]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-beat mean and standard deviation of a single-lead signal.
+
+    This is the measurement behind Fig. 7's caption: on raw telemetry both
+    statistics vary dramatically from beat to beat even though the beats are
+    medically identical.
+    """
+    arr = np.asarray(signal, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("signal must be a single 1-D lead")
+    if not beats:
+        raise ValueError("need at least one beat interval")
+    means = []
+    stds = []
+    for start, end in beats:
+        if not 0 <= start < end <= arr.shape[0]:
+            raise ValueError(f"beat interval ({start}, {end}) out of range")
+        segment = arr[start:end]
+        means.append(float(segment.mean()))
+        stds.append(float(segment.std()))
+    return np.asarray(means), np.asarray(stds)
+
+
+def make_ecg_beat_dataset(
+    n_per_class: int = 40,
+    length: int = 96,
+    st_elevation: float = 0.35,
+    seed: int = 23,
+    znormalize: bool = True,
+) -> UCRDataset:
+    """UCR-format dataset of normal vs ST-elevated beats.
+
+    Parameters
+    ----------
+    n_per_class:
+        Exemplars per class.
+    length:
+        Samples per beat exemplar.
+    st_elevation:
+        ST-segment elevation of the abnormal class, in R-wave units.
+    seed:
+        Generator seed.
+    znormalize:
+        Whether to return the dataset in the UCR (z-normalised) convention.
+    """
+    if n_per_class < 1:
+        raise ValueError("n_per_class must be >= 1")
+    generator = ECGGenerator(seed=seed)
+    rng = np.random.default_rng(seed)
+    series = []
+    labels = []
+    for _ in range(n_per_class):
+        series.append(generator.beat(length=length, st_elevation=0.0, rng=rng))
+        labels.append("normal")
+    for _ in range(n_per_class):
+        series.append(generator.beat(length=length, st_elevation=st_elevation, rng=rng))
+        labels.append("st_elevation")
+    dataset = UCRDataset(
+        name="SyntheticECGBeats",
+        series=np.asarray(series),
+        labels=np.asarray(labels),
+        metadata={
+            "length": length,
+            "st_elevation": st_elevation,
+            "sampling_rate": generator.sampling_rate,
+        },
+    )
+    return dataset.z_normalized() if znormalize else dataset

@@ -1,0 +1,88 @@
+"""Synthetic electrooculogram (eye-movement) data.
+
+Fig. 5 searches "one hour of eye movement data" for nearest neighbours of
+GunPoint exemplars and finds subsequences closer to a gesture than another
+gesture of the same class is -- time-series homophones.  Any realistic EOG
+trace works for this purpose; the generator below produces the standard
+structure of such recordings:
+
+* fixations -- the eye holds a position (a noisy plateau),
+* saccades -- fast jumps between fixation positions (smooth steps),
+* slow drift and occasional blink artefacts (large brief deflections).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["generate_eog"]
+
+
+def generate_eog(
+    n_points: int,
+    sampling_rate: int = 60,
+    seed: int = 31,
+    blink_rate_per_minute: float = 12.0,
+) -> np.ndarray:
+    """Generate ``n_points`` samples of synthetic EOG (eye position) data.
+
+    Parameters
+    ----------
+    n_points:
+        Number of samples.  One hour at the default 60 Hz is 216 000 points.
+    sampling_rate:
+        Samples per second.
+    seed:
+        Random seed.
+    blink_rate_per_minute:
+        Expected number of blink artefacts per minute.
+
+    Returns
+    -------
+    numpy.ndarray
+        1-D array of eye-position values (arbitrary units).
+    """
+    if n_points < 100:
+        raise ValueError("n_points must be at least 100")
+    if sampling_rate < 10:
+        raise ValueError("sampling_rate must be at least 10 Hz")
+    rng = np.random.default_rng(seed)
+
+    signal = np.empty(n_points)
+    cursor = 0
+    position = 0.0
+    while cursor < n_points:
+        # Fixation: 0.2 - 2.0 seconds at the current position.
+        fixation = int(rng.uniform(0.2, 2.0) * sampling_rate)
+        fixation = min(fixation, n_points - cursor)
+        signal[cursor : cursor + fixation] = position
+        cursor += fixation
+        if cursor >= n_points:
+            break
+        # Saccade: a fast smooth step to a new position over ~20-60 ms.
+        new_position = rng.uniform(-1.0, 1.0)
+        saccade = max(2, int(rng.uniform(0.02, 0.06) * sampling_rate))
+        saccade = min(saccade, n_points - cursor)
+        ramp = 0.5 * (1 - np.cos(np.pi * np.linspace(0, 1, saccade)))
+        signal[cursor : cursor + saccade] = position + (new_position - position) * ramp
+        cursor += saccade
+        position = new_position
+
+    # Slow drift (electrode polarisation) and measurement noise.
+    t = np.arange(n_points) / sampling_rate
+    drift = 0.15 * np.sin(2 * np.pi * t / 97.0) + 0.1 * np.sin(2 * np.pi * t / 311.0)
+    noise = rng.normal(0.0, 0.02, size=n_points)
+
+    # Blink artefacts: large, brief, one-sided deflections.
+    expected_blinks = blink_rate_per_minute * (n_points / sampling_rate) / 60.0
+    n_blinks = rng.poisson(max(expected_blinks, 0.0))
+    blink = np.zeros(n_points)
+    for _ in range(int(n_blinks)):
+        center = int(rng.integers(0, n_points))
+        width = max(2, int(0.15 * sampling_rate))
+        left = max(0, center - width)
+        right = min(n_points, center + width)
+        idx = np.arange(left, right)
+        blink[idx] += 1.5 * np.exp(-0.5 * ((idx - center) / (width / 2.5)) ** 2)
+
+    return signal + drift + noise + blink

@@ -1,0 +1,232 @@
+"""Additional UCR-style synthetic datasets, with controllable right-padding.
+
+Section 5 of the paper ends with an observation that goes beyond GunPoint:
+
+    "a large number of UCR datasets have similar formatting conventions, some
+    'events' bookended by constant regions that are simply there to make all
+    the data objects have the same length (CricketX, CBF, Trace, etc.).  Thus,
+    it seems possible that some (possibly a very large) fraction of the
+    apparent success of ETSC may be due to nothing more than a formatting
+    convention that padded the right side of events with uninformative data."
+
+To make that claim testable, this module provides two classic dataset shapes
+-- a Cylinder-Bell-Funnel (CBF) style problem and a Trace-style transient
+problem -- whose generators expose the padding explicitly: ``pad_fraction``
+controls how much uninformative constant-plus-noise tail is appended to the
+informative event.  The Section 5 padding experiment
+(:mod:`repro.experiments.section5_padding`) compares apparent ETSC earliness
+with and without that padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.ucr_format import UCRDataset
+
+__all__ = ["CBFGenerator", "TraceLikeGenerator", "make_cbf_dataset", "make_trace_dataset"]
+
+
+def _noise(rng: np.random.Generator, length: int, scale: float) -> np.ndarray:
+    return rng.normal(0.0, scale, size=length)
+
+
+@dataclass
+class CBFGenerator:
+    """Cylinder-Bell-Funnel-style generator with explicit right padding.
+
+    The classic CBF classes (Saito 1994; UCR "CBF") are:
+
+    * **cylinder** -- a plateau of roughly constant elevated value,
+    * **bell**     -- a linear ramp up to the elevated value, then a drop,
+    * **funnel**   -- a jump to the elevated value, then a linear decay.
+
+    In the archive's formatting the event occupies a random sub-interval and
+    the rest of the exemplar is baseline -- the padding the paper talks about.
+
+    Parameters
+    ----------
+    length:
+        Total exemplar length.
+    pad_fraction:
+        Fraction of the exemplar reserved as uninformative baseline *after*
+        the event (0 = the event fills the exemplar).
+    noise_scale:
+        Standard deviation of the additive noise.
+    amplitude:
+        Elevation of the event above baseline.
+    seed:
+        Seed of the internal generator.
+    """
+
+    length: int = 128
+    pad_fraction: float = 0.35
+    noise_scale: float = 0.15
+    amplitude: float = 2.0
+    seed: int = 31
+
+    CLASSES = ("cylinder", "bell", "funnel")
+
+    def __post_init__(self) -> None:
+        if self.length < 32:
+            raise ValueError("length must be at least 32")
+        if not 0.0 <= self.pad_fraction < 0.9:
+            raise ValueError("pad_fraction must be in [0, 0.9)")
+        if self.noise_scale < 0:
+            raise ValueError("noise_scale must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def exemplar(self, label: str, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Generate one exemplar of the given class."""
+        if label not in self.CLASSES:
+            raise ValueError(f"label must be one of {self.CLASSES}, got {label!r}")
+        rng = rng or self._rng
+        n = self.length
+        usable = int(round(n * (1.0 - self.pad_fraction)))
+
+        # The event occupies a random interval inside the usable region.
+        start = int(rng.integers(max(2, usable // 16), max(3, usable // 6)))
+        end = int(rng.integers(int(usable * 0.7), usable))
+        end = max(end, start + 8)
+        t = np.arange(n, dtype=float)
+
+        signal = _noise(rng, n, self.noise_scale)
+        amplitude = self.amplitude * (1.0 + rng.normal(0.0, 0.1))
+        inside = (t >= start) & (t < end)
+        if label == "cylinder":
+            signal[inside] += amplitude
+        elif label == "bell":
+            signal[inside] += amplitude * (t[inside] - start) / max(end - start, 1)
+        else:  # funnel
+            signal[inside] += amplitude * (end - t[inside]) / max(end - start, 1)
+        return signal
+
+    def generate(self, n_per_class: int, seed: int | None = None) -> UCRDataset:
+        """Generate a balanced dataset."""
+        if n_per_class < 1:
+            raise ValueError("n_per_class must be >= 1")
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        series = []
+        labels = []
+        for label in self.CLASSES:
+            for _ in range(n_per_class):
+                series.append(self.exemplar(label, rng=rng))
+                labels.append(label)
+        return UCRDataset(
+            name="SyntheticCBF",
+            series=np.asarray(series),
+            labels=np.asarray(labels),
+            metadata={
+                "generator": "CBFGenerator",
+                "pad_fraction": self.pad_fraction,
+                "length": self.length,
+            },
+        )
+
+
+@dataclass
+class TraceLikeGenerator:
+    """Trace-style transient classes with explicit right padding.
+
+    The UCR "Trace" dataset contains nuclear-plant instrumentation transients;
+    each class is a characteristic excursion followed by a long quiescent
+    tail.  The stand-in here has four classes distinguished by the shape of a
+    single transient (step up, step down, spike, oscillation burst), followed
+    by ``pad_fraction`` of flat tail.
+
+    Parameters are analogous to :class:`CBFGenerator`.
+    """
+
+    length: int = 150
+    pad_fraction: float = 0.4
+    noise_scale: float = 0.08
+    seed: int = 37
+
+    CLASSES = ("step_up", "step_down", "spike", "oscillation")
+
+    def __post_init__(self) -> None:
+        if self.length < 40:
+            raise ValueError("length must be at least 40")
+        if not 0.0 <= self.pad_fraction < 0.9:
+            raise ValueError("pad_fraction must be in [0, 0.9)")
+        self._rng = np.random.default_rng(self.seed)
+
+    def exemplar(self, label: str, rng: np.random.Generator | None = None) -> np.ndarray:
+        if label not in self.CLASSES:
+            raise ValueError(f"label must be one of {self.CLASSES}, got {label!r}")
+        rng = rng or self._rng
+        n = self.length
+        usable = int(round(n * (1.0 - self.pad_fraction)))
+        onset = int(rng.integers(max(3, usable // 10), max(4, usable // 4)))
+        t = np.arange(n, dtype=float)
+        signal = _noise(rng, n, self.noise_scale)
+        amplitude = 1.0 + rng.normal(0.0, 0.1)
+
+        if label == "step_up":
+            ramp = np.clip((t - onset) / max(usable * 0.15, 1.0), 0.0, 1.0)
+            signal += amplitude * ramp * (t < usable)
+            signal[usable:] += amplitude  # the step persists into the tail
+        elif label == "step_down":
+            ramp = np.clip((t - onset) / max(usable * 0.15, 1.0), 0.0, 1.0)
+            signal -= amplitude * ramp * (t < usable)
+            signal[usable:] -= amplitude
+        elif label == "spike":
+            width = max(usable * 0.04, 2.0)
+            signal += 2.0 * amplitude * np.exp(-0.5 * ((t - onset - width) / width) ** 2)
+        else:  # oscillation burst
+            burst = (t >= onset) & (t < onset + usable * 0.4)
+            signal[burst] += amplitude * 0.8 * np.sin(
+                2 * np.pi * (t[burst] - onset) / max(usable * 0.08, 2.0)
+            )
+        return signal
+
+    def generate(self, n_per_class: int, seed: int | None = None) -> UCRDataset:
+        if n_per_class < 1:
+            raise ValueError("n_per_class must be >= 1")
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        series = []
+        labels = []
+        for label in self.CLASSES:
+            for _ in range(n_per_class):
+                series.append(self.exemplar(label, rng=rng))
+                labels.append(label)
+        return UCRDataset(
+            name="SyntheticTrace",
+            series=np.asarray(series),
+            labels=np.asarray(labels),
+            metadata={
+                "generator": "TraceLikeGenerator",
+                "pad_fraction": self.pad_fraction,
+                "length": self.length,
+            },
+        )
+
+
+def make_cbf_dataset(
+    n_per_class: int = 30,
+    length: int = 128,
+    pad_fraction: float = 0.35,
+    seed: int = 31,
+    znormalize: bool = True,
+) -> UCRDataset:
+    """Convenience constructor for a CBF-style dataset."""
+    dataset = CBFGenerator(length=length, pad_fraction=pad_fraction, seed=seed).generate(
+        n_per_class, seed=seed
+    )
+    return dataset.z_normalized() if znormalize else dataset
+
+
+def make_trace_dataset(
+    n_per_class: int = 25,
+    length: int = 150,
+    pad_fraction: float = 0.4,
+    seed: int = 37,
+    znormalize: bool = True,
+) -> UCRDataset:
+    """Convenience constructor for a Trace-style dataset."""
+    dataset = TraceLikeGenerator(length=length, pad_fraction=pad_fraction, seed=seed).generate(
+        n_per_class, seed=seed
+    )
+    return dataset.z_normalized() if znormalize else dataset

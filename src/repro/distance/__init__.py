@@ -1,0 +1,55 @@
+"""Distance and normalisation substrate.
+
+Everything the ETSC algorithms and the meaningfulness analyses rest on:
+
+* :mod:`repro.distance.znorm` -- z-normalisation in its batch, prefix-safe and
+  causal (rolling) variants.  The distinction between these variants is the
+  core of Section 4 of the paper ("peeking into the future").
+* :mod:`repro.distance.euclidean` -- Euclidean and z-normalised Euclidean
+  distances between equal-length series.
+* :mod:`repro.distance.dtw` -- dynamic time warping with an optional
+  Sakoe-Chiba band, plus its z-normalised variant.
+* :mod:`repro.distance.profile` -- sliding-window z-normalised distance
+  profiles (MASS-style, FFT based), used by the homophone search (Fig. 5), the
+  chicken-template experiment (Fig. 8) and the streaming detector.
+* :mod:`repro.distance.neighbors` -- 1-NN / k-NN classifiers over any of the
+  above distances.
+"""
+
+from repro.distance.euclidean import (
+    euclidean_distance,
+    squared_euclidean_distance,
+    znormalized_euclidean_distance,
+)
+from repro.distance.dtw import dtw_distance, znormalized_dtw_distance
+from repro.distance.znorm import (
+    causal_znormalize,
+    is_znormalized,
+    znormalize,
+    znormalize_prefix,
+)
+from repro.distance.profile import (
+    DistanceProfileIndex,
+    distance_profile,
+    sliding_mean_std,
+    top_k_nearest_subsequences,
+)
+from repro.distance.neighbors import KNeighborsTimeSeriesClassifier, NearestNeighborResult
+
+__all__ = [
+    "euclidean_distance",
+    "squared_euclidean_distance",
+    "znormalized_euclidean_distance",
+    "dtw_distance",
+    "znormalized_dtw_distance",
+    "znormalize",
+    "znormalize_prefix",
+    "causal_znormalize",
+    "is_znormalized",
+    "distance_profile",
+    "sliding_mean_std",
+    "top_k_nearest_subsequences",
+    "DistanceProfileIndex",
+    "KNeighborsTimeSeriesClassifier",
+    "NearestNeighborResult",
+]

@@ -1,0 +1,84 @@
+"""Euclidean distances between equal-length time series."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.znorm import znormalize
+
+__all__ = [
+    "squared_euclidean_distance",
+    "euclidean_distance",
+    "znormalized_euclidean_distance",
+    "pairwise_euclidean",
+]
+
+
+def _check_pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.ndim != 1 or b.ndim != 1:
+        raise ValueError("euclidean distances are defined for 1-D series")
+    if a.shape[0] != b.shape[0]:
+        raise ValueError(
+            f"series must have equal length, got {a.shape[0]} and {b.shape[0]}"
+        )
+    if a.shape[0] == 0:
+        raise ValueError("series must not be empty")
+    return a, b
+
+
+def squared_euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Squared Euclidean distance between two equal-length series."""
+    a, b = _check_pair(a, b)
+    diff = a - b
+    return float(np.dot(diff, diff))
+
+
+def euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance between two equal-length series."""
+    return float(np.sqrt(squared_euclidean_distance(a, b)))
+
+
+def znormalized_euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Euclidean distance after independently z-normalising both series.
+
+    This is the distance the paper (and essentially all of the time-series
+    classification literature, see [Rakthanmanon et al. 2013]) argues is the
+    meaningful way to compare *shapes*.
+    """
+    a, b = _check_pair(a, b)
+    return euclidean_distance(znormalize(a), znormalize(b))
+
+
+def pairwise_euclidean(rows: np.ndarray, others: np.ndarray | None = None) -> np.ndarray:
+    """Pairwise Euclidean distance matrix between rows of two 2-D arrays.
+
+    Parameters
+    ----------
+    rows:
+        Array of shape ``(n, length)``.
+    others:
+        Array of shape ``(m, length)``.  Defaults to ``rows`` (self-distances).
+
+    Returns
+    -------
+    numpy.ndarray
+        Matrix of shape ``(n, m)`` of Euclidean distances.
+    """
+    rows = np.asarray(rows, dtype=float)
+    if rows.ndim != 2:
+        raise ValueError("rows must be a 2-D array of series")
+    if others is None:
+        others = rows
+    else:
+        others = np.asarray(others, dtype=float)
+        if others.ndim != 2 or others.shape[1] != rows.shape[1]:
+            raise ValueError("others must be 2-D with the same series length as rows")
+
+    # ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b  (clipped at 0 for numerical noise)
+    sq_rows = np.sum(rows * rows, axis=1)[:, None]
+    sq_others = np.sum(others * others, axis=1)[None, :]
+    cross = rows @ others.T
+    squared = np.maximum(sq_rows + sq_others - 2.0 * cross, 0.0)
+    return np.sqrt(squared)

@@ -1,0 +1,201 @@
+"""Nearest-neighbour time-series classifiers.
+
+The 1-NN classifier with (z-normalised) Euclidean distance is the workhorse of
+the paper: it is the "classic time series classification" the ETSC algorithms
+are compared against, the slave classifier inside our TEASER implementation,
+and the classifier used for the prefix-accuracy curves of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.distance.euclidean import pairwise_euclidean
+from repro.distance.znorm import znormalize
+
+__all__ = ["NearestNeighborResult", "KNeighborsTimeSeriesClassifier"]
+
+DistanceFunction = Callable[[np.ndarray, np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class NearestNeighborResult:
+    """The outcome of a nearest-neighbour query.
+
+    Attributes
+    ----------
+    label:
+        Predicted class label (majority vote among the k neighbours).
+    neighbor_indices:
+        Indices (into the training set) of the k nearest neighbours, closest
+        first.
+    neighbor_distances:
+        The corresponding distances.
+    probabilities:
+        Mapping from class label to the soft-vote probability derived from the
+        neighbour distances (inverse-distance weighted).
+    """
+
+    label: object
+    neighbor_indices: tuple[int, ...]
+    neighbor_distances: tuple[float, ...]
+    probabilities: dict = field(default_factory=dict)
+
+
+class KNeighborsTimeSeriesClassifier:
+    """k-NN classifier over fixed-length time series.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours used for the vote (default 1, the community
+        standard for UCR-style evaluation).
+    metric:
+        Either the string ``"euclidean"`` (the default; uses a vectorised
+        pairwise computation) or any callable ``f(a, b) -> float``.
+    znormalize_inputs:
+        If ``True``, every training and query series is z-normalised before
+        distances are computed.  Set to ``False`` to reproduce the "peeking"
+        behaviour of models that assume their inputs arrive pre-normalised.
+    """
+
+    def __init__(
+        self,
+        n_neighbors: int = 1,
+        metric: str | DistanceFunction = "euclidean",
+        znormalize_inputs: bool = False,
+    ) -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.metric = metric
+        self.znormalize_inputs = znormalize_inputs
+        self._train: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._classes: tuple = ()
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, series: np.ndarray, labels: Sequence) -> "KNeighborsTimeSeriesClassifier":
+        """Store the training series and labels.
+
+        Parameters
+        ----------
+        series:
+            2-D array of shape ``(n_series, length)``.
+        labels:
+            Sequence of ``n_series`` class labels.
+        """
+        data = np.asarray(series, dtype=float)
+        if data.ndim != 2:
+            raise ValueError("series must be a 2-D array (n_series, length)")
+        label_arr = np.asarray(labels)
+        if label_arr.shape[0] != data.shape[0]:
+            raise ValueError("labels must have one entry per series")
+        if data.shape[0] < self.n_neighbors:
+            raise ValueError("need at least n_neighbors training series")
+        if self.znormalize_inputs:
+            data = znormalize(data)
+        self._train = data
+        self._labels = label_arr
+        self._classes = tuple(np.unique(label_arr).tolist())
+        return self
+
+    @property
+    def classes_(self) -> tuple:
+        """Class labels seen during :meth:`fit`, sorted."""
+        return self._classes
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._train is not None
+
+    def _require_fitted(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._train is None or self._labels is None:
+            raise RuntimeError("classifier must be fitted before use")
+        return self._train, self._labels
+
+    # -------------------------------------------------------------- queries
+    def _distances_to_train(self, queries: np.ndarray) -> np.ndarray:
+        train, _ = self._require_fitted()
+        if queries.shape[1] != train.shape[1]:
+            raise ValueError(
+                f"query length {queries.shape[1]} does not match training length "
+                f"{train.shape[1]}"
+            )
+        if self.metric == "euclidean":
+            return pairwise_euclidean(queries, train)
+        if callable(self.metric):
+            out = np.empty((queries.shape[0], train.shape[0]))
+            for i, q in enumerate(queries):
+                for j, t in enumerate(train):
+                    out[i, j] = self.metric(q, t)
+            return out
+        raise ValueError(f"unknown metric {self.metric!r}")
+
+    def query(self, series: np.ndarray) -> NearestNeighborResult:
+        """Full nearest-neighbour query for a single series."""
+        train, labels = self._require_fitted()
+        q = np.asarray(series, dtype=float)
+        if q.ndim != 1:
+            raise ValueError("query expects a single 1-D series")
+        if self.znormalize_inputs:
+            q = znormalize(q)
+        distances = self._distances_to_train(q[None, :])[0]
+        order = np.argsort(distances, kind="stable")[: self.n_neighbors]
+        neighbor_labels = labels[order]
+        neighbor_distances = distances[order]
+
+        probabilities = self._soft_vote(neighbor_labels, neighbor_distances)
+        label = max(probabilities.items(), key=lambda item: item[1])[0]
+        return NearestNeighborResult(
+            label=label,
+            neighbor_indices=tuple(int(i) for i in order),
+            neighbor_distances=tuple(float(d) for d in neighbor_distances),
+            probabilities=probabilities,
+        )
+
+    def _soft_vote(self, neighbor_labels: np.ndarray, distances: np.ndarray) -> dict:
+        """Inverse-distance-weighted vote, normalised to a probability dict."""
+        weights = 1.0 / (distances + 1e-9)
+        scores = {cls: 0.0 for cls in self._classes}
+        for lbl, w in zip(neighbor_labels, weights):
+            key = lbl.item() if hasattr(lbl, "item") else lbl
+            scores[key] = scores.get(key, 0.0) + float(w)
+        total = sum(scores.values())
+        if total <= 0:
+            uniform = 1.0 / max(len(scores), 1)
+            return {cls: uniform for cls in scores}
+        return {cls: score / total for cls, score in scores.items()}
+
+    def predict(self, series: np.ndarray) -> np.ndarray:
+        """Predict labels for a 2-D array of query series."""
+        queries = np.asarray(series, dtype=float)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        if self.znormalize_inputs:
+            queries = znormalize(queries)
+        if self.metric == "euclidean":
+            train, labels = self._require_fitted()
+            distances = self._distances_to_train(queries)
+            if self.n_neighbors == 1:
+                nearest = np.argmin(distances, axis=1)
+                return labels[nearest]
+        return np.asarray([self.query(q).label for q in queries])
+
+    def predict_proba(self, series: np.ndarray) -> list[dict]:
+        """Per-class probability dictionaries for a 2-D array of queries."""
+        queries = np.asarray(series, dtype=float)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        return [self.query(q).probabilities for q in queries]
+
+    def score(self, series: np.ndarray, labels: Sequence) -> float:
+        """Mean accuracy over the given test set."""
+        predictions = self.predict(series)
+        truth = np.asarray(labels)
+        if truth.shape[0] != predictions.shape[0]:
+            raise ValueError("labels must have one entry per series")
+        return float(np.mean(predictions == truth))

@@ -1,0 +1,194 @@
+"""Z-normalisation utilities.
+
+The paper's Section 4 ("Peeking into the future") hinges on the distinction
+between three ways of normalising a time-series exemplar:
+
+* **batch** z-normalisation (:func:`znormalize`) -- subtract the mean and
+  divide by the standard deviation of the *whole* exemplar.  This is how the
+  UCR archive is prepared, and it is only possible once the whole exemplar has
+  been observed.
+* **prefix** z-normalisation (:func:`znormalize_prefix`) -- z-normalise a
+  prefix using only the statistics of that prefix.  This is the only honest
+  option for an early classifier: the suffix does not exist yet.
+* **causal / rolling** z-normalisation (:func:`causal_znormalize`) -- at every
+  time step, normalise the trailing window using statistics of data seen so
+  far.  This is what a streaming deployment has to do.
+
+Most published ETSC algorithms implicitly assume the first option while
+claiming to operate in a setting where only the second or third is available;
+quantifying the damage this does is the purpose of
+:mod:`repro.core.normalization_audit` and the Table 1 experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "znormalize",
+    "znormalize_prefix",
+    "causal_znormalize",
+    "is_znormalized",
+    "EPSILON",
+]
+
+#: Standard deviations below this value are treated as zero (constant series).
+EPSILON = 1e-12
+
+
+def _as_float_array(series: np.ndarray, name: str = "series") -> np.ndarray:
+    """Validate and convert ``series`` to a 1-D or 2-D float array."""
+    arr = np.asarray(series, dtype=float)
+    if arr.ndim not in (1, 2):
+        raise ValueError(f"{name} must be 1-D or 2-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+def znormalize(series: np.ndarray, ddof: int = 0) -> np.ndarray:
+    """Batch z-normalise a series (or each row of a 2-D array of series).
+
+    Constant (zero-variance) series are returned as all zeros rather than
+    raising, matching the convention used by the UCR archive tooling.
+
+    Parameters
+    ----------
+    series:
+        A 1-D array of shape ``(n,)`` or a 2-D array of shape
+        ``(n_series, length)``.
+    ddof:
+        Delta degrees of freedom for the standard deviation (0 gives the
+        population standard deviation used by the UCR archive).
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of the same shape with per-series zero mean and unit variance.
+    """
+    arr = _as_float_array(series)
+    if arr.ndim == 1:
+        mean = arr.mean()
+        std = arr.std(ddof=ddof)
+        if std < EPSILON:
+            return np.zeros_like(arr)
+        return (arr - mean) / std
+
+    mean = arr.mean(axis=1, keepdims=True)
+    std = arr.std(axis=1, ddof=ddof, keepdims=True)
+    out = np.zeros_like(arr)
+    nonconstant = (std >= EPSILON).ravel()
+    if np.any(nonconstant):
+        out[nonconstant] = (arr[nonconstant] - mean[nonconstant]) / std[nonconstant]
+    return out
+
+
+def znormalize_prefix(series: np.ndarray, prefix_length: int, ddof: int = 0) -> np.ndarray:
+    """Z-normalise the first ``prefix_length`` points using only those points.
+
+    This is the honest normalisation available to an early classifier that has
+    observed only a prefix of the incoming exemplar.  It is what Fig. 9 of the
+    paper uses ("we are correctly z-normalizing the truncated data").
+
+    Parameters
+    ----------
+    series:
+        1-D array; only the first ``prefix_length`` values are used.
+    prefix_length:
+        Number of leading points that have been observed.  Must be at least 1
+        and at most ``len(series)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        The z-normalised prefix, of length ``prefix_length``.
+    """
+    arr = _as_float_array(series)
+    if arr.ndim != 1:
+        raise ValueError("znormalize_prefix expects a single 1-D series")
+    if not 1 <= prefix_length <= arr.shape[0]:
+        raise ValueError(
+            f"prefix_length must be in [1, {arr.shape[0]}], got {prefix_length}"
+        )
+    return znormalize(arr[:prefix_length], ddof=ddof)
+
+
+def causal_znormalize(
+    series: np.ndarray,
+    window: int,
+    min_periods: int | None = None,
+    ddof: int = 0,
+) -> np.ndarray:
+    """Causally z-normalise a stream with a trailing window.
+
+    At index ``i`` the output is ``(x[i] - mean) / std`` where the statistics
+    are computed over ``series[max(0, i - window + 1) : i + 1]`` -- i.e. using
+    only values observed up to and including time ``i``.  This is the only
+    normalisation available to a genuinely streaming deployment.
+
+    Parameters
+    ----------
+    series:
+        1-D stream of values.
+    window:
+        Length of the trailing window used for the statistics.
+    min_periods:
+        Minimum number of observations required before normalisation kicks in;
+        earlier outputs are 0.  Defaults to ``window``.
+    ddof:
+        Delta degrees of freedom for the standard deviation.
+
+    Returns
+    -------
+    numpy.ndarray
+        The causally normalised stream, same length as the input.
+    """
+    arr = _as_float_array(series)
+    if arr.ndim != 1:
+        raise ValueError("causal_znormalize expects a 1-D stream")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if min_periods is None:
+        min_periods = window
+    if min_periods < 1:
+        raise ValueError("min_periods must be >= 1")
+
+    n = arr.shape[0]
+    out = np.zeros(n)
+    cumsum = np.concatenate(([0.0], np.cumsum(arr)))
+    cumsum_sq = np.concatenate(([0.0], np.cumsum(arr * arr)))
+    for i in range(n):
+        start = max(0, i - window + 1)
+        count = i - start + 1
+        if count < min_periods:
+            continue
+        total = cumsum[i + 1] - cumsum[start]
+        total_sq = cumsum_sq[i + 1] - cumsum_sq[start]
+        mean = total / count
+        denom = count - ddof
+        if denom <= 0:
+            continue
+        variance = max(total_sq / denom - (count / denom) * mean * mean, 0.0)
+        std = np.sqrt(variance)
+        if std < EPSILON:
+            out[i] = 0.0
+        else:
+            out[i] = (arr[i] - mean) / std
+    return out
+
+
+def is_znormalized(series: np.ndarray, atol: float = 1e-6) -> bool:
+    """Return ``True`` if the series has (approximately) zero mean and unit std.
+
+    Constant series (which z-normalise to all zeros) are also accepted, again
+    matching the UCR convention.
+    """
+    arr = _as_float_array(series)
+    if arr.ndim != 1:
+        raise ValueError("is_znormalized expects a single 1-D series")
+    std = arr.std()
+    if std < EPSILON and abs(arr.mean()) <= atol:
+        return True
+    return bool(abs(arr.mean()) <= atol and abs(std - 1.0) <= atol)

@@ -1,0 +1,54 @@
+"""Accuracy-style metrics for UCR-format evaluation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["accuracy", "error_rate", "per_class_accuracy", "confusion_counts"]
+
+
+def _validate(predictions: Sequence, truth: Sequence) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(predictions)
+    true = np.asarray(truth)
+    if pred.ndim != 1 or true.ndim != 1:
+        raise ValueError("predictions and truth must be 1-D sequences")
+    if pred.shape[0] != true.shape[0]:
+        raise ValueError("predictions and truth must have the same length")
+    if pred.shape[0] == 0:
+        raise ValueError("cannot compute a metric over zero predictions")
+    return pred, true
+
+
+def accuracy(predictions: Sequence, truth: Sequence) -> float:
+    """Fraction of predictions that match the ground truth."""
+    pred, true = _validate(predictions, truth)
+    return float(np.mean(pred == true))
+
+
+def error_rate(predictions: Sequence, truth: Sequence) -> float:
+    """Fraction of predictions that do not match the ground truth (Fig. 9's y-axis)."""
+    return 1.0 - accuracy(predictions, truth)
+
+
+def per_class_accuracy(predictions: Sequence, truth: Sequence) -> dict:
+    """Accuracy restricted to each true class."""
+    pred, true = _validate(predictions, truth)
+    result: dict = {}
+    for cls in np.unique(true):
+        mask = true == cls
+        key = cls.item() if hasattr(cls, "item") else cls
+        result[key] = float(np.mean(pred[mask] == true[mask]))
+    return result
+
+
+def confusion_counts(predictions: Sequence, truth: Sequence) -> dict:
+    """Mapping ``(true_label, predicted_label) -> count``."""
+    pred, true = _validate(predictions, truth)
+    result: dict = {}
+    for t, p in zip(true, pred):
+        t_key = t.item() if hasattr(t, "item") else t
+        p_key = p.item() if hasattr(p, "item") else p
+        result[(t_key, p_key)] = result.get((t_key, p_key), 0) + 1
+    return result

@@ -1,0 +1,112 @@
+"""Earliness metrics and joint accuracy/earliness evaluation.
+
+The ETSC literature reports, besides accuracy, the *earliness* of a model --
+the mean fraction of each exemplar observed before the trigger -- and often
+combines the two into a harmonic mean (e.g. TEASER's model selection).  These
+helpers compute all three for any :class:`~repro.classifiers.base.BaseEarlyClassifier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "harmonic_mean_accuracy_earliness",
+    "EarlinessAccuracyResult",
+    "evaluate_early_classifier",
+]
+
+
+def harmonic_mean_accuracy_earliness(accuracy: float, earliness: float) -> float:
+    """Harmonic mean of accuracy and (1 - earliness).
+
+    ``earliness`` is the mean fraction of the exemplar observed, so lower is
+    better; the harmonic mean therefore combines accuracy with ``1 -
+    earliness`` (both "higher is better"), which is the convention TEASER uses
+    for selecting its consistency parameter.
+    """
+    if not 0.0 <= accuracy <= 1.0:
+        raise ValueError("accuracy must be in [0, 1]")
+    if not 0.0 <= earliness <= 1.0:
+        raise ValueError("earliness must be in [0, 1]")
+    timeliness = 1.0 - earliness
+    if accuracy + timeliness == 0.0:
+        return 0.0
+    return 2.0 * accuracy * timeliness / (accuracy + timeliness)
+
+
+@dataclass(frozen=True)
+class EarlinessAccuracyResult:
+    """Joint evaluation of an early classifier on one test set.
+
+    Attributes
+    ----------
+    accuracy:
+        Fraction of exemplars classified correctly (at whatever point the
+        model committed).
+    earliness:
+        Mean fraction of each exemplar observed before committing.
+    harmonic_mean:
+        Harmonic mean of accuracy and (1 - earliness).
+    trigger_rate:
+        Fraction of exemplars on which the stopping rule actually fired
+        (the rest were classified only because the exemplar ran out).
+    mean_trigger_length:
+        Mean prefix length (in samples) at the commitment point.
+    n_exemplars:
+        Number of test exemplars evaluated.
+    """
+
+    accuracy: float
+    earliness: float
+    harmonic_mean: float
+    trigger_rate: float
+    mean_trigger_length: float
+    n_exemplars: int
+
+
+def evaluate_early_classifier(
+    classifier, series: np.ndarray, labels: Sequence
+) -> EarlinessAccuracyResult:
+    """Run an early classifier over a test set and collect the joint metrics.
+
+    Parameters
+    ----------
+    classifier:
+        A fitted :class:`~repro.classifiers.base.BaseEarlyClassifier`.
+    series:
+        2-D array of test exemplars.
+    labels:
+        Ground-truth labels, one per exemplar.
+    """
+    data = np.asarray(series, dtype=float)
+    if data.ndim != 2:
+        raise ValueError("series must be 2-D (n_exemplars, length)")
+    truth = np.asarray(labels)
+    if truth.shape[0] != data.shape[0]:
+        raise ValueError("labels must have one entry per exemplar")
+
+    predictions = []
+    earliness_values = []
+    trigger_lengths = []
+    triggered_flags = []
+    for row in data:
+        outcome = classifier.predict_early(row)
+        predictions.append(outcome.label)
+        earliness_values.append(outcome.earliness)
+        trigger_lengths.append(outcome.trigger_length)
+        triggered_flags.append(outcome.triggered)
+
+    accuracy = float(np.mean(np.asarray(predictions) == truth))
+    earliness = float(np.mean(earliness_values))
+    return EarlinessAccuracyResult(
+        accuracy=accuracy,
+        earliness=earliness,
+        harmonic_mean=harmonic_mean_accuracy_earliness(accuracy, earliness),
+        trigger_rate=float(np.mean(triggered_flags)),
+        mean_trigger_length=float(np.mean(trigger_lengths)),
+        n_exemplars=int(data.shape[0]),
+    )

@@ -1,0 +1,68 @@
+"""Shared fit/score helpers used by the experiment modules and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.ucr_format import UCRDataset
+from repro.distance.neighbors import KNeighborsTimeSeriesClassifier
+from repro.evaluation.earliness import EarlinessAccuracyResult, evaluate_early_classifier
+
+__all__ = ["fit_and_score", "prefix_accuracy_curve"]
+
+
+def fit_and_score(
+    classifier, train: UCRDataset, test: UCRDataset
+) -> EarlinessAccuracyResult:
+    """Fit an early classifier on one dataset and evaluate it on another.
+
+    The datasets are used exactly as given -- no re-normalisation happens
+    here, so passing a denormalised test set reproduces the Table 1 setting.
+    """
+    if train.series_length != test.series_length:
+        raise ValueError("train and test must have the same series length")
+    classifier.fit(train.series, train.labels)
+    return evaluate_early_classifier(classifier, test.series, test.labels)
+
+
+def prefix_accuracy_curve(
+    train: UCRDataset,
+    test: UCRDataset,
+    prefix_lengths: Sequence[int],
+    renormalize: bool = True,
+    n_neighbors: int = 1,
+) -> dict[int, float]:
+    """Hold-out 1-NN accuracy as a function of the prefix length (Fig. 9).
+
+    Parameters
+    ----------
+    train, test:
+        Datasets in raw (not necessarily z-normalised) units.
+    prefix_lengths:
+        Prefix lengths to evaluate.
+    renormalize:
+        If ``True`` each truncated exemplar is re-z-normalised using only the
+        retained prefix (the honest treatment, used by Fig. 9); if ``False``
+        the raw prefix values are compared directly.
+    n_neighbors:
+        Neighbours used by the classifier.
+
+    Returns
+    -------
+    dict
+        Mapping ``prefix_length -> accuracy``.
+    """
+    if train.series_length != test.series_length:
+        raise ValueError("train and test must have the same series length")
+    curve: dict[int, float] = {}
+    for length in prefix_lengths:
+        if not 1 <= length <= train.series_length:
+            raise ValueError(
+                f"prefix length {length} outside [1, {train.series_length}]"
+            )
+        train_prefix = train.truncated(length, renormalize=renormalize)
+        test_prefix = test.truncated(length, renormalize=renormalize)
+        model = KNeighborsTimeSeriesClassifier(n_neighbors=n_neighbors)
+        model.fit(train_prefix.series, train_prefix.labels)
+        curve[int(length)] = model.score(test_prefix.series, test_prefix.labels)
+    return curve

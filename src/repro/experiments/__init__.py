@@ -1,0 +1,15 @@
+"""Experiment modules: one per table / figure of the paper.
+
+Every module exposes a ``run(...)`` function whose keyword arguments control
+the workload scale (so the test-suite can run miniature versions) and which
+returns a small result dataclass with a ``to_text()`` method that prints the
+rows or series the corresponding table/figure reports.
+
+The registry (:mod:`repro.experiments.registry`) maps experiment identifiers
+("table1", "figure5", ...) to these functions, and ``python -m
+repro.experiments <id>`` runs them from the command line.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, available_experiments, run_experiment
+
+__all__ = ["EXPERIMENTS", "available_experiments", "run_experiment"]

@@ -1,0 +1,52 @@
+"""Command-line entry point: ``python -m repro.experiments [names...] [--fast]``.
+
+Running with no arguments regenerates every table and figure and prints the
+text summary of each (this is the closest thing to re-running the paper).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import available_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the tables and figures of the paper.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        default=[],
+        help="experiment identifiers (default: all); "
+        f"available: {', '.join(available_experiments())}",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="run reduced-scale versions (for smoke testing)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.names or available_experiments()
+    unknown = [n for n in names if n not in available_experiments()]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    for name in names:
+        start = time.perf_counter()
+        result = run_experiment(name, fast=args.fast)
+        elapsed = time.perf_counter() - start
+        print("=" * 78)
+        print(result.to_text())
+        print(f"[{name} completed in {elapsed:.1f} s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Registry of the paper's experiments and a small CLI entry point."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    appendix_b,
+    figure1,
+    figure2,
+    figure3,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    section5_padding,
+    table1,
+)
+
+__all__ = ["EXPERIMENTS", "available_experiments", "run_experiment"]
+
+#: Experiment identifier -> run() callable.  Figure 4 is a screen capture of
+#: another paper's figure and has no experiment.
+EXPERIMENTS: dict[str, Callable] = {
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "table1": table1.run,
+    "appendix_b": appendix_b.run,
+    "section5_padding": section5_padding.run,
+}
+
+#: Keyword arguments that shrink each experiment enough for quick smoke runs
+#: (used by ``python -m repro.experiments --fast`` and by the test-suite).
+FAST_OVERRIDES: dict[str, dict] = {
+    "figure1": {"n_per_class": 10},
+    "figure2": {"n_per_class": 10},
+    "figure3": {"n_train_per_class": 20, "n_test_per_class": 25},
+    "figure5": {
+        "eog_points": 40_000,
+        "random_walk_points": 2 ** 16,
+        "epg_points": 40_000,
+    },
+    "figure6": {"n_train_per_class": 20, "n_test_per_class": 30},
+    "figure7": {"duration_seconds": 10.0},
+    "figure8": {"n_points": 120_000},
+    "figure9": {"n_train_per_class": 20, "n_test_per_class": 30, "step": 5},
+    "table1": {"n_train_per_class": 20, "n_test_per_class": 25, "fast": True},
+    "appendix_b": {"n_events": 8, "gap_range": (800, 2_000), "stride": 20},
+    "section5_padding": {"n_per_class": 12},
+}
+
+
+def available_experiments() -> list[str]:
+    """Identifiers of all runnable experiments."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(name: str, fast: bool = False, **overrides):
+    """Run one experiment by identifier.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_experiments`.
+    fast:
+        Use the reduced workload from :data:`FAST_OVERRIDES` (explicit keyword
+        overrides still win).
+    **overrides:
+        Keyword arguments forwarded to the experiment's ``run`` function.
+    """
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(available_experiments())}"
+        )
+    kwargs = dict(FAST_OVERRIDES.get(name, {})) if fast else {}
+    kwargs.update(overrides)
+    return EXPERIMENTS[name](**kwargs)

@@ -1,0 +1,35 @@
+"""Streaming deployment layer.
+
+The UCR-format experiments hand an early classifier one extracted exemplar at
+a time.  A deployed system sees an unbounded stream and must decide *by
+itself* where candidate patterns begin -- which is where the prefix,
+inclusion and homophone problems, and the normalisation problem, bite.  This
+package provides the machinery to run that deployment honestly:
+
+* :class:`~repro.streaming.detector.StreamingEarlyDetector` slides candidate
+  windows over a stream and lets an early classifier trigger alarms;
+* :mod:`repro.streaming.events` matches those alarms against ground-truth
+  event annotations;
+* :mod:`repro.streaming.metrics` turns the matches into the quantities the
+  paper's argument is about (false positives per true positive, false-alarm
+  rate, detection earliness);
+* :mod:`repro.streaming.costs` applies the Appendix B cost model (an averted
+  event is worth $1000, every action costs $200, so the detector must achieve
+  better than one true positive per five false positives just to break even).
+"""
+
+from repro.streaming.detector import Alarm, StreamingEarlyDetector
+from repro.streaming.events import AlarmMatch, match_alarms_to_events
+from repro.streaming.metrics import StreamingEvaluation, evaluate_alarms
+from repro.streaming.costs import CostModel, CostOutcome
+
+__all__ = [
+    "Alarm",
+    "StreamingEarlyDetector",
+    "AlarmMatch",
+    "match_alarms_to_events",
+    "StreamingEvaluation",
+    "evaluate_alarms",
+    "CostModel",
+    "CostOutcome",
+]

@@ -1,0 +1,125 @@
+"""Matching alarms against ground-truth events.
+
+An alarm is a **true positive** if it falls inside (or within a small
+tolerance after the start of) a ground-truth event whose label matches the
+alarm's label, and no earlier alarm has already claimed that event.  Every
+other alarm is a **false positive**.  Events that no alarm claimed are
+**false negatives**.  These definitions follow the usual event-detection
+conventions; the tolerance exists because an early classifier that triggers a
+few samples before the annotated onset of an event (it saw the event's
+lead-in) should not be punished as a false positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.stream import ComposedStream, GroundTruthEvent
+from repro.streaming.detector import Alarm
+
+__all__ = ["AlarmMatch", "match_alarms_to_events"]
+
+
+@dataclass(frozen=True)
+class AlarmMatch:
+    """The result of matching one alarm against the ground truth.
+
+    Attributes
+    ----------
+    alarm:
+        The alarm being classified.
+    event:
+        The ground-truth event it was matched to, or ``None`` for a false
+        positive.
+    is_true_positive:
+        Whether the alarm counts as a true positive.
+    fraction_of_event_seen:
+        For true positives, the fraction of the event that had elapsed when
+        the alarm fired (the streaming notion of earliness); ``None``
+        otherwise.
+    """
+
+    alarm: Alarm
+    event: GroundTruthEvent | None
+    is_true_positive: bool
+    fraction_of_event_seen: float | None
+
+
+def match_alarms_to_events(
+    alarms: list[Alarm],
+    stream: ComposedStream,
+    target_labels: tuple | None = None,
+    onset_tolerance: int = 0,
+    allow_multiple_alarms_per_event: bool = False,
+    require_label_match: bool = True,
+) -> tuple[list[AlarmMatch], list[GroundTruthEvent]]:
+    """Match alarms to ground-truth events.
+
+    Parameters
+    ----------
+    alarms:
+        Alarms raised by a :class:`~repro.streaming.detector.StreamingEarlyDetector`.
+    stream:
+        The stream (with its ground-truth events) the alarms were raised on.
+    target_labels:
+        If given, only events with these labels are considered detectable (and
+        only they can be missed); events with other labels are treated as
+        background, so alarms on them are false positives.
+    onset_tolerance:
+        An alarm this many samples *before* an event's annotated start may
+        still claim the event.
+    allow_multiple_alarms_per_event:
+        If ``False`` (default) only the first alarm on an event is a true
+        positive; later alarms on the same event are ignored (they are neither
+        true nor false positives).  If ``True`` every alarm inside the event
+        counts as a true positive.
+    require_label_match:
+        If ``True`` (default) an alarm only claims an event when their labels
+        agree; a mislabelled alarm inside an event is then a false positive.
+
+    Returns
+    -------
+    (matches, missed_events):
+        One :class:`AlarmMatch` per alarm (in input order, minus ignored
+        duplicates), and the list of detectable events no alarm claimed.
+    """
+    if target_labels is not None:
+        detectable = [e for e in stream.events if e.label in target_labels]
+    else:
+        detectable = list(stream.events)
+
+    claimed: set[int] = set()
+    matches: list[AlarmMatch] = []
+    for alarm in alarms:
+        matched_event = None
+        matched_index = None
+        for index, event in enumerate(detectable):
+            if alarm.position < event.start - onset_tolerance or alarm.position >= event.end:
+                continue
+            if require_label_match and alarm.label != event.label:
+                continue
+            matched_event = event
+            matched_index = index
+            break
+        if matched_event is None:
+            matches.append(
+                AlarmMatch(alarm=alarm, event=None, is_true_positive=False, fraction_of_event_seen=None)
+            )
+            continue
+        if matched_index in claimed and not allow_multiple_alarms_per_event:
+            # A duplicate alarm on an already-detected event: ignored.
+            continue
+        claimed.add(matched_index)
+        elapsed = max(alarm.position - matched_event.start + 1, 0)
+        fraction = min(elapsed / matched_event.length, 1.0)
+        matches.append(
+            AlarmMatch(
+                alarm=alarm,
+                event=matched_event,
+                is_true_positive=True,
+                fraction_of_event_seen=fraction,
+            )
+        )
+
+    missed = [event for index, event in enumerate(detectable) if index not in claimed]
+    return matches, missed

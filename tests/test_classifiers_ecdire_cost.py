@@ -1,0 +1,119 @@
+"""Unit tests for ECDIRE and the cost-aware early classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.cost_aware import CostAwareEarlyClassifier
+from repro.classifiers.ecdire import ECDIREClassifier
+
+
+class TestECDIREConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ECDIREClassifier(accuracy_threshold=0.0)
+        with pytest.raises(ValueError):
+            ECDIREClassifier(accuracy_threshold=1.5)
+        with pytest.raises(ValueError):
+            ECDIREClassifier(n_checkpoints=1)
+        with pytest.raises(ValueError):
+            ECDIREClassifier(margin_percentile=150)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ECDIREClassifier().predict_partial(np.zeros(10))
+
+
+class TestECDIRETraining:
+    def test_safe_timestamps_cover_all_classes(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = ECDIREClassifier(n_checkpoints=8).fit(series, labels)
+        assert set(model.safe_timestamps_) == set(model.classes_)
+        for timestamp in model.safe_timestamps_.values():
+            assert timestamp in model.checkpoints()
+
+    def test_margin_thresholds_per_checkpoint(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = ECDIREClassifier(n_checkpoints=8).fit(series, labels)
+        assert set(model.margin_thresholds_) == set(model.checkpoints())
+        for threshold in model.margin_thresholds_.values():
+            assert threshold >= 0.0
+
+    def test_lower_accuracy_threshold_never_delays_safe_timestamps(self, tiny_two_class):
+        series, labels = tiny_two_class
+        strict = ECDIREClassifier(accuracy_threshold=1.0, n_checkpoints=8).fit(series, labels)
+        lenient = ECDIREClassifier(accuracy_threshold=0.7, n_checkpoints=8).fit(series, labels)
+        for cls in strict.classes_:
+            assert lenient.safe_timestamps_[cls] <= strict.safe_timestamps_[cls]
+
+
+class TestECDIREPrediction:
+    def test_separable_problem_accuracy_and_earliness(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = ECDIREClassifier(n_checkpoints=8).fit(series[::2], labels[::2])
+        assert model.score(series[1::2], labels[1::2]) >= 0.9
+        assert model.average_earliness(series[1::2]) < 1.0
+
+    def test_full_prefix_always_ready(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = ECDIREClassifier(n_checkpoints=8).fit(series, labels)
+        assert model.predict_partial(series[0]).ready
+
+    def test_gunpoint_accuracy_band(self, gunpoint_medium):
+        train, test = gunpoint_medium
+        model = ECDIREClassifier().fit(train.series, train.labels)
+        assert model.score(test.series[:20], test.labels[:20]) >= 0.75
+
+
+class TestCostAwareConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CostAwareEarlyClassifier(misclassification_cost=0.0)
+        with pytest.raises(ValueError):
+            CostAwareEarlyClassifier(delay_cost_per_unit=-1.0)
+        with pytest.raises(ValueError):
+            CostAwareEarlyClassifier(n_checkpoints=1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CostAwareEarlyClassifier().predict_partial(np.zeros(10))
+
+
+class TestCostAwareBehaviour:
+    def test_expected_error_decreases_with_length_overall(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = CostAwareEarlyClassifier(n_checkpoints=8).fit(series, labels)
+        checkpoints = model.checkpoints()
+        assert model.expected_error_[checkpoints[-1]] <= model.expected_error_[checkpoints[0]]
+
+    def test_cost_accessors(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = CostAwareEarlyClassifier(n_checkpoints=8).fit(series, labels)
+        checkpoint = model.checkpoints()[2]
+        assert model.expected_cost_of_stopping_at(checkpoint) >= 0.0
+        assert model.expected_cost_of_stopping_now(0.9, checkpoint) >= 0.0
+        with pytest.raises(KeyError):
+            model.expected_cost_of_stopping_at(999)
+        with pytest.raises(ValueError):
+            model.expected_cost_of_stopping_now(1.5, checkpoint)
+
+    def test_separable_problem_accuracy(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = CostAwareEarlyClassifier(n_checkpoints=8).fit(series[::2], labels[::2])
+        assert model.score(series[1::2], labels[1::2]) >= 0.9
+
+    def test_higher_delay_cost_triggers_no_later(self, gunpoint_medium):
+        train, test = gunpoint_medium
+        cheap_delay = CostAwareEarlyClassifier(delay_cost_per_unit=0.1, n_checkpoints=10)
+        costly_delay = CostAwareEarlyClassifier(delay_cost_per_unit=3.0, n_checkpoints=10)
+        cheap_delay.fit(train.series, train.labels)
+        costly_delay.fit(train.series, train.labels)
+        sample = test.series[:10]
+        assert costly_delay.average_earliness(sample) <= cheap_delay.average_earliness(sample) + 1e-9
+
+    def test_zero_delay_cost_waits_for_best_accuracy(self, tiny_two_class):
+        # With no pressure to stop, the model should only stop once waiting
+        # cannot improve the training-estimated error any further.
+        series, labels = tiny_two_class
+        model = CostAwareEarlyClassifier(delay_cost_per_unit=0.0, n_checkpoints=8)
+        model.fit(series[::2], labels[::2])
+        assert model.score(series[1::2], labels[1::2]) >= 0.9

@@ -1,0 +1,103 @@
+"""Unit tests for EDSC (Chebyshev and KDE threshold learning)."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.edsc import EDSCClassifier, _best_match_distances, _sliding_windows
+
+
+class TestHelpers:
+    def test_sliding_windows_shape_and_content(self):
+        series = np.arange(20.0).reshape(2, 10)
+        windows = _sliding_windows(series, 4)
+        assert windows.shape == (2, 7, 4)
+        np.testing.assert_allclose(windows[0, 0], series[0, :4])
+        np.testing.assert_allclose(windows[1, 3], series[1, 3:7])
+
+    def test_best_match_distances_match_brute_force(self):
+        rng = np.random.default_rng(0)
+        candidates = rng.standard_normal((3, 5))
+        series = rng.standard_normal((4, 20))
+        distances, ends = _best_match_distances(candidates, series)
+        assert distances.shape == (3, 4)
+        for i in range(3):
+            for j in range(4):
+                brute = min(
+                    np.linalg.norm(candidates[i] - series[j, s : s + 5])
+                    for s in range(16)
+                )
+                assert distances[i, j] == pytest.approx(brute, abs=1e-9)
+                assert 5 <= ends[i, j] <= 20
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            EDSCClassifier(threshold_method="chebby")
+        with pytest.raises(ValueError):
+            EDSCClassifier(chebyshev_k=0)
+        with pytest.raises(ValueError):
+            EDSCClassifier(target_precision=0.3)
+        with pytest.raises(ValueError):
+            EDSCClassifier(shapelet_length_fractions=())
+        with pytest.raises(ValueError):
+            EDSCClassifier(shapelet_length_fractions=(0.0,))
+        with pytest.raises(ValueError):
+            EDSCClassifier(position_step=0)
+        with pytest.raises(ValueError):
+            EDSCClassifier(max_candidates_per_class=0)
+
+
+class TestTraining:
+    def test_selects_shapelets(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = EDSCClassifier(threshold_method="che").fit(series, labels)
+        assert model.shapelets_
+        for shapelet in model.shapelets_:
+            assert shapelet.threshold > 0
+            assert shapelet.label in model.classes_
+            assert 0.0 <= shapelet.precision <= 1.0
+
+    def test_kde_variant_trains(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = EDSCClassifier(threshold_method="kde").fit(series, labels)
+        assert model.shapelets_
+
+    def test_shapelet_values_come_from_training_series(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = EDSCClassifier(threshold_method="che").fit(series, labels)
+        shapelet = model.shapelets_[0]
+        source = series[shapelet.source_index]
+        np.testing.assert_allclose(
+            shapelet.values,
+            source[shapelet.source_position : shapelet.source_position + shapelet.length],
+        )
+
+
+class TestPrediction:
+    def test_separable_problem_accuracy_and_earliness(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = EDSCClassifier(threshold_method="che").fit(series[::2], labels[::2])
+        assert model.score(series[1::2], labels[1::2]) >= 0.9
+        assert model.average_earliness(series[1::2]) < 1.0
+
+    def test_partial_on_short_prefix_not_ready(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = EDSCClassifier(threshold_method="che").fit(series, labels)
+        shortest = min(s.length for s in model.shapelets_)
+        partial = model.predict_partial(series[0][: max(shortest - 1, 1)])
+        assert not partial.ready
+
+    def test_gunpoint_normalized_vs_denormalized(self, gunpoint_medium):
+        from repro.data.denormalize import denormalize_dataset
+
+        train, test = gunpoint_medium
+        model = EDSCClassifier(threshold_method="che")
+        model.fit(train.series, train.labels)
+        clean = model.score(test.series, test.labels)
+        shifted = denormalize_dataset(test, seed=2)
+        perturbed = model.score(shifted.series, shifted.labels)
+        assert clean >= 0.75
+        # The Table 1 phenomenon: matching raw values against thresholds
+        # learned on normalised data collapses under a trivial offset.
+        assert perturbed <= clean - 0.1

@@ -1,0 +1,86 @@
+"""Unit tests for the per-prefix-length probabilistic classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.prefix_probability import PrefixProbabilisticClassifier
+
+
+class TestFit:
+    def test_calibrated_checkpoints_cover_range(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = PrefixProbabilisticClassifier().fit(series, labels)
+        checkpoints = model.calibrated_checkpoints
+        assert checkpoints[0] >= 3
+        assert checkpoints[-1] == series.shape[1]
+
+    def test_explicit_checkpoints_validated(self, tiny_two_class):
+        series, labels = tiny_two_class
+        with pytest.raises(ValueError):
+            PrefixProbabilisticClassifier(checkpoints=[0, 10]).fit(series, labels)
+        with pytest.raises(ValueError):
+            PrefixProbabilisticClassifier(checkpoints=[10, 99]).fit(series, labels)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            PrefixProbabilisticClassifier().fit(np.zeros(10), ["a"])
+
+    def test_unfitted_query_raises(self):
+        with pytest.raises(RuntimeError):
+            PrefixProbabilisticClassifier().predict_proba_prefix(np.zeros(5))
+
+
+class TestPrediction:
+    def test_probabilities_sum_to_one(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = PrefixProbabilisticClassifier().fit(series, labels)
+        result = model.predict_proba_prefix(series[0][:20])
+        assert sum(result.probabilities.values()) == pytest.approx(1.0)
+        assert 0.0 <= result.margin <= 1.0
+
+    def test_full_prefix_classifies_correctly(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = PrefixProbabilisticClassifier().fit(series[::2], labels[::2])
+        for row, label in zip(series[1::2], labels[1::2]):
+            assert model.predict_proba_prefix(row).label == label
+
+    def test_confidence_grows_with_evidence(self, tiny_two_class):
+        # On a separable problem, seeing more of the exemplar should (weakly)
+        # increase the winner's probability.
+        series, labels = tiny_two_class
+        model = PrefixProbabilisticClassifier().fit(series[::2], labels[::2])
+        row = series[1]
+        early = model.predict_proba_prefix(row[:5]).confidence
+        late = model.predict_proba_prefix(row).confidence
+        assert late >= early - 0.05
+
+    def test_exclude_removes_self_match(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = PrefixProbabilisticClassifier().fit(series, labels)
+        with_self = model.predict_proba_prefix(series[0])
+        without_self = model.predict_proba_prefix(series[0], exclude=0)
+        assert without_self.confidence <= with_self.confidence + 1e-9
+
+    def test_exclude_out_of_range(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = PrefixProbabilisticClassifier().fit(series, labels)
+        with pytest.raises(IndexError):
+            model.predict_proba_prefix(series[0], exclude=99)
+
+    def test_prefix_too_short_rejected(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = PrefixProbabilisticClassifier(min_length=5).fit(series, labels)
+        with pytest.raises(ValueError):
+            model.predict_proba_prefix(series[0][:3])
+
+    def test_prefix_too_long_rejected(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = PrefixProbabilisticClassifier().fit(series, labels)
+        with pytest.raises(ValueError):
+            model.predict_proba_prefix(np.zeros(series.shape[1] + 1))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PrefixProbabilisticClassifier(min_length=0)
+        with pytest.raises(ValueError):
+            PrefixProbabilisticClassifier(n_neighbors=0)

@@ -1,0 +1,102 @@
+"""Unit tests for the Reliable / LDG early classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.reliable import LDGReliableEarlyClassifier, ReliableEarlyClassifier
+
+FAST = dict(n_monte_carlo=30, checkpoint_fractions=(0.2, 0.4, 0.6, 0.8, 1.0))
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ReliableEarlyClassifier(tau=0.6)
+        with pytest.raises(ValueError):
+            ReliableEarlyClassifier(shrinkage=1.5)
+        with pytest.raises(ValueError):
+            ReliableEarlyClassifier(n_monte_carlo=5)
+        with pytest.raises(ValueError):
+            ReliableEarlyClassifier(checkpoint_fractions=())
+        with pytest.raises(ValueError):
+            ReliableEarlyClassifier(posterior_tempering=-1.0)
+        with pytest.raises(ValueError):
+            LDGReliableEarlyClassifier(n_local=2)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ReliableEarlyClassifier().predict_partial(np.zeros(10))
+
+
+class TestGaussianModel:
+    def test_class_models_fitted_per_class(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = ReliableEarlyClassifier(**FAST).fit(series, labels)
+        assert len(model._models) == 2
+        priors = [m.prior for m in model._models]
+        assert sum(priors) == pytest.approx(1.0)
+        for class_model in model._models:
+            assert class_model.mean.shape == (series.shape[1],)
+            assert class_model.covariance.shape == (series.shape[1], series.shape[1])
+
+    def test_posterior_sums_to_one(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = ReliableEarlyClassifier(**FAST).fit(series, labels)
+        posterior = model._posterior_given_prefix(series[0][:10], model._models)
+        assert sum(posterior.values()) == pytest.approx(1.0)
+
+    def test_conditional_suffix_shapes(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = ReliableEarlyClassifier(**FAST).fit(series, labels)
+        mean, cov = model._models[0].conditional_suffix(series[0][:10])
+        suffix = series.shape[1] - 10
+        assert mean.shape == (suffix,)
+        assert cov.shape == (suffix, suffix)
+        # Covariance must be symmetric positive semi-definite (up to ridge).
+        assert np.allclose(cov, cov.T)
+        assert np.min(np.linalg.eigvalsh(cov)) > -1e-8
+
+
+class TestPrediction:
+    def test_separable_problem_accuracy(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = ReliableEarlyClassifier(**FAST).fit(series[::2], labels[::2])
+        assert model.score(series[1::2], labels[1::2]) >= 0.9
+
+    def test_triggers_early_on_separable_problem(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = ReliableEarlyClassifier(**FAST).fit(series[::2], labels[::2])
+        assert model.average_earliness(series[1::2]) < 1.0
+
+    def test_full_prefix_is_always_ready(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = ReliableEarlyClassifier(**FAST).fit(series, labels)
+        partial = model.predict_partial(series[0])
+        assert partial.ready
+
+    def test_smaller_tau_never_triggers_earlier(self, tiny_two_class):
+        series, labels = tiny_two_class
+        lenient = ReliableEarlyClassifier(tau=0.3, random_state=5, **FAST).fit(series[::2], labels[::2])
+        strict = ReliableEarlyClassifier(tau=0.01, random_state=5, **FAST).fit(series[::2], labels[::2])
+        lenient_earliness = lenient.average_earliness(series[1::2])
+        strict_earliness = strict.average_earliness(series[1::2])
+        assert strict_earliness >= lenient_earliness - 0.05
+
+    def test_ldg_variant_works(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = LDGReliableEarlyClassifier(n_local=8, **FAST).fit(series[::2], labels[::2])
+        assert model.score(series[1::2], labels[1::2]) >= 0.9
+
+    def test_ldg_local_models_cover_both_classes(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = LDGReliableEarlyClassifier(n_local=6, **FAST).fit(series, labels)
+        local_models = model._models_for_prefix(series[0][:10])
+        assert {m.label for m in local_models} == set(model.classes_)
+
+    def test_reliability_estimate_in_unit_interval(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = ReliableEarlyClassifier(**FAST).fit(series, labels)
+        posterior = model._posterior_given_prefix(series[0][:12], model._models)
+        label = max(posterior, key=posterior.get)
+        reliability = model._estimate_reliability(series[0][:12], label, model._models, posterior)
+        assert 0.0 <= reliability <= 1.0

@@ -1,0 +1,84 @@
+"""Unit tests for the TEASER early classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.teaser import TEASERClassifier, _OneClassGaussian
+
+
+class TestOneClassGaussian:
+    def test_accepts_inliers_rejects_outliers(self):
+        rng = np.random.default_rng(0)
+        rows = rng.standard_normal((200, 3)) * 0.1 + np.array([1.0, 0.0, 0.5])
+        model = _OneClassGaussian.fit(rows, quantile=0.95)
+        assert model.accepts(np.array([1.0, 0.0, 0.5]))
+        assert not model.accepts(np.array([10.0, 10.0, 10.0]))
+
+    def test_threshold_positive(self):
+        rng = np.random.default_rng(1)
+        rows = rng.standard_normal((50, 2))
+        model = _OneClassGaussian.fit(rows, quantile=0.9)
+        assert model.threshold > 0
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TEASERClassifier(n_checkpoints=1)
+        with pytest.raises(ValueError):
+            TEASERClassifier(consecutive_required=0)
+        with pytest.raises(ValueError):
+            TEASERClassifier(candidate_v=())
+        with pytest.raises(ValueError):
+            TEASERClassifier(master_quantile=0.2)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TEASERClassifier().predict_early(np.zeros(10))
+
+
+class TestTraining:
+    def test_consecutive_requirement_selected_from_candidates(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = TEASERClassifier(n_checkpoints=8, candidate_v=(1, 2, 3)).fit(series, labels)
+        assert model.consecutive_required_ in (1, 2, 3)
+
+    def test_explicit_consecutive_requirement_respected(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = TEASERClassifier(n_checkpoints=8, consecutive_required=2).fit(series, labels)
+        assert model.consecutive_required_ == 2
+
+    def test_masters_fitted_per_checkpoint(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = TEASERClassifier(n_checkpoints=8, consecutive_required=2).fit(series, labels)
+        assert set(model._masters) == set(model.checkpoints())
+
+
+class TestPrediction:
+    def test_separable_problem_accuracy_and_earliness(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = TEASERClassifier(n_checkpoints=8).fit(series[::2], labels[::2])
+        assert model.score(series[1::2], labels[1::2]) >= 0.9
+        assert model.average_earliness(series[1::2]) < 1.0
+
+    def test_larger_v_never_triggers_earlier(self, tiny_two_class):
+        series, labels = tiny_two_class
+        eager = TEASERClassifier(n_checkpoints=8, consecutive_required=1).fit(series[::2], labels[::2])
+        patient = TEASERClassifier(n_checkpoints=8, consecutive_required=4).fit(series[::2], labels[::2])
+        assert patient.average_earliness(series[1::2]) >= eager.average_earliness(series[1::2]) - 1e-9
+
+    def test_history_contains_partial_predictions(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = TEASERClassifier(n_checkpoints=8, consecutive_required=2).fit(series, labels)
+        outcome = model.predict_early(series[0], keep_history=True)
+        assert outcome.history
+        assert all(p.prefix_length <= series.shape[1] for p in outcome.history)
+
+    def test_gunpoint_behaviour(self, gunpoint_medium):
+        train, test = gunpoint_medium
+        model = TEASERClassifier().fit(train.series, train.labels)
+        accuracy = model.score(test.series[:20], test.labels[:20])
+        earliness = model.average_earliness(test.series[:20])
+        # TEASER should be clearly better than chance and commit before the end.
+        assert accuracy >= 0.7
+        assert earliness < 0.95

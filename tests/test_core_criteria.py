@@ -1,0 +1,94 @@
+"""Unit tests for the cost/benefit and prior-probability criteria."""
+
+import pytest
+
+from repro.core.criteria import CostBenefitCriterion, PriorProbabilityCriterion
+from repro.streaming.costs import CostModel
+from repro.streaming.metrics import StreamingEvaluation
+
+
+def _evaluation(tp: int, fp: int, fn: int) -> StreamingEvaluation:
+    return StreamingEvaluation(
+        n_alarms=tp + fp,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        precision=tp / (tp + fp) if tp + fp else 0.0,
+        recall=tp / (tp + fn) if tp + fn else 0.0,
+        false_positives_per_true_positive=fp / tp if tp else (float("inf") if fp else 0.0),
+        false_alarms_per_1000_samples=0.0,
+        mean_fraction_of_event_seen=None,
+        stream_length=100_000,
+    )
+
+
+class TestCostBenefitCriterion:
+    def test_good_detector_passes(self):
+        result = CostBenefitCriterion().evaluate(_evaluation(tp=10, fp=5, fn=0))
+        assert result.passed
+        assert result.name == "cost_benefit"
+        assert result.severity == pytest.approx(0.0)
+
+    def test_bad_detector_fails(self):
+        result = CostBenefitCriterion().evaluate(_evaluation(tp=1, fp=100, fn=3))
+        assert not result.passed
+        assert result.severity > 0.5
+        assert "false positives" in result.summary
+
+    def test_no_true_positives_maximal_severity(self):
+        result = CostBenefitCriterion().evaluate(_evaluation(tp=0, fp=10, fn=5))
+        assert not result.passed
+        assert result.severity == 1.0
+
+    def test_custom_cost_model(self):
+        criterion = CostBenefitCriterion(CostModel(event_cost=100.0, action_cost=100.0))
+        result = criterion.evaluate(_evaluation(tp=5, fp=1, fn=0))
+        # An action as expensive as the event it averts can never net a saving.
+        assert not result.passed or result.details["net_saving"] >= 0
+
+    def test_details_contain_numbers(self):
+        result = CostBenefitCriterion().evaluate(_evaluation(tp=2, fp=3, fn=1))
+        assert "net_saving" in result.details
+        assert "break_even_false_positives_per_true_positive" in result.details
+
+
+class TestPriorProbabilityCriterion:
+    def test_common_event_passes(self):
+        result = PriorProbabilityCriterion().evaluate(
+            event_prior=0.2, per_window_false_positive_rate=0.01
+        )
+        assert result.passed
+        assert result.name == "prior_probability"
+
+    def test_rare_event_fails(self):
+        # A 0.01% prior with a 1% per-window false-positive rate means ~100
+        # false alarms for every true event -- the paper's core arithmetic.
+        result = PriorProbabilityCriterion().evaluate(
+            event_prior=0.0001, per_window_false_positive_rate=0.01
+        )
+        assert not result.passed
+        assert result.details["expected_false_positives_per_true_positive"] > 50
+
+    def test_zero_prior_infinite_ratio(self):
+        result = PriorProbabilityCriterion().evaluate(
+            event_prior=0.0, per_window_false_positive_rate=0.01
+        )
+        assert not result.passed
+        assert result.severity == 1.0
+
+    def test_perfect_detector_with_zero_fpr_passes(self):
+        result = PriorProbabilityCriterion().evaluate(
+            event_prior=0.001, per_window_false_positive_rate=0.0
+        )
+        assert result.passed
+
+    def test_validation(self):
+        criterion = PriorProbabilityCriterion()
+        with pytest.raises(ValueError):
+            criterion.evaluate(event_prior=1.5, per_window_false_positive_rate=0.1)
+        with pytest.raises(ValueError):
+            criterion.evaluate(event_prior=0.5, per_window_false_positive_rate=-0.1)
+        with pytest.raises(ValueError):
+            criterion.evaluate(
+                event_prior=0.5, per_window_false_positive_rate=0.1, per_window_true_positive_rate=2.0
+            )

@@ -1,0 +1,137 @@
+"""Unit tests for the homophone analysis, normalisation audit and prefix curve."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.threshold import ProbabilityThresholdClassifier
+from repro.core.homophone_analysis import find_time_series_homophones, homophone_analysis
+from repro.core.normalization_audit import audit_normalization_sensitivity
+from repro.core.prefix_accuracy import PrefixAccuracyCurve, compute_prefix_accuracy_curve
+from repro.data.random_walk import smoothed_random_walk
+
+
+class TestFindHomophones:
+    def test_returns_k_hits_per_corpus(self, gunpoint_small):
+        _, test = gunpoint_small
+        corpora = {"walk": smoothed_random_walk(20_000, seed=1)}
+        hits = find_time_series_homophones(test.series[0], corpora, k=3)
+        assert set(hits) == {"walk"}
+        assert len(hits["walk"]) == 3
+        distances = [d for _, d in hits["walk"]]
+        assert distances == sorted(distances)
+
+    def test_planted_copy_is_found(self, gunpoint_small):
+        _, test = gunpoint_small
+        query = test.series[0]
+        corpus = smoothed_random_walk(5_000, seed=2)
+        corpus[1000 : 1000 + query.shape[0]] = query * 3.0 + 7.0  # offset/scale no hiding place
+        hits = find_time_series_homophones(query, {"planted": corpus}, k=1)
+        position, distance = hits["planted"][0]
+        assert abs(position - 1000) <= 2
+        assert distance < 0.5
+
+    def test_corpus_shorter_than_query_rejected(self, gunpoint_small):
+        _, test = gunpoint_small
+        with pytest.raises(ValueError):
+            find_time_series_homophones(test.series[0], {"tiny": np.zeros(10)})
+
+    def test_empty_corpora_rejected(self, gunpoint_small):
+        _, test = gunpoint_small
+        with pytest.raises(ValueError):
+            find_time_series_homophones(test.series[0], {})
+
+
+class TestHomophoneAnalysis:
+    def test_large_random_walk_contains_homophones(self, gunpoint_medium):
+        # The Fig. 5 claim at laptop scale: a long enough featureless corpus
+        # contains subsequences closer to a gesture than another gesture of
+        # the same class is.
+        _, test = gunpoint_medium
+        corpora = {"walk": smoothed_random_walk(2 ** 18, seed=3)}
+        analysis = homophone_analysis(test, corpora, n_queries=2, seed=5)
+        assert analysis.fraction_with_closer_homophone >= 0.5
+        for query in analysis.queries:
+            assert query.in_class_distance > 0
+            assert query.nearest_corpus_distance() < np.inf
+
+    def test_result_bookkeeping(self, gunpoint_small):
+        _, test = gunpoint_small
+        corpora = {"walk": smoothed_random_walk(10_000, seed=4)}
+        analysis = homophone_analysis(test, corpora, n_queries=3, k=2, seed=1)
+        assert len(analysis.queries) == 3
+        assert analysis.corpora_sizes == {"walk": 10_000}
+
+    def test_validation(self, gunpoint_small):
+        _, test = gunpoint_small
+        with pytest.raises(ValueError):
+            homophone_analysis(test, {"walk": smoothed_random_walk(5_000)}, n_queries=0)
+
+
+class TestNormalizationAudit:
+    def test_audit_reports_drop_for_raw_value_model(self, gunpoint_medium):
+        train, test = gunpoint_medium
+        audit = audit_normalization_sensitivity(
+            lambda: ProbabilityThresholdClassifier(threshold=0.8, min_length=10, checkpoint_step=5),
+            train,
+            test.subset(range(30)),
+            algorithm_name="threshold",
+        )
+        assert audit.algorithm == "threshold"
+        assert 0.0 <= audit.normalized.accuracy <= 1.0
+        assert audit.accuracy_drop == pytest.approx(
+            audit.normalized.accuracy - audit.denormalized.accuracy
+        )
+        # The threshold model consumes raw values, so the perturbation hurts.
+        assert audit.accuracy_drop > 0.0
+        assert audit.is_sensitive == (audit.accuracy_drop > 0.05)
+
+    def test_length_mismatch_rejected(self, gunpoint_medium, gunpoint_small):
+        train, _ = gunpoint_medium
+        _, other_test = gunpoint_small
+        with pytest.raises(ValueError):
+            audit_normalization_sensitivity(
+                lambda: ProbabilityThresholdClassifier(), train, other_test
+            )
+
+
+class TestPrefixAccuracyCurve:
+    def test_compute_on_gunpoint(self, gunpoint_medium_raw):
+        train, test = gunpoint_medium_raw
+        curve = compute_prefix_accuracy_curve(train, test, lengths=[20, 50, 100, 150])
+        assert curve.lengths == (20, 50, 100, 150)
+        assert len(curve.accuracies) == 4
+        assert curve.series_length == 150
+        assert curve.renormalized
+
+    def test_headline_numbers(self, gunpoint_medium_raw):
+        train, test = gunpoint_medium_raw
+        curve = compute_prefix_accuracy_curve(train, test, lengths=[20, 40, 50, 60, 100, 150])
+        # The discriminative region ends near sample 60, so a mid-length
+        # prefix should do at least as well as the full exemplar.
+        assert curve.accuracy_at(50) >= curve.full_length_accuracy - 0.05
+        assert curve.shortest_length_matching_full(tolerance=0.05) <= 100
+        assert 0.0 < curve.fraction_needed(tolerance=0.05) <= 1.0
+        assert curve.best_length() in curve.lengths
+
+    def test_error_rates_complement_accuracies(self):
+        curve = PrefixAccuracyCurve(
+            lengths=(10, 20), accuracies=(0.7, 0.9), series_length=20, renormalized=True
+        )
+        assert curve.error_rates == (pytest.approx(0.3), pytest.approx(0.1))
+        assert curve.beats_full_length() is False
+        assert curve.as_rows()[0] == (10, 0.7, pytest.approx(0.3))
+
+    def test_accuracy_at_unknown_length_raises(self):
+        curve = PrefixAccuracyCurve(
+            lengths=(10, 20), accuracies=(0.7, 0.9), series_length=20, renormalized=True
+        )
+        with pytest.raises(KeyError):
+            curve.accuracy_at(15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefixAccuracyCurve(lengths=(10,), accuracies=(0.5, 0.6), series_length=20, renormalized=True)
+        with pytest.raises(ValueError):
+            PrefixAccuracyCurve(lengths=(20, 10), accuracies=(0.5, 0.6), series_length=20, renormalized=True)
+        with pytest.raises(ValueError):
+            PrefixAccuracyCurve(lengths=(), accuracies=(), series_length=20, renormalized=True)

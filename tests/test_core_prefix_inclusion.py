@@ -1,0 +1,142 @@
+"""Unit tests for the prefix and inclusion analyses."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.threshold import ProbabilityThresholdClassifier
+from repro.core.inclusion_analysis import ZipfLexiconModel, analyze_lexical_inclusions
+from repro.core.prefix_analysis import analyze_lexical_prefixes, count_false_triggers
+from repro.data.words import LEXICON, WordSynthesizer, make_word_dataset
+
+
+class TestLexicalPrefixAnalysis:
+    def test_cat_dog_families_found(self):
+        result = analyze_lexical_prefixes(["cat", "dog"], LEXICON)
+        assert not result.collision_free
+        assert result.collision_counts["cat"] >= 4  # cathy, cattle, catalog, catechism, catholic
+        assert result.collision_counts["dog"] >= 3  # dogmatic, dogmatized, doggery, doggedness
+        confounders = {c.confounder for c in result.collisions_for("cat")}
+        assert "catalog" in confounders and "catechism" in confounders
+
+    def test_all_collisions_are_prefix_kind(self):
+        result = analyze_lexical_prefixes(["gun"], LEXICON)
+        assert all(c.kind == "prefix" for c in result.collisions)
+        assert all(0 < c.overlap_fraction < 1 for c in result.collisions)
+
+    def test_collision_free_target(self):
+        result = analyze_lexical_prefixes(["xylophone"], LEXICON)
+        assert result.collision_free
+        assert result.collision_counts["xylophone"] == 0
+
+    def test_sequence_lexicon_accepted(self):
+        result = analyze_lexical_prefixes(["cat"], ["cat", "catalog", "dog"])
+        assert result.collision_counts["cat"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analyze_lexical_prefixes([], LEXICON)
+        with pytest.raises(ValueError):
+            analyze_lexical_prefixes(["cat"], [])
+
+
+class TestLexicalInclusionAnalysis:
+    def test_point_inclusions_found(self):
+        result = analyze_lexical_inclusions(["point", "gun"], LEXICON)
+        point_confounders = {c.confounder for c in result.collisions if c.target == "point"}
+        assert "appointment" in point_confounders
+        assert "disappointing" in point_confounders
+        gun_confounders = {c.confounder for c in result.collisions if c.target == "gun"}
+        assert "begun" in gun_confounders
+        assert "burgundy" in gun_confounders
+
+    def test_prefix_entries_excluded_by_default(self):
+        result = analyze_lexical_inclusions(["cat"], LEXICON)
+        confounders = {c.confounder for c in result.collisions}
+        assert "catalog" not in confounders  # that one is a prefix collision
+
+    def test_prefix_entries_included_on_request(self):
+        result = analyze_lexical_inclusions(["cat"], LEXICON, include_prefixes=True)
+        confounders = {c.confounder for c in result.collisions}
+        assert "catalog" in confounders
+
+    def test_weight_family(self):
+        result = analyze_lexical_inclusions(["weight"], LEXICON)
+        confounders = {c.confounder for c in result.collisions}
+        assert {"lightweight", "paperweight"} <= confounders
+
+
+class TestZipfLexiconModel:
+    def test_frequencies_sum_to_one(self):
+        model = ZipfLexiconModel(list(LEXICON))
+        total = sum(model.frequency(w) for w in LEXICON)
+        assert total == pytest.approx(1.0)
+
+    def test_shorter_words_more_frequent_by_default(self):
+        model = ZipfLexiconModel(["cat", "catalog", "catechism"])
+        assert model.frequency("cat") > model.frequency("catalog") > model.frequency("catechism")
+
+    def test_explicit_ranks(self):
+        model = ZipfLexiconModel(["a", "b"], ranks={"a": 2, "b": 1})
+        assert model.frequency("b") > model.frequency("a")
+
+    def test_explicit_ranks_must_cover_lexicon(self):
+        with pytest.raises(ValueError):
+            ZipfLexiconModel(["a", "b"], ranks={"a": 1})
+
+    def test_innocuous_occurrence_ratio_exceeds_one_for_rich_families(self):
+        model = ZipfLexiconModel(list(LEXICON))
+        confounders = [w for w in LEXICON if "gun" in w and w != "gun"]
+        ratio = model.innocuous_occurrence_ratio("gun", confounders)
+        assert ratio > 0.5  # several confounders, each with non-trivial frequency
+
+    def test_sample_respects_lexicon(self):
+        model = ZipfLexiconModel(["cat", "dog", "gun"])
+        words = model.sample(50, np.random.default_rng(0))
+        assert set(words) <= {"cat", "dog", "gun"}
+
+    def test_unknown_word_raises(self):
+        model = ZipfLexiconModel(["cat"])
+        with pytest.raises(KeyError):
+            model.frequency("dog")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfLexiconModel([])
+        with pytest.raises(ValueError):
+            ZipfLexiconModel(["cat"], exponent=0.0)
+        with pytest.raises(ValueError):
+            ZipfLexiconModel(["cat"]).sample(0, np.random.default_rng(0))
+
+
+class TestCountFalseTriggers:
+    @pytest.fixture(scope="class")
+    def word_classifier(self):
+        dataset = make_word_dataset(n_per_class=12, znormalize=False, seed=3)
+        model = ProbabilityThresholdClassifier(threshold=0.8, min_length=20, checkpoint_step=3)
+        return model.fit(dataset.series, dataset.labels)
+
+    def test_prefix_confounders_trigger(self, word_classifier):
+        synthesizer = WordSynthesizer(seed=3)
+        rng = np.random.default_rng(10)
+        confounders = [
+            synthesizer.synthesize_word(w, rng=rng)
+            for w in ("cathy", "dogmatic", "catechism", "dogmatized", "catholic", "doggery")
+        ]
+        report = count_false_triggers(word_classifier, confounders)
+        assert report.n_confounders == 6
+        # The prefix problem: most of these longer words fire the classifier.
+        assert report.trigger_rate >= 0.5
+        assert report.mean_trigger_fraction is not None
+        assert report.mean_trigger_fraction < 1.0
+
+    def test_requires_fitted_classifier(self):
+        with pytest.raises(ValueError):
+            count_false_triggers(ProbabilityThresholdClassifier(), [np.zeros(50)])
+
+    def test_rejects_all_too_short(self, word_classifier):
+        with pytest.raises(ValueError):
+            count_false_triggers(word_classifier, [np.zeros(3)])
+
+    def test_rejects_2d_confounder(self, word_classifier):
+        with pytest.raises(ValueError):
+            count_false_triggers(word_classifier, [np.zeros((3, 50))])

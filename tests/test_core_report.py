@@ -1,0 +1,89 @@
+"""Unit tests for the combined meaningfulness report."""
+
+import pytest
+
+from repro.core.criteria import CostBenefitCriterion, PriorProbabilityCriterion
+from repro.core.inclusion_analysis import analyze_lexical_inclusions
+from repro.core.prefix_accuracy import PrefixAccuracyCurve
+from repro.core.prefix_analysis import analyze_lexical_prefixes
+from repro.core.report import assess_meaningfulness
+from repro.data.words import LEXICON
+from repro.streaming.metrics import StreamingEvaluation
+
+
+def _evaluation(tp: int, fp: int, fn: int) -> StreamingEvaluation:
+    return StreamingEvaluation(
+        n_alarms=tp + fp,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        precision=tp / (tp + fp) if tp + fp else 0.0,
+        recall=tp / (tp + fn) if tp + fn else 0.0,
+        false_positives_per_true_positive=fp / tp if tp else (float("inf") if fp else 0.0),
+        false_alarms_per_1000_samples=0.0,
+        mean_fraction_of_event_seen=None,
+        stream_length=100_000,
+    )
+
+
+class TestAssessMeaningfulness:
+    def test_word_domain_fails_confusability(self):
+        report = assess_meaningfulness(
+            domain="spoken words (cat/dog)",
+            prefix_result=analyze_lexical_prefixes(["cat", "dog"], LEXICON),
+            inclusion_result=analyze_lexical_inclusions(["cat", "dog"], LEXICON),
+        )
+        assert not report.meaningful
+        confusability = report.criterion("confusability")
+        assert not confusability.passed
+        assert report.failed_criteria()[0].name == "confusability"
+
+    def test_clean_domain_passes(self):
+        report = assess_meaningfulness(
+            domain="clean domain",
+            cost_criterion=CostBenefitCriterion().evaluate(_evaluation(tp=20, fp=5, fn=0)),
+            prior_criterion=PriorProbabilityCriterion().evaluate(
+                event_prior=0.1, per_window_false_positive_rate=0.001
+            ),
+            prefix_result=analyze_lexical_prefixes(["dustbathing"], ["dustbathing", "walking"]),
+        )
+        assert report.meaningful
+        assert report.failed_criteria() == []
+
+    def test_added_value_criterion_with_claimed_earliness(self):
+        curve = PrefixAccuracyCurve(
+            lengths=(30, 60, 150),
+            accuracies=(0.93, 0.95, 0.93),
+            series_length=150,
+            renormalized=True,
+        )
+        better = assess_meaningfulness(
+            domain="x", prefix_curve=curve, claimed_earliness=0.1
+        )
+        worse = assess_meaningfulness(
+            domain="x", prefix_curve=curve, claimed_earliness=0.5
+        )
+        assert better.criterion("added_value").passed
+        assert not worse.criterion("added_value").passed
+
+    def test_requires_some_evidence(self):
+        with pytest.raises(ValueError):
+            assess_meaningfulness(domain="empty")
+
+    def test_unknown_criterion_lookup_raises(self):
+        report = assess_meaningfulness(
+            domain="x",
+            prefix_result=analyze_lexical_prefixes(["cat"], LEXICON),
+        )
+        with pytest.raises(KeyError):
+            report.criterion("does_not_exist")
+
+    def test_to_text_mentions_verdict_and_criteria(self):
+        report = assess_meaningfulness(
+            domain="spoken words",
+            prefix_result=analyze_lexical_prefixes(["cat", "dog"], LEXICON),
+        )
+        text = report.to_text()
+        assert "spoken words" in text
+        assert "confusability" in text
+        assert "NOT MEANINGFUL" in text

@@ -1,0 +1,103 @@
+"""Unit tests for the chicken-accelerometer behaviour simulator."""
+
+import numpy as np
+import pytest
+
+from repro.data.chicken import (
+    BEHAVIORS,
+    DUSTBATHING,
+    ChickenBehaviorSimulator,
+    dustbathing_template,
+)
+from repro.distance.profile import distance_profile
+
+
+class TestTemplate:
+    def test_default_length(self):
+        assert dustbathing_template().shape == (120,)
+
+    def test_custom_length(self):
+        assert dustbathing_template(length=90).shape == (90,)
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            dustbathing_template(length=10)
+
+    def test_rides_on_one_g_baseline(self):
+        template = dustbathing_template()
+        assert 0.5 < template.mean() < 1.5
+
+    def test_onset_has_energy(self):
+        # The discriminative onset: the first 30% is not flat.
+        template = dustbathing_template()
+        onset = template[: int(0.3 * 120)]
+        assert np.std(onset) > 0.3
+
+
+class TestSimulator:
+    def test_stream_length(self):
+        stream = ChickenBehaviorSimulator(seed=1).generate(20_000)
+        assert len(stream) == 20_000
+
+    def test_all_events_have_known_behaviours(self):
+        stream = ChickenBehaviorSimulator(seed=2).generate(20_000)
+        for event in stream.events:
+            assert event.label in BEHAVIORS
+
+    def test_rejects_tiny_stream(self):
+        with pytest.raises(ValueError):
+            ChickenBehaviorSimulator().generate(100)
+
+    def test_rejects_unknown_behaviour_weight(self):
+        with pytest.raises(ValueError):
+            ChickenBehaviorSimulator(behavior_weights={"flying": 1.0})
+
+    def test_weights_are_renormalised(self):
+        simulator = ChickenBehaviorSimulator(
+            behavior_weights={b: 2.0 for b in BEHAVIORS}
+        )
+        assert sum(simulator.behavior_weights.values()) == pytest.approx(1.0)
+
+    def test_dustbathing_is_rare_by_default(self):
+        simulator = ChickenBehaviorSimulator(seed=3)
+        stream = simulator.generate(150_000)
+        dust = stream.events_with_label(DUSTBATHING)
+        total = len(stream.events)
+        assert 0 < len(dust) < 0.2 * total
+
+    def test_deterministic_given_seed(self):
+        a = ChickenBehaviorSimulator(seed=11).generate(10_000)
+        b = ChickenBehaviorSimulator(seed=11).generate(10_000)
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_dustbathing_events_accessor(self):
+        simulator = ChickenBehaviorSimulator(seed=4)
+        stream = simulator.generate(100_000)
+        assert simulator.dustbathing_events(stream) == stream.events_with_label(DUSTBATHING)
+
+
+class TestTemplateMatchesBouts:
+    def test_dustbathing_bouts_match_template_closely(self):
+        # The Fig. 8 property: every dustbathing bout is within the paper's
+        # threshold (2.3) of the canonical template, and the truncated
+        # template's threshold (1.7) also recovers them.
+        weights = {"resting": 0.4, "walking": 0.25, "pecking": 0.15, "preening": 0.1, DUSTBATHING: 0.1}
+        simulator = ChickenBehaviorSimulator(seed=5, behavior_weights=weights)
+        stream = simulator.generate(120_000)
+        dust = stream.events_with_label(DUSTBATHING)
+        assert len(dust) >= 3
+
+        template = dustbathing_template()
+        profile = distance_profile(template, stream.values)
+        for event in dust[:10]:
+            window = profile[max(event.start - 20, 0) : event.start + 20]
+            assert window.min() <= 2.3
+
+    def test_other_behaviours_do_not_match_template(self):
+        weights = {"resting": 0.5, "walking": 0.3, "pecking": 0.15, "preening": 0.05, DUSTBATHING: 0.0}
+        simulator = ChickenBehaviorSimulator(seed=6, behavior_weights=weights)
+        stream = simulator.generate(60_000)
+        assert not stream.events_with_label(DUSTBATHING)
+        template = dustbathing_template()
+        profile = distance_profile(template, stream.values)
+        assert profile.min() > 2.3

@@ -1,0 +1,87 @@
+"""Unit tests for the EOG / EPG / random-walk corpus generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.eog import generate_eog
+from repro.data.epg import generate_epg
+from repro.data.random_walk import random_walk_background, smoothed_random_walk
+
+
+class TestEOG:
+    def test_length_and_finiteness(self):
+        signal = generate_eog(10_000, seed=1)
+        assert signal.shape == (10_000,)
+        assert np.all(np.isfinite(signal))
+
+    def test_deterministic_given_seed(self):
+        np.testing.assert_allclose(generate_eog(5_000, seed=2), generate_eog(5_000, seed=2))
+
+    def test_contains_fixations_and_saccades(self):
+        # Fixations mean many tiny steps; saccades mean a few large ones.
+        signal = generate_eog(20_000, seed=3)
+        steps = np.abs(np.diff(signal))
+        assert np.quantile(steps, 0.5) < 0.05
+        assert steps.max() > 0.2
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            generate_eog(10)
+
+    def test_rejects_bad_sampling_rate(self):
+        with pytest.raises(ValueError):
+            generate_eog(1_000, sampling_rate=1)
+
+
+class TestEPG:
+    def test_length_and_finiteness(self):
+        signal = generate_epg(10_000, seed=1)
+        assert signal.shape == (10_000,)
+        assert np.all(np.isfinite(signal))
+
+    def test_deterministic_given_seed(self):
+        np.testing.assert_allclose(generate_epg(5_000, seed=2), generate_epg(5_000, seed=2))
+
+    def test_has_oscillatory_probing_segments(self):
+        signal = generate_epg(50_000, seed=3)
+        # Probing waveforms put appreciable energy above the baseline noise.
+        assert np.std(signal) > 0.1
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            generate_epg(10)
+
+
+class TestRandomWalk:
+    def test_length(self):
+        assert smoothed_random_walk(4_096, seed=1).shape == (4_096,)
+
+    def test_deterministic_given_int_seed(self):
+        np.testing.assert_allclose(
+            smoothed_random_walk(2_000, seed=5), smoothed_random_walk(2_000, seed=5)
+        )
+
+    def test_accepts_generator_seed(self):
+        rng = np.random.default_rng(9)
+        walk = smoothed_random_walk(1_000, seed=rng)
+        assert walk.shape == (1_000,)
+
+    def test_smoothing_reduces_roughness(self):
+        rough = smoothed_random_walk(10_000, smoothing=1, seed=3)
+        smooth = smoothed_random_walk(10_000, smoothing=64, seed=3)
+        assert np.std(np.diff(smooth)) < np.std(np.diff(rough))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            smoothed_random_walk(1)
+        with pytest.raises(ValueError):
+            smoothed_random_walk(100, smoothing=0)
+        with pytest.raises(ValueError):
+            smoothed_random_walk(100, step_scale=0.0)
+
+    def test_background_source_callable(self):
+        source = random_walk_background(smoothing=8)
+        rng = np.random.default_rng(0)
+        chunk = source(500, rng)
+        assert chunk.shape == (500,)
+        assert source(0, rng).shape == (0,)

@@ -1,0 +1,84 @@
+"""Unit tests for the Fig. 6 denormalisation transform."""
+
+import numpy as np
+import pytest
+
+from repro.data.denormalize import denormalize_dataset, denormalize_series
+from repro.data.ucr_format import UCRDataset
+
+
+class TestDenormalizeSeries:
+    def test_offsets_within_range(self):
+        rng = np.random.default_rng(0)
+        series = np.zeros((50, 20))
+        shifted = denormalize_series(series, rng, offset_range=(-1.0, 1.0))
+        offsets = shifted[:, 0]
+        assert np.all(offsets >= -1.0) and np.all(offsets <= 1.0)
+
+    def test_offset_constant_within_exemplar(self):
+        rng = np.random.default_rng(1)
+        series = np.random.default_rng(2).standard_normal((5, 30))
+        shifted = denormalize_series(series, rng)
+        differences = shifted - series
+        for row in differences:
+            assert np.allclose(row, row[0])
+
+    def test_single_series_supported(self):
+        rng = np.random.default_rng(3)
+        series = np.arange(10.0)
+        shifted = denormalize_series(series, rng)
+        assert shifted.shape == (10,)
+        assert not np.allclose(shifted, series)
+
+    def test_scale_range_applied(self):
+        rng = np.random.default_rng(4)
+        series = np.ones((20, 10))
+        scaled = denormalize_series(series, rng, offset_range=(0.0, 0.0), scale_range=(2.0, 2.0))
+        np.testing.assert_allclose(scaled, 2.0 * series)
+
+    def test_bad_ranges_rejected(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            denormalize_series(np.zeros((2, 3)), rng, offset_range=(1.0, -1.0))
+        with pytest.raises(ValueError):
+            denormalize_series(np.zeros((2, 3)), rng, scale_range=(0.0, 1.0))
+
+
+class TestDenormalizeDataset:
+    def _dataset(self) -> UCRDataset:
+        rng = np.random.default_rng(6)
+        return UCRDataset(
+            name="toy",
+            series=rng.standard_normal((6, 12)),
+            labels=np.asarray(["a", "b"] * 3),
+            znormalized=True,
+        )
+
+    def test_flag_cleared_and_metadata_recorded(self):
+        dataset = self._dataset()
+        shifted = denormalize_dataset(dataset, seed=1)
+        assert not shifted.znormalized
+        assert shifted.metadata["denormalized"] is True
+        assert shifted.metadata["offset_range"] == (-1.0, 1.0)
+
+    def test_labels_untouched(self):
+        dataset = self._dataset()
+        shifted = denormalize_dataset(dataset)
+        assert np.array_equal(shifted.labels, dataset.labels)
+
+    def test_deterministic_given_seed(self):
+        dataset = self._dataset()
+        a = denormalize_dataset(dataset, seed=3)
+        b = denormalize_dataset(dataset, seed=3)
+        np.testing.assert_allclose(a.series, b.series)
+
+    def test_different_seed_differs(self):
+        dataset = self._dataset()
+        a = denormalize_dataset(dataset, seed=3)
+        b = denormalize_dataset(dataset, seed=4)
+        assert not np.allclose(a.series, b.series)
+
+    def test_shapes_preserved(self):
+        dataset = self._dataset()
+        shifted = denormalize_dataset(dataset)
+        assert shifted.series.shape == dataset.series.shape

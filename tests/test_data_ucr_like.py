@@ -1,0 +1,88 @@
+"""Unit tests for the CBF-like and Trace-like generators (padding conventions)."""
+
+import numpy as np
+import pytest
+
+from repro.data.ucr_like import (
+    CBFGenerator,
+    TraceLikeGenerator,
+    make_cbf_dataset,
+    make_trace_dataset,
+)
+from repro.distance.neighbors import KNeighborsTimeSeriesClassifier
+
+
+class TestCBFGenerator:
+    def test_exemplar_shapes_and_classes(self):
+        generator = CBFGenerator(seed=1)
+        for label in CBFGenerator.CLASSES:
+            assert generator.exemplar(label).shape == (128,)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            CBFGenerator().exemplar("square")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CBFGenerator(length=10)
+        with pytest.raises(ValueError):
+            CBFGenerator(pad_fraction=0.95)
+        with pytest.raises(ValueError):
+            CBFGenerator(noise_scale=-1)
+
+    def test_padding_region_is_flat(self):
+        generator = CBFGenerator(pad_fraction=0.4, seed=2)
+        exemplar = generator.exemplar("cylinder")
+        pad_start = int(128 * 0.6)
+        assert np.std(exemplar[pad_start:]) < 3 * generator.noise_scale
+
+    def test_deterministic_given_seed(self):
+        a = CBFGenerator(seed=5).generate(4, seed=5)
+        b = CBFGenerator(seed=5).generate(4, seed=5)
+        np.testing.assert_allclose(a.series, b.series)
+
+    def test_dataset_is_separable(self):
+        dataset = make_cbf_dataset(n_per_class=20, seed=3)
+        train = dataset.subset(range(0, dataset.n_exemplars, 2))
+        test = dataset.subset(range(1, dataset.n_exemplars, 2))
+        model = KNeighborsTimeSeriesClassifier().fit(train.series, train.labels)
+        assert model.score(test.series, test.labels) >= 0.85
+
+    def test_pad_fraction_recorded_in_metadata(self):
+        dataset = make_cbf_dataset(n_per_class=3, pad_fraction=0.25)
+        assert dataset.metadata["pad_fraction"] == 0.25
+
+
+class TestTraceLikeGenerator:
+    def test_exemplar_shapes_and_classes(self):
+        generator = TraceLikeGenerator(seed=1)
+        for label in TraceLikeGenerator.CLASSES:
+            assert generator.exemplar(label).shape == (150,)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            TraceLikeGenerator().exemplar("meltdown")
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TraceLikeGenerator(length=10)
+        with pytest.raises(ValueError):
+            TraceLikeGenerator(pad_fraction=0.95)
+
+    def test_step_classes_persist_into_tail(self):
+        generator = TraceLikeGenerator(seed=4, noise_scale=0.0)
+        up = generator.exemplar("step_up")
+        down = generator.exemplar("step_down")
+        assert up[-10:].mean() > 0.5
+        assert down[-10:].mean() < -0.5
+
+    def test_dataset_is_separable(self):
+        dataset = make_trace_dataset(n_per_class=15, seed=3)
+        train = dataset.subset(range(0, dataset.n_exemplars, 2))
+        test = dataset.subset(range(1, dataset.n_exemplars, 2))
+        model = KNeighborsTimeSeriesClassifier().fit(train.series, train.labels)
+        assert model.score(test.series, test.labels) >= 0.85
+
+    def test_four_classes_present(self):
+        dataset = make_trace_dataset(n_per_class=3)
+        assert dataset.n_classes == 4

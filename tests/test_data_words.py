@@ -1,0 +1,153 @@
+"""Unit tests for the spoken-word synthesiser."""
+
+import numpy as np
+import pytest
+
+from repro.data.words import (
+    LEXICON,
+    PHONEME_INVENTORY,
+    WordSynthesizer,
+    make_word_dataset,
+    resample_to_length,
+    synthesize_sentence,
+)
+from repro.distance.euclidean import znormalized_euclidean_distance
+from repro.distance.neighbors import KNeighborsTimeSeriesClassifier
+
+
+class TestLexicon:
+    def test_all_lexicon_phonemes_exist(self):
+        for word, phonemes in LEXICON.items():
+            for phoneme in phonemes:
+                assert phoneme in PHONEME_INVENTORY, f"{word} uses unknown phoneme {phoneme}"
+
+    def test_prefix_families_share_leading_phonemes(self):
+        # catalog, cattle and catechism all start with cat's phonemes.
+        cat = LEXICON["cat"]
+        for word in ("catalog", "cattle", "catechism"):
+            assert LEXICON[word][: len(cat)] == cat
+        dog = LEXICON["dog"]
+        for word in ("dogmatic", "dogmatized", "doggery"):
+            assert LEXICON[word][: len(dog)] == dog
+
+    def test_homophone_pairs_have_identical_phonemes(self):
+        assert LEXICON["flower"] == LEXICON["flour"]
+        assert LEXICON["wither"] == LEXICON["whither"]
+
+    def test_inclusion_family(self):
+        weight = LEXICON["weight"]
+        assert LEXICON["lightweight"][-len(weight):] == weight
+        assert LEXICON["paperweight"][-len(weight):] == weight
+
+
+class TestWordSynthesizer:
+    def test_unknown_word_raises(self):
+        with pytest.raises(KeyError):
+            WordSynthesizer().synthesize_word("xylophone")
+
+    def test_same_word_utterances_are_similar(self):
+        synth = WordSynthesizer(seed=1)
+        rng = np.random.default_rng(1)
+        a = synth.synthesize_word("cat", rng=rng)
+        b = synth.synthesize_word("cat", rng=rng)
+        fixed_a = resample_to_length(a, 150)
+        fixed_b = resample_to_length(b, 150)
+        different = resample_to_length(synth.synthesize_word("dog", rng=rng), 150)
+        same_distance = znormalized_euclidean_distance(fixed_a, fixed_b)
+        cross_distance = znormalized_euclidean_distance(fixed_a, different)
+        assert same_distance < cross_distance
+
+    def test_word_is_prefix_of_longer_word(self):
+        # The core prefix-problem property: the trace of "cat" and the first
+        # part of the trace of "catalog" are generated from the same phonemes.
+        synth = WordSynthesizer(seed=2, duration_jitter=0.0, noise_scale=0.0)
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        cat = synth.synthesize_word("cat", rng=rng_a)
+        catalog = synth.synthesize_word("catalog", rng=rng_b)
+        overlap = min(cat.shape[0], catalog.shape[0])
+        correlation = np.corrcoef(cat[:overlap], catalog[:overlap])[0, 1]
+        assert correlation > 0.95
+
+    def test_words_with_prefix(self):
+        synth = WordSynthesizer()
+        family = synth.words_with_prefix("cat")
+        assert "catalog" in family and "catechism" in family and "cat" in family
+
+    def test_words_containing(self):
+        synth = WordSynthesizer()
+        containing = synth.words_containing("point")
+        assert "appointment" in containing and "disappointing" in containing
+
+    def test_homophones_of(self):
+        synth = WordSynthesizer()
+        assert synth.homophones_of("flower") == ["flour"]
+        assert synth.homophones_of("wither") == ["whither"]
+
+    def test_normalize_token_strips_punctuation(self):
+        assert WordSynthesizer.normalize_token("Cathy's") == "cathy"
+        assert WordSynthesizer.normalize_token("doggery.") == "doggery"
+
+
+class TestSentences:
+    def test_sentence_events_cover_all_words(self):
+        stream = synthesize_sentence("it was said that cathy's dogmatic catechism")
+        assert [e.label for e in stream.events] == [
+            "it", "was", "said", "that", "cathy", "dogmatic", "catechism",
+        ]
+
+    def test_sentence_events_are_ordered_and_disjoint(self):
+        stream = synthesize_sentence("the cat and the dog")
+        for first, second in zip(stream.events, stream.events[1:]):
+            assert first.end <= second.start
+
+    def test_sentence_values_match_event_extents(self):
+        stream = synthesize_sentence("cat dog")
+        assert stream.events[-1].end <= len(stream)
+
+    def test_empty_sentence_rejected(self):
+        with pytest.raises(ValueError):
+            WordSynthesizer().synthesize_sentence([])
+
+
+class TestMakeWordDataset:
+    def test_shape_and_labels(self):
+        dataset = make_word_dataset(n_per_class=5, length=150)
+        assert dataset.series.shape == (10, 150)
+        assert dataset.class_counts() == {"cat": 5, "dog": 5}
+
+    def test_znormalized_by_default(self):
+        dataset = make_word_dataset(n_per_class=3)
+        assert dataset.verify_znormalized()
+
+    def test_separable_in_ucr_format(self, word_dataset_small):
+        dataset = word_dataset_small
+        train = dataset.subset(range(0, dataset.n_exemplars, 2))
+        test = dataset.subset(range(1, dataset.n_exemplars, 2))
+        model = KNeighborsTimeSeriesClassifier().fit(train.series, train.labels)
+        assert model.score(test.series, test.labels) >= 0.9
+
+    def test_resample_mode(self):
+        dataset = make_word_dataset(n_per_class=3, mode="resample")
+        assert dataset.series.shape[1] == 150
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            make_word_dataset(mode="stretch")
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            make_word_dataset(words=("cat",))
+
+
+class TestResample:
+    def test_length_and_endpoints(self):
+        series = np.linspace(0, 1, 37)
+        resampled = resample_to_length(series, 100)
+        assert resampled.shape == (100,)
+        assert resampled[0] == pytest.approx(series[0])
+        assert resampled[-1] == pytest.approx(series[-1])
+
+    def test_rejects_too_short(self):
+        with pytest.raises(ValueError):
+            resample_to_length(np.array([1.0]), 10)

@@ -1,0 +1,90 @@
+"""Unit tests for repro.distance.dtw."""
+
+import numpy as np
+import pytest
+
+from repro.distance.dtw import dtw_distance, dtw_path, znormalized_dtw_distance
+from repro.distance.euclidean import euclidean_distance
+
+
+class TestDTWDistance:
+    def test_identical_series_distance_zero(self):
+        series = np.array([1.0, 2.0, 3.0, 2.0])
+        assert dtw_distance(series, series) == pytest.approx(0.0)
+
+    def test_never_exceeds_euclidean_for_equal_lengths(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal(30), rng.standard_normal(30)
+        assert dtw_distance(a, b) <= euclidean_distance(a, b) + 1e-9
+
+    def test_zero_band_equals_euclidean(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.standard_normal(20), rng.standard_normal(20)
+        assert dtw_distance(a, b, window=0) == pytest.approx(euclidean_distance(a, b))
+
+    def test_handles_time_shift_better_than_euclidean(self):
+        t = np.linspace(0, 2 * np.pi, 60)
+        a = np.sin(t)
+        b = np.sin(t + 0.4)
+        assert dtw_distance(a, b) < euclidean_distance(a, b)
+
+    def test_different_lengths_allowed(self):
+        a = np.sin(np.linspace(0, 2 * np.pi, 40))
+        b = np.sin(np.linspace(0, 2 * np.pi, 55))
+        assert dtw_distance(a, b) < 1.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.standard_normal(15), rng.standard_normal(18)
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a))
+
+    def test_fractional_window(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.standard_normal(25), rng.standard_normal(25)
+        narrow = dtw_distance(a, b, window=0.05)
+        wide = dtw_distance(a, b, window=1.0)
+        assert wide <= narrow + 1e-9
+
+    def test_rejects_bad_fractional_window(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.arange(5.0), np.arange(5.0), window=1.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.array([]), np.arange(3.0))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.zeros((2, 3)), np.zeros(3))
+
+
+class TestZnormalizedDTW:
+    def test_offset_invariance(self):
+        rng = np.random.default_rng(4)
+        a, b = rng.standard_normal(25), rng.standard_normal(25)
+        assert znormalized_dtw_distance(a + 7.0, b) == pytest.approx(
+            znormalized_dtw_distance(a, b), rel=1e-9
+        )
+
+
+class TestDTWPath:
+    def test_path_endpoints(self):
+        rng = np.random.default_rng(5)
+        a, b = rng.standard_normal(12), rng.standard_normal(15)
+        path = dtw_path(a, b)
+        assert path[0] == (0, 0)
+        assert path[-1] == (len(a) - 1, len(b) - 1)
+
+    def test_path_monotonicity(self):
+        rng = np.random.default_rng(6)
+        a, b = rng.standard_normal(10), rng.standard_normal(11)
+        path = dtw_path(a, b)
+        for (i1, j1), (i2, j2) in zip(path, path[1:]):
+            assert 0 <= i2 - i1 <= 1
+            assert 0 <= j2 - j1 <= 1
+            assert (i2 - i1) + (j2 - j1) >= 1
+
+    def test_identical_series_diagonal_path(self):
+        series = np.arange(8.0)
+        path = dtw_path(series, series)
+        assert path == [(i, i) for i in range(8)]

@@ -1,0 +1,178 @@
+"""Unit tests for repro.distance.profile (MASS-style distance profiles)."""
+
+import numpy as np
+import pytest
+
+from repro.distance.euclidean import euclidean_distance, znormalized_euclidean_distance
+from repro.distance.profile import (
+    DistanceProfileIndex,
+    count_matches_below,
+    distance_profile,
+    sliding_dot_product,
+    sliding_mean_std,
+    top_k_nearest_subsequences,
+)
+
+
+class TestSlidingMeanStd:
+    def test_matches_direct_computation(self):
+        rng = np.random.default_rng(0)
+        series = rng.standard_normal(200)
+        window = 17
+        means, stds = sliding_mean_std(series, window)
+        assert means.shape == (200 - window + 1,)
+        for i in (0, 50, 183):
+            segment = series[i : i + window]
+            assert means[i] == pytest.approx(segment.mean(), abs=1e-9)
+            assert stds[i] == pytest.approx(segment.std(), abs=1e-9)
+
+    def test_window_one(self):
+        series = np.array([1.0, 2.0, 3.0])
+        means, stds = sliding_mean_std(series, 1)
+        np.testing.assert_allclose(means, series)
+        np.testing.assert_allclose(stds, np.zeros(3))
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            sliding_mean_std(np.arange(10.0), 11)
+        with pytest.raises(ValueError):
+            sliding_mean_std(np.arange(10.0), 0)
+
+
+class TestSlidingDotProduct:
+    def test_matches_direct_computation(self):
+        rng = np.random.default_rng(1)
+        query = rng.standard_normal(9)
+        series = rng.standard_normal(60)
+        dots = sliding_dot_product(query, series)
+        assert dots.shape == (60 - 9 + 1,)
+        for i in (0, 25, 51):
+            assert dots[i] == pytest.approx(float(query @ series[i : i + 9]), abs=1e-8)
+
+    def test_rejects_query_longer_than_series(self):
+        with pytest.raises(ValueError):
+            sliding_dot_product(np.arange(10.0), np.arange(5.0))
+
+
+class TestDistanceProfile:
+    def test_znormalized_matches_brute_force(self):
+        rng = np.random.default_rng(2)
+        query = rng.standard_normal(12)
+        series = rng.standard_normal(80)
+        profile = distance_profile(query, series)
+        for i in (0, 13, 40, 68):
+            expected = znormalized_euclidean_distance(query, series[i : i + 12])
+            assert profile[i] == pytest.approx(expected, abs=1e-6)
+
+    def test_raw_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        query = rng.standard_normal(10)
+        series = rng.standard_normal(50)
+        profile = distance_profile(query, series, znormalized=False)
+        for i in (0, 20, 40):
+            expected = euclidean_distance(query, series[i : i + 10])
+            assert profile[i] == pytest.approx(expected, abs=1e-6)
+
+    def test_exact_match_yields_zero(self):
+        rng = np.random.default_rng(4)
+        series = rng.standard_normal(100)
+        query = series[30:45].copy()
+        profile = distance_profile(query, series)
+        assert profile[30] == pytest.approx(0.0, abs=1e-5)
+        assert int(np.argmin(profile)) == 30
+
+    def test_constant_subsequences_get_maximal_distance(self):
+        series = np.concatenate([np.zeros(30), np.sin(np.linspace(0, 6, 30))])
+        query = np.sin(np.linspace(0, 3, 10))
+        profile = distance_profile(query, series)
+        # Windows entirely inside the flat region cannot be z-normalised; the
+        # convention is the maximal distance sqrt(2m).
+        assert profile[0] == pytest.approx(np.sqrt(2 * 10))
+
+    def test_profile_length(self):
+        profile = distance_profile(np.arange(5.0), np.arange(20.0))
+        assert profile.shape == (16,)
+
+    def test_rejects_too_short_query(self):
+        with pytest.raises(ValueError):
+            distance_profile(np.array([1.0]), np.arange(10.0))
+
+    def test_rejects_query_longer_than_series(self):
+        with pytest.raises(ValueError):
+            distance_profile(np.arange(11.0), np.arange(10.0))
+
+
+class TestTopKNearest:
+    def test_returns_sorted_distances(self):
+        rng = np.random.default_rng(5)
+        series = rng.standard_normal(300)
+        query = rng.standard_normal(15)
+        hits = top_k_nearest_subsequences(query, series, k=4)
+        distances = [d for _, d in hits]
+        assert distances == sorted(distances)
+
+    def test_exclusion_zone_prevents_overlaps(self):
+        rng = np.random.default_rng(6)
+        series = rng.standard_normal(200)
+        query = series[50:70].copy()
+        hits = top_k_nearest_subsequences(query, series, k=3)
+        positions = [p for p, _ in hits]
+        for i in range(len(positions)):
+            for j in range(i + 1, len(positions)):
+                assert abs(positions[i] - positions[j]) >= 10  # half the query length
+
+    def test_k_one_is_argmin(self):
+        rng = np.random.default_rng(7)
+        series = rng.standard_normal(150)
+        query = rng.standard_normal(12)
+        hits = top_k_nearest_subsequences(query, series, k=1)
+        profile = distance_profile(query, series)
+        assert hits[0][0] == int(np.argmin(profile))
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            top_k_nearest_subsequences(np.arange(5.0), np.arange(50.0), k=0)
+
+
+class TestCountMatchesBelow:
+    def test_counts_planted_matches(self):
+        rng = np.random.default_rng(8)
+        template = np.sin(np.linspace(0, 4 * np.pi, 40))
+        background = rng.standard_normal(2000) * 0.5
+        series = background.copy()
+        for start in (100, 700, 1500):
+            series[start : start + 40] = template + 0.01 * rng.standard_normal(40)
+        count = count_matches_below(template, series, threshold=1.0)
+        assert count == 3
+
+    def test_zero_when_threshold_tiny(self):
+        rng = np.random.default_rng(9)
+        series = rng.standard_normal(500)
+        query = rng.standard_normal(20)
+        assert count_matches_below(query, series, threshold=1e-6) == 0
+
+
+class TestDistanceProfileIndex:
+    def test_nearest_and_extract(self):
+        rng = np.random.default_rng(10)
+        series = rng.standard_normal(400)
+        index = DistanceProfileIndex(name="corpus", series=series)
+        query = series[100:130].copy()
+        hits = index.nearest(query, k=1)
+        assert hits[0][0] == 100
+        np.testing.assert_allclose(index.extract(100, 30), series[100:130])
+
+    def test_nearest_distance_scalar(self):
+        rng = np.random.default_rng(11)
+        series = rng.standard_normal(300)
+        index = DistanceProfileIndex(name="corpus", series=series)
+        assert index.nearest_distance(series[10:40]) == pytest.approx(0.0, abs=1e-5)
+
+    def test_extract_rejects_out_of_range(self):
+        index = DistanceProfileIndex(name="c", series=np.arange(50.0))
+        with pytest.raises(IndexError):
+            index.extract(45, 10)
+
+    def test_rejects_2d_series(self):
+        with pytest.raises(ValueError):
+            DistanceProfileIndex(name="c", series=np.zeros((4, 5)))

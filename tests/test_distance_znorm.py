@@ -1,0 +1,155 @@
+"""Unit tests for repro.distance.znorm."""
+
+import numpy as np
+import pytest
+
+from repro.distance.znorm import (
+    causal_znormalize,
+    is_znormalized,
+    znormalize,
+    znormalize_prefix,
+)
+
+
+class TestZnormalize:
+    def test_zero_mean_unit_std(self):
+        series = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        normalized = znormalize(series)
+        assert abs(normalized.mean()) < 1e-12
+        assert abs(normalized.std() - 1.0) < 1e-12
+
+    def test_preserves_shape_ordering(self):
+        series = np.array([3.0, 1.0, 4.0, 1.0, 5.0])
+        normalized = znormalize(series)
+        assert np.array_equal(np.argsort(series), np.argsort(normalized))
+
+    def test_constant_series_maps_to_zeros(self):
+        assert np.array_equal(znormalize(np.full(10, 7.0)), np.zeros(10))
+
+    def test_invariant_to_offset_and_scale(self):
+        rng = np.random.default_rng(0)
+        series = rng.standard_normal(50)
+        shifted = 3.5 * series + 11.0
+        np.testing.assert_allclose(znormalize(series), znormalize(shifted), atol=1e-10)
+
+    def test_2d_normalises_each_row(self):
+        rows = np.array([[1.0, 2.0, 3.0], [10.0, 20.0, 60.0]])
+        normalized = znormalize(rows)
+        for row in normalized:
+            assert abs(row.mean()) < 1e-12
+            assert abs(row.std() - 1.0) < 1e-12
+
+    def test_2d_with_constant_row(self):
+        rows = np.array([[1.0, 2.0, 3.0], [5.0, 5.0, 5.0]])
+        normalized = znormalize(rows)
+        assert np.array_equal(normalized[1], np.zeros(3))
+        assert abs(normalized[0].std() - 1.0) < 1e-12
+
+    def test_ddof_changes_scale(self):
+        series = np.array([1.0, 2.0, 3.0, 4.0])
+        pop = znormalize(series, ddof=0)
+        sample = znormalize(series, ddof=1)
+        assert pop.std() > sample.std()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            znormalize(np.array([]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            znormalize(np.array([1.0, np.nan, 3.0]))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            znormalize(np.zeros((2, 3, 4)))
+
+
+class TestZnormalizePrefix:
+    def test_uses_only_prefix_statistics(self):
+        series = np.array([1.0, 2.0, 3.0, 100.0, 200.0])
+        prefix = znormalize_prefix(series, 3)
+        np.testing.assert_allclose(prefix, znormalize(series[:3]))
+
+    def test_differs_from_whole_series_normalisation(self):
+        rng = np.random.default_rng(1)
+        series = np.concatenate([rng.standard_normal(20), rng.standard_normal(20) + 10])
+        prefix = znormalize_prefix(series, 20)
+        whole = znormalize(series)[:20]
+        assert not np.allclose(prefix, whole)
+
+    def test_full_length_prefix_equals_batch(self):
+        series = np.array([1.0, 5.0, 2.0, 8.0])
+        np.testing.assert_allclose(znormalize_prefix(series, 4), znormalize(series))
+
+    def test_rejects_bad_prefix_length(self):
+        series = np.arange(5.0)
+        with pytest.raises(ValueError):
+            znormalize_prefix(series, 0)
+        with pytest.raises(ValueError):
+            znormalize_prefix(series, 6)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            znormalize_prefix(np.zeros((3, 4)), 2)
+
+
+class TestCausalZnormalize:
+    def test_output_length_matches_input(self):
+        series = np.arange(30.0)
+        out = causal_znormalize(series, window=5)
+        assert out.shape == series.shape
+
+    def test_warmup_region_is_zero(self):
+        series = np.arange(30.0)
+        out = causal_znormalize(series, window=5, min_periods=5)
+        assert np.array_equal(out[:4], np.zeros(4))
+        assert np.any(out[4:] != 0)
+
+    def test_never_uses_future_values(self):
+        # Changing the future must not change the causal normalisation of the past.
+        rng = np.random.default_rng(2)
+        series = rng.standard_normal(50)
+        modified = series.copy()
+        modified[30:] += 100.0
+        a = causal_znormalize(series, window=8)
+        b = causal_znormalize(modified, window=8)
+        np.testing.assert_allclose(a[:30], b[:30])
+
+    def test_constant_window_gives_zero(self):
+        series = np.full(20, 3.0)
+        out = causal_znormalize(series, window=4)
+        assert np.array_equal(out, np.zeros(20))
+
+    def test_matches_direct_computation(self):
+        rng = np.random.default_rng(3)
+        series = rng.standard_normal(40)
+        window = 6
+        out = causal_znormalize(series, window=window)
+        for i in range(window - 1, 40):
+            seen = series[i - window + 1 : i + 1]
+            expected = (series[i] - seen.mean()) / seen.std()
+            assert out[i] == pytest.approx(expected, rel=1e-9)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            causal_znormalize(np.arange(10.0), window=0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            causal_znormalize(np.zeros((3, 4)), window=2)
+
+
+class TestIsZnormalized:
+    def test_accepts_normalised_series(self):
+        rng = np.random.default_rng(4)
+        assert is_znormalized(znormalize(rng.standard_normal(100)))
+
+    def test_rejects_shifted_series(self):
+        rng = np.random.default_rng(5)
+        assert not is_znormalized(znormalize(rng.standard_normal(100)) + 0.5)
+
+    def test_accepts_constant_zero_series(self):
+        assert is_znormalized(np.zeros(10))
+
+    def test_rejects_constant_nonzero_series(self):
+        assert not is_znormalized(np.full(10, 2.0))

@@ -1,0 +1,43 @@
+"""Tests for the experiments command-line interface and result rendering."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments import run_experiment
+
+
+class TestCLI:
+    def test_runs_named_experiments_fast(self, capsys):
+        exit_code = main(["figure1", "figure6", "--fast"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output
+        assert "Figure 6" in output
+        assert output.count("completed in") == 2
+
+    def test_unknown_experiment_is_an_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure4"])
+        assert excinfo.value.code != 0
+        assert "figure4" in capsys.readouterr().err
+
+    def test_fast_flag_reduces_workload(self):
+        result = run_experiment("figure1", fast=True)
+        assert result.class_counts["cat"] < 30  # the full-scale default
+
+
+class TestResultRendering:
+    """Every experiment result renders a non-empty, self-describing text block."""
+
+    @pytest.mark.parametrize(
+        "name",
+        ["figure1", "figure2", "figure6", "figure7", "figure9", "section5_padding"],
+    )
+    def test_to_text_is_self_describing(self, name):
+        result = run_experiment(name, fast=True)
+        text = result.to_text()
+        assert isinstance(text, str)
+        assert len(text.splitlines()) >= 3
+        # The text names the artefact it reproduces.
+        assert name.replace("figure", "Figure ").replace("section5_padding", "Section 5") \
+            .replace("table1", "Table 1").strip() in text

@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.stream import ComposedStream, GroundTruthEvent, StreamComposer
+from repro.data.ucr_format import UCRDataset
+from repro.distance.dtw import dtw_distance
+from repro.distance.euclidean import euclidean_distance, znormalized_euclidean_distance
+from repro.distance.profile import distance_profile
+from repro.distance.znorm import causal_znormalize, znormalize
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False)
+
+
+def series_strategy(min_size: int = 4, max_size: int = 60):
+    return arrays(dtype=np.float64, shape=st.integers(min_size, max_size), elements=finite_floats)
+
+
+def nonconstant_series(min_size: int = 4, max_size: int = 60):
+    return series_strategy(min_size, max_size).filter(lambda a: float(np.std(a)) > 1e-6)
+
+
+# ---------------------------------------------------------------------------
+# z-normalisation invariants
+# ---------------------------------------------------------------------------
+
+
+@given(nonconstant_series())
+@settings(max_examples=60, deadline=None)
+def test_znormalize_produces_zero_mean_unit_std(series):
+    normalized = znormalize(series)
+    assert abs(normalized.mean()) < 1e-7
+    assert abs(normalized.std() - 1.0) < 1e-7
+
+
+@given(nonconstant_series(), st.floats(-50, 50), st.floats(0.1, 10))
+@settings(max_examples=60, deadline=None)
+def test_znormalize_invariant_under_affine_transform(series, offset, scale):
+    np.testing.assert_allclose(
+        znormalize(series), znormalize(scale * series + offset), atol=1e-6
+    )
+
+
+@given(nonconstant_series())
+@settings(max_examples=60, deadline=None)
+def test_znormalize_is_idempotent(series):
+    once = znormalize(series)
+    twice = znormalize(once)
+    np.testing.assert_allclose(once, twice, atol=1e-9)
+
+
+@given(series_strategy(min_size=10, max_size=80), st.integers(2, 10))
+@settings(max_examples=40, deadline=None)
+def test_causal_znormalize_is_causal(series, window):
+    # Changing the tail of the stream never changes earlier outputs.
+    midpoint = len(series) // 2
+    modified = series.copy()
+    modified[midpoint:] += 37.0
+    a = causal_znormalize(series, window=window)
+    b = causal_znormalize(modified, window=window)
+    np.testing.assert_allclose(a[:midpoint], b[:midpoint], atol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# Distance invariants
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(4, 40), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_euclidean_metric_axioms(length, seed):
+    rng = np.random.default_rng(seed)
+    a, b, c = (rng.standard_normal(length) for _ in range(3))
+    assert euclidean_distance(a, a) < 1e-9
+    assert euclidean_distance(a, b) == euclidean_distance(b, a)
+    assert euclidean_distance(a, c) <= euclidean_distance(a, b) + euclidean_distance(b, c) + 1e-9
+
+
+@given(st.integers(4, 40), st.integers(0, 2 ** 31 - 1), st.floats(-10, 10), st.floats(0.1, 5))
+@settings(max_examples=60, deadline=None)
+def test_znormalized_distance_invariant_to_affine(length, seed, offset, scale):
+    rng = np.random.default_rng(seed)
+    a, b = rng.standard_normal(length), rng.standard_normal(length)
+    base = znormalized_euclidean_distance(a, b)
+    transformed = znormalized_euclidean_distance(scale * a + offset, b)
+    assert abs(base - transformed) < 1e-6
+
+
+@given(st.integers(5, 30), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_dtw_no_greater_than_euclidean(length, seed):
+    rng = np.random.default_rng(seed)
+    a, b = rng.standard_normal(length), rng.standard_normal(length)
+    assert dtw_distance(a, b) <= euclidean_distance(a, b) + 1e-9
+
+
+@given(st.integers(8, 30), st.integers(40, 120), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_distance_profile_matches_brute_force_at_random_position(query_length, series_length, seed):
+    rng = np.random.default_rng(seed)
+    query = rng.standard_normal(query_length)
+    series = rng.standard_normal(series_length)
+    profile = distance_profile(query, series)
+    position = int(rng.integers(0, series_length - query_length + 1))
+    expected = znormalized_euclidean_distance(query, series[position : position + query_length])
+    assert abs(profile[position] - expected) < 1e-5
+
+
+# ---------------------------------------------------------------------------
+# UCR dataset invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(2, 8),
+    st.integers(4, 30),
+    st.integers(0, 2 ** 31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_ucr_tsv_round_trip(n_exemplars, length, seed):
+    rng = np.random.default_rng(seed)
+    dataset = UCRDataset(
+        name="prop",
+        series=rng.standard_normal((n_exemplars, length)),
+        labels=rng.integers(0, 3, size=n_exemplars),
+    )
+    loaded = UCRDataset.from_tsv_string(dataset.to_tsv_string())
+    np.testing.assert_allclose(loaded.series, dataset.series, rtol=1e-7, atol=1e-9)
+    assert [str(l) for l in loaded.labels] == [str(l) for l in dataset.labels]
+
+
+@given(st.integers(2, 6), st.integers(6, 25), st.integers(1, 20), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_ucr_truncated_prefix_is_prefix(n_exemplars, length, prefix, seed):
+    rng = np.random.default_rng(seed)
+    prefix = min(prefix, length)
+    dataset = UCRDataset(
+        name="prop",
+        series=rng.standard_normal((n_exemplars, length)),
+        labels=np.arange(n_exemplars),
+    )
+    truncated = dataset.truncated(prefix)
+    np.testing.assert_allclose(truncated.series, dataset.series[:, :prefix])
+
+
+# ---------------------------------------------------------------------------
+# Stream composition invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(1, 6),
+    st.integers(10, 40),
+    st.integers(0, 50),
+    st.integers(0, 2 ** 31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_stream_composition_invariants(n_events, exemplar_length, max_gap, seed):
+    rng = np.random.default_rng(seed)
+    exemplars = [rng.standard_normal(exemplar_length) for _ in range(n_events)]
+    labels = [f"c{i % 2}" for i in range(n_events)]
+    composer = StreamComposer(
+        background=np.zeros(max(max_gap, 1) + 10),
+        gap_range=(0, max_gap),
+        level_match=False,
+        seed=seed,
+    )
+    stream = composer.compose(exemplars, labels)
+
+    # Every event interval lies inside the stream, events are ordered and
+    # non-overlapping, and the values under each event are exactly the
+    # exemplar that was embedded (level matching is off).
+    assert stream.n_events == n_events
+    previous_end = 0
+    for event, exemplar in zip(stream.events, exemplars):
+        assert event.start >= previous_end
+        assert event.end <= len(stream)
+        assert event.length == exemplar_length
+        np.testing.assert_allclose(stream.extract(event), exemplar)
+        previous_end = event.end
+
+
+@given(st.integers(20, 200), st.integers(1, 5), st.integers(0, 2 ** 31 - 1))
+@settings(max_examples=40, deadline=None)
+def test_background_fraction_bounds(length, n_events, seed):
+    rng = np.random.default_rng(seed)
+    events = []
+    cursor = 0
+    for _ in range(n_events):
+        start = cursor + int(rng.integers(0, 5))
+        end = start + int(rng.integers(1, 5))
+        if end > length:
+            break
+        events.append(GroundTruthEvent(start=start, end=end, label="x"))
+        cursor = end
+    stream = ComposedStream(values=np.zeros(length), events=events)
+    fraction = stream.background_fraction()
+    assert 0.0 <= fraction <= 1.0
+    covered = sum(e.length for e in events)
+    assert abs(fraction - (length - covered) / length) < 1e-12

@@ -1,0 +1,71 @@
+"""Unit tests for the Appendix B cost model."""
+
+import pytest
+
+from repro.streaming.costs import CostModel
+from repro.streaming.metrics import StreamingEvaluation
+
+
+def _evaluation(tp: int, fp: int, fn: int) -> StreamingEvaluation:
+    return StreamingEvaluation(
+        n_alarms=tp + fp,
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        precision=tp / (tp + fp) if tp + fp else 0.0,
+        recall=tp / (tp + fn) if tp + fn else 0.0,
+        false_positives_per_true_positive=fp / tp if tp else (float("inf") if fp else 0.0),
+        false_alarms_per_1000_samples=0.0,
+        mean_fraction_of_event_seen=None,
+        stream_length=10_000,
+    )
+
+
+class TestCostModel:
+    def test_defaults_match_appendix_b(self):
+        model = CostModel()
+        assert model.event_cost == 1000.0
+        assert model.action_cost == 200.0
+        # "at least one true positive for every five false positives" is the
+        # loose version; the exact break-even budget nets out the action cost
+        # of the true positive itself.
+        assert model.break_even_false_positives_per_true_positive == pytest.approx(4.0)
+        assert model.event_cost / model.action_cost == pytest.approx(5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(event_cost=-1)
+        with pytest.raises(ValueError):
+            CostModel(prevention_effectiveness=1.5)
+
+    def test_perfect_detector_saves_money(self):
+        outcome = CostModel().price(_evaluation(tp=10, fp=0, fn=0))
+        assert outcome.breaks_even
+        assert outcome.net_saving == pytest.approx(10 * (1000 - 200))
+
+    def test_break_even_boundary(self):
+        # 1 TP pays for itself plus exactly 4 FPs with the default numbers.
+        outcome = CostModel().price(_evaluation(tp=1, fp=4, fn=0))
+        assert outcome.net_saving == pytest.approx(0.0)
+        assert outcome.breaks_even
+
+    def test_too_many_false_positives_lose_money(self):
+        outcome = CostModel().price(_evaluation(tp=1, fp=50, fn=0))
+        assert not outcome.breaks_even
+        assert outcome.net_saving < 0
+
+    def test_missed_events_cost_full_price(self):
+        outcome = CostModel().price(_evaluation(tp=0, fp=0, fn=5))
+        assert outcome.total_cost == pytest.approx(5 * 1000)
+        assert outcome.baseline_cost == pytest.approx(5 * 1000)
+        assert outcome.net_saving == pytest.approx(0.0)
+
+    def test_partial_prevention_effectiveness(self):
+        model = CostModel(prevention_effectiveness=0.5)
+        outcome = model.price(_evaluation(tp=2, fp=0, fn=0))
+        # Each TP averts half the event cost but still pays the action.
+        assert outcome.net_saving == pytest.approx(2 * (500 - 200))
+
+    def test_zero_action_cost_infinite_budget(self):
+        model = CostModel(action_cost=0.0)
+        assert model.break_even_false_positives_per_true_positive == float("inf")

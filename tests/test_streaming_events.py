@@ -1,0 +1,85 @@
+"""Unit tests for alarm-to-event matching."""
+
+import numpy as np
+import pytest
+
+from repro.data.stream import ComposedStream, GroundTruthEvent
+from repro.streaming.detector import Alarm
+from repro.streaming.events import match_alarms_to_events
+
+
+def _stream() -> ComposedStream:
+    return ComposedStream(
+        values=np.zeros(1_000),
+        events=[
+            GroundTruthEvent(start=100, end=150, label="gun"),
+            GroundTruthEvent(start=400, end=450, label="gun"),
+            GroundTruthEvent(start=700, end=750, label="point"),
+        ],
+    )
+
+
+def _alarm(position: int, label: str = "gun") -> Alarm:
+    return Alarm(position=position, candidate_start=max(position - 30, 0), label=label,
+                 confidence=0.9, prefix_length=30)
+
+
+class TestMatching:
+    def test_alarm_inside_event_is_true_positive(self):
+        matches, missed = match_alarms_to_events([_alarm(120)], _stream())
+        assert matches[0].is_true_positive
+        assert matches[0].event.start == 100
+        assert len(missed) == 2
+
+    def test_alarm_outside_any_event_is_false_positive(self):
+        matches, missed = match_alarms_to_events([_alarm(300)], _stream())
+        assert not matches[0].is_true_positive
+        assert matches[0].event is None
+        assert len(missed) == 3
+
+    def test_label_mismatch_is_false_positive(self):
+        matches, _ = match_alarms_to_events([_alarm(720, label="gun")], _stream())
+        assert not matches[0].is_true_positive
+
+    def test_label_mismatch_allowed_when_not_required(self):
+        matches, _ = match_alarms_to_events(
+            [_alarm(720, label="gun")], _stream(), require_label_match=False
+        )
+        assert matches[0].is_true_positive
+
+    def test_duplicate_alarm_on_same_event_ignored(self):
+        matches, missed = match_alarms_to_events([_alarm(110), _alarm(130)], _stream())
+        assert len(matches) == 1
+        assert matches[0].is_true_positive
+        assert len(missed) == 2
+
+    def test_duplicate_allowed_when_requested(self):
+        matches, _ = match_alarms_to_events(
+            [_alarm(110), _alarm(130)], _stream(), allow_multiple_alarms_per_event=True
+        )
+        assert len(matches) == 2
+        assert all(m.is_true_positive for m in matches)
+
+    def test_onset_tolerance(self):
+        early_alarm = _alarm(95)
+        strict, _ = match_alarms_to_events([early_alarm], _stream(), onset_tolerance=0)
+        lenient, _ = match_alarms_to_events([early_alarm], _stream(), onset_tolerance=10)
+        assert not strict[0].is_true_positive
+        assert lenient[0].is_true_positive
+
+    def test_target_labels_filter(self):
+        # Only 'gun' events are detectable; the 'point' event cannot be missed.
+        matches, missed = match_alarms_to_events(
+            [_alarm(120)], _stream(), target_labels=("gun",)
+        )
+        assert matches[0].is_true_positive
+        assert len(missed) == 1  # the other gun event
+
+    def test_fraction_of_event_seen(self):
+        matches, _ = match_alarms_to_events([_alarm(125)], _stream())
+        assert matches[0].fraction_of_event_seen == pytest.approx((125 - 100 + 1) / 50)
+
+    def test_no_alarms_all_events_missed(self):
+        matches, missed = match_alarms_to_events([], _stream())
+        assert matches == []
+        assert len(missed) == 3

@@ -1,0 +1,66 @@
+"""Unit tests for streaming evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data.stream import ComposedStream, GroundTruthEvent
+from repro.streaming.detector import Alarm
+from repro.streaming.metrics import evaluate_alarms
+
+
+def _stream() -> ComposedStream:
+    return ComposedStream(
+        values=np.zeros(2_000),
+        events=[
+            GroundTruthEvent(start=100, end=150, label="gun"),
+            GroundTruthEvent(start=900, end=950, label="gun"),
+        ],
+    )
+
+
+def _alarm(position: int, label: str = "gun") -> Alarm:
+    return Alarm(position=position, candidate_start=max(position - 20, 0), label=label,
+                 confidence=0.8, prefix_length=20)
+
+
+class TestEvaluateAlarms:
+    def test_counts(self):
+        alarms = [_alarm(120), _alarm(500), _alarm(600)]
+        evaluation = evaluate_alarms(alarms, _stream())
+        assert evaluation.true_positives == 1
+        assert evaluation.false_positives == 2
+        assert evaluation.false_negatives == 1
+        assert evaluation.n_alarms == 3
+
+    def test_precision_recall(self):
+        alarms = [_alarm(120), _alarm(500)]
+        evaluation = evaluate_alarms(alarms, _stream())
+        assert evaluation.precision == pytest.approx(0.5)
+        assert evaluation.recall == pytest.approx(0.5)
+
+    def test_fp_per_tp(self):
+        alarms = [_alarm(120), _alarm(500), _alarm(600), _alarm(700)]
+        evaluation = evaluate_alarms(alarms, _stream())
+        assert evaluation.false_positives_per_true_positive == pytest.approx(3.0)
+
+    def test_fp_per_tp_infinite_when_no_tp(self):
+        evaluation = evaluate_alarms([_alarm(500)], _stream())
+        assert evaluation.false_positives_per_true_positive == float("inf")
+
+    def test_fp_per_tp_zero_when_no_alarms(self):
+        evaluation = evaluate_alarms([], _stream())
+        assert evaluation.false_positives_per_true_positive == 0.0
+        assert evaluation.precision == 0.0
+        assert evaluation.recall == 0.0
+
+    def test_false_alarm_rate_normalised_by_length(self):
+        evaluation = evaluate_alarms([_alarm(500), _alarm(700)], _stream())
+        assert evaluation.false_alarms_per_1000_samples == pytest.approx(1.0)
+
+    def test_mean_fraction_of_event_seen(self):
+        evaluation = evaluate_alarms([_alarm(149)], _stream())
+        assert evaluation.mean_fraction_of_event_seen == pytest.approx(1.0)
+
+    def test_mean_fraction_none_without_tp(self):
+        evaluation = evaluate_alarms([_alarm(500)], _stream())
+        assert evaluation.mean_fraction_of_event_seen is None
