@@ -1,0 +1,29 @@
+# Convenience targets for the reproduction.  Everything works from a clean
+# checkout with no installation: PYTHONPATH=src is injected here, and is
+# harmless if the package has been `pip install -e .`ed instead.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench docs-check quickstart experiments all
+
+## tier-1 gate: unit/property/integration tests + benchmark harness
+test:
+	$(PYTHON) -m pytest -x -q
+
+## benchmarks only (one per paper artefact, plus the prefix-engine speedup)
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## fail if README/ARCHITECTURE reference modules or files that don't exist
+docs-check:
+	$(PYTHON) tools/docs_check.py
+
+quickstart:
+	$(PYTHON) examples/quickstart.py
+
+## regenerate every paper artefact at reduced scale
+experiments:
+	$(PYTHON) -m repro.experiments --fast
+
+all: test docs-check

@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs.
+
+All metadata lives in ``pyproject.toml``; this file only exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works in minimal
+environments that lack the ``wheel`` package (PEP 660 editable installs
+with setuptools < 70 require it).
+"""
+
+from setuptools import setup
+
+setup()

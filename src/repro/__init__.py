@@ -25,5 +25,19 @@ The package is organised in layers (see DESIGN.md for the full inventory):
 """
 
 from repro._version import __version__
+from repro.distance.engine import (
+    PrefixDistanceEngine,
+    PrefixDTWEngine,
+    pairwise_prefix_distances,
+)
 
-__all__ = ["__version__"]
+#: Public top-level API.  The distance engine is re-exported here because it
+#: is the substrate every prefix-length sweep in the package rests on; the
+#: rest of the API is intentionally reached through its subpackage
+#: (``repro.classifiers``, ``repro.core``, ...) to keep the layering visible.
+__all__ = [
+    "__version__",
+    "PrefixDistanceEngine",
+    "PrefixDTWEngine",
+    "pairwise_prefix_distances",
+]

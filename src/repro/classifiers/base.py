@@ -185,6 +185,7 @@ class BaseEarlyClassifier(ABC):
 
     @property
     def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
         return self._train_length is not None
 
     def _require_fitted(self) -> None:
@@ -222,6 +223,29 @@ class BaseEarlyClassifier(ABC):
         self._require_fitted()
         return list(range(1, self.train_length_ + 1))
 
+    # ---------------------------------------------------- incremental hooks
+    def _stream_context(self, series: np.ndarray) -> object | None:
+        """Create per-exemplar state reused across the checkpoints of one walk.
+
+        Subclasses whose per-prefix evaluation can be made incremental (e.g.
+        ECTS, whose 1-NN distances extend in O(n_train) per sample via
+        :class:`repro.distance.engine.PrefixDistanceEngine`) return an engine
+        or similar state here; the default ``None`` keeps the naive
+        slice-and-recompute behaviour of :meth:`predict_partial`.
+        """
+        return None
+
+    def _partial_at_length(
+        self, series: np.ndarray, length: int, context: object | None = None
+    ) -> PartialPrediction:
+        """Evaluate one checkpoint of :meth:`predict_early`.
+
+        The default ignores ``context`` and recomputes from the sliced
+        prefix; subclasses override it together with :meth:`_stream_context`
+        to reuse running state between successive checkpoints.
+        """
+        return self.predict_partial(series[:length])
+
     def predict_early(self, series: np.ndarray, keep_history: bool = False) -> EarlyPrediction:
         """Feed one exemplar incrementally and stop at the trigger point.
 
@@ -241,10 +265,11 @@ class BaseEarlyClassifier(ABC):
         arr = self._validate_prefix(series)
         history: list[PartialPrediction] = []
         last: PartialPrediction | None = None
+        context = self._stream_context(arr)
         for length in self.checkpoints():
             if length > arr.shape[0]:
                 break
-            partial = self.predict_partial(arr[:length])
+            partial = self._partial_at_length(arr, length, context)
             if keep_history:
                 history.append(partial)
             last = partial

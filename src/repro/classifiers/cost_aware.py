@@ -78,6 +78,7 @@ class CostAwareEarlyClassifier(BaseEarlyClassifier):
 
     # ------------------------------------------------------------ training
     def fit(self, series: np.ndarray, labels: Sequence) -> "CostAwareEarlyClassifier":
+        """Fit the base probabilistic classifier and estimate per-checkpoint error."""
         data, label_arr = self._validate_training_data(series, labels)
         self._store_training_shape(data, label_arr)
         self._checkpoints = default_checkpoints(data.shape[1], self.n_checkpoints)
@@ -119,6 +120,7 @@ class CostAwareEarlyClassifier(BaseEarlyClassifier):
 
     # ------------------------------------------------------------ prediction
     def predict_partial(self, prefix: np.ndarray) -> PartialPrediction:
+        """Classify a prefix; ready once waiting costs more than deciding now."""
         arr = self._validate_prefix(prefix)
         length = arr.shape[0]
         result = self._base.predict_proba_prefix(arr)
@@ -145,5 +147,6 @@ class CostAwareEarlyClassifier(BaseEarlyClassifier):
         )
 
     def checkpoints(self) -> list[int]:
+        """Prefix lengths with a calibrated expected-error estimate."""
         self._require_fitted()
         return list(self._checkpoints)

@@ -79,6 +79,7 @@ class ECDIREClassifier(BaseEarlyClassifier):
 
     # ------------------------------------------------------------ training
     def fit(self, series: np.ndarray, labels: Sequence) -> "ECDIREClassifier":
+        """Fit the base classifier, then derive safe timestamps and margin thresholds."""
         data, label_arr = self._validate_training_data(series, labels)
         self._store_training_shape(data, label_arr)
         self._checkpoints = default_checkpoints(data.shape[1], self.n_checkpoints)
@@ -94,15 +95,22 @@ class ECDIREClassifier(BaseEarlyClassifier):
     def _cross_validated_behaviour(
         self, data: np.ndarray, labels: np.ndarray
     ) -> tuple[dict, dict]:
-        """Leave-one-out per-class accuracy and correct-prediction margins per checkpoint."""
+        """Leave-one-out per-class accuracy and correct-prediction margins per checkpoint.
+
+        The whole (exemplar x checkpoint) table of leave-one-out predictions
+        comes from one batched incremental prefix-distance sweep
+        (:meth:`PrefixProbabilisticClassifier.predict_proba_prefixes`), so
+        the cross-validation costs a single full-length distance matrix
+        rather than one matrix per checkpoint.
+        """
         per_class_accuracy: dict = {c: {} for c in self._checkpoints}
         margins: dict = {c: [] for c in self._checkpoints}
         classes = tuple(np.unique(labels).tolist())
+        loo = self._base.predict_proba_prefixes(data, self._checkpoints, exclude_self=True)
         for checkpoint in self._checkpoints:
             correct = {cls: 0 for cls in classes}
             total = {cls: 0 for cls in classes}
-            for index, (row, label) in enumerate(zip(data, labels)):
-                result = self._base.predict_proba_prefix(row[:checkpoint], exclude=index)
+            for result, label in zip(loo[checkpoint], labels):
                 total[label] += 1
                 if result.label == label:
                     correct[label] += 1
@@ -141,6 +149,7 @@ class ECDIREClassifier(BaseEarlyClassifier):
 
     # ------------------------------------------------------------ prediction
     def predict_partial(self, prefix: np.ndarray) -> PartialPrediction:
+        """Classify a prefix; ready once the class is safe and the margin clears its threshold."""
         arr = self._validate_prefix(prefix)
         result = self._base.predict_proba_prefix(arr)
         checkpoint = min(self._checkpoints, key=lambda c: abs(c - arr.shape[0]))
@@ -158,5 +167,6 @@ class ECDIREClassifier(BaseEarlyClassifier):
         )
 
     def checkpoints(self) -> list[int]:
+        """The evaluated prefix lengths (one per calibrated checkpoint)."""
         self._require_fitted()
         return list(self._checkpoints)

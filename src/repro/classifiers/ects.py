@@ -34,7 +34,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.classifiers.base import BaseEarlyClassifier, PartialPrediction
-from repro.distance.euclidean import pairwise_euclidean
+from repro.distance.engine import PrefixDistanceEngine, iter_prefix_distances
 
 __all__ = ["ECTSClassifier", "RelaxedECTSClassifier"]
 
@@ -77,15 +77,18 @@ class ECTSClassifier(BaseEarlyClassifier):
         self.checkpoint_step = checkpoint_step
         self._train: np.ndarray | None = None
         self._labels: np.ndarray | None = None
+        self._engine: PrefixDistanceEngine | None = None
         self.mpl_: np.ndarray | None = None
         self.support_: np.ndarray | None = None
         self._eligible: np.ndarray | None = None
 
     # ------------------------------------------------------------ training
     def fit(self, series: np.ndarray, labels: Sequence) -> "ECTSClassifier":
+        """Compute per-exemplar minimum prediction lengths from 1-NN/RNN stability."""
         data, label_arr = self._validate_training_data(series, labels)
         self._train = data
         self._labels = label_arr
+        self._engine = PrefixDistanceEngine(data)
         self._store_training_shape(data, label_arr)
 
         lengths = self._mpl_lengths(data.shape[1])
@@ -111,12 +114,19 @@ class ECTSClassifier(BaseEarlyClassifier):
     def _neighbour_structures(
         self, data: np.ndarray, lengths: list[int]
     ) -> tuple[dict[int, np.ndarray], dict[int, list[frozenset[int]]]]:
-        """1-NN indices and RNN sets of every exemplar at every prefix length."""
+        """1-NN indices and RNN sets of every exemplar at every prefix length.
+
+        The length-by-length distance matrices come from one incremental
+        sweep of :func:`repro.distance.engine.iter_prefix_distances`, so the
+        whole structure costs ``O(n^2 * L)`` -- the price of a *single*
+        full-length matrix -- instead of the ``O(n^2 * L^2 / step)`` of
+        recomputing every prefix from scratch.  The nearest neighbour is
+        taken on squared distances (the ordering is the same).
+        """
         nn_indices: dict[int, np.ndarray] = {}
         rnn_sets: dict[int, list[frozenset[int]]] = {}
         n = data.shape[0]
-        for length in lengths:
-            distances = pairwise_euclidean(data[:, :length])
+        for length, distances in iter_prefix_distances(data, data, lengths, squared=True):
             nearest = self._nearest_neighbours(distances)
             nn_indices[length] = nearest
             reverse: list[set[int]] = [set() for _ in range(n)]
@@ -175,13 +185,45 @@ class ECTSClassifier(BaseEarlyClassifier):
 
     # ------------------------------------------------------------ prediction
     def predict_partial(self, prefix: np.ndarray) -> PartialPrediction:
-        arr = self._validate_prefix(prefix)
-        assert self._train is not None and self._labels is not None
-        assert self.mpl_ is not None and self._eligible is not None
-        length = arr.shape[0]
+        """1-NN match of the prefix; ready once the match's MPL has been reached.
 
-        train_prefix = self._train[:, :length]
-        distances = pairwise_euclidean(arr[None, :], train_prefix)[0]
+        Distances come from a one-shot :class:`PrefixDistanceEngine` sweep --
+        the same exact-term accumulation the incremental walk of
+        :meth:`predict_early` uses -- so both entry points agree on
+        tie-breaks as well as values (a dot-product-expansion distance would
+        differ at ~1e-7 relative on near-duplicate exemplars).
+        """
+        arr = self._validate_prefix(prefix)
+        assert self._train is not None
+        length = arr.shape[0]
+        sq = PrefixDistanceEngine(self._train).start(arr).advance_to(length)
+        return self._partial_from_distances(np.sqrt(sq[0]), length)
+
+    def _stream_context(self, series: np.ndarray) -> PrefixDistanceEngine:
+        """The fitted engine restarted on this exemplar: O(n_train) per extra sample.
+
+        The engine instance is shared across calls (restarting it is cheap;
+        constructing one copies the training matrix), so incremental walks on
+        the same classifier must not be interleaved -- ``predict_early`` runs
+        each exemplar to completion, which satisfies that.
+        """
+        assert self._engine is not None
+        return self._engine.start(series)
+
+    def _partial_at_length(
+        self, series: np.ndarray, length: int, context: object | None = None
+    ) -> PartialPrediction:
+        if not isinstance(context, PrefixDistanceEngine):
+            return self.predict_partial(series[:length])
+        sq = context.advance_to(length)
+        return self._partial_from_distances(np.sqrt(sq[0]), length)
+
+    def _partial_from_distances(
+        self, distances: np.ndarray, length: int
+    ) -> PartialPrediction:
+        """Turn 1-NN distances at one prefix length into a partial prediction."""
+        assert self._labels is not None
+        assert self.mpl_ is not None and self._eligible is not None
         order = np.argsort(distances, kind="stable")
         nearest = int(order[0])
         label = self._labels[nearest]
@@ -214,6 +256,7 @@ class ECTSClassifier(BaseEarlyClassifier):
         )
 
     def checkpoints(self) -> list[int]:
+        """Prefix lengths evaluated at prediction time (every ``checkpoint_step`` samples)."""
         self._require_fitted()
         points = list(range(self.min_length, self.train_length_ + 1, self.checkpoint_step))
         if points[-1] != self.train_length_:

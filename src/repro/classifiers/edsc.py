@@ -81,6 +81,7 @@ class Shapelet:
 
     @property
     def length(self) -> int:
+        """Number of samples in the shapelet."""
         return int(self.values.shape[0])
 
 
@@ -200,6 +201,7 @@ class EDSCClassifier(BaseEarlyClassifier):
 
     # ------------------------------------------------------------ training
     def fit(self, series: np.ndarray, labels: Sequence) -> "EDSCClassifier":
+        """Mine discriminative shapelets and select per-shapelet distance thresholds."""
         data, label_arr = self._validate_training_data(series, labels)
         self._store_training_shape(data, label_arr)
         rng = np.random.default_rng(self.random_state)
@@ -322,7 +324,7 @@ class EDSCClassifier(BaseEarlyClassifier):
         grid = np.linspace(0.0, float(np.max(pooled)), 200)
 
         def cumulative(samples: np.ndarray) -> np.ndarray:
-            # P(X <= g) under a Gaussian KDE built on `samples`.
+            """P(X <= g) on the grid under a Gaussian KDE built on ``samples``."""
             z = (grid[:, None] - samples[None, :]) / bandwidth
             return np.mean(_standard_normal_cdf(z), axis=1)
 
@@ -399,6 +401,7 @@ class EDSCClassifier(BaseEarlyClassifier):
 
     # ------------------------------------------------------------ prediction
     def predict_partial(self, prefix: np.ndarray) -> PartialPrediction:
+        """Classify a prefix; ready as soon as any learned shapelet matches it."""
         arr = self._validate_prefix(prefix)
         length = arr.shape[0]
         best: tuple[float, Shapelet] | None = None
@@ -441,6 +444,7 @@ class EDSCClassifier(BaseEarlyClassifier):
         return float(np.sqrt(np.min(np.sum(diffs * diffs, axis=1))))
 
     def checkpoints(self) -> list[int]:
+        """Prefix lengths evaluated at prediction time."""
         self._require_fitted()
         start = max(self.min_length, min((s.length for s in self.shapelets_), default=self.min_length))
         return list(range(start, self.train_length_ + 1))

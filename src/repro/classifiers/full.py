@@ -35,12 +35,14 @@ class FullLengthClassifier(BaseEarlyClassifier):
         self._model = PrefixProbabilisticClassifier(n_neighbors=n_neighbors)
 
     def fit(self, series: np.ndarray, labels: Sequence) -> "FullLengthClassifier":
+        """Fit the underlying full-length probabilistic classifier."""
         data, label_arr = self._validate_training_data(series, labels)
         self._model.fit(data, label_arr)
         self._store_training_shape(data, label_arr)
         return self
 
     def predict_partial(self, prefix: np.ndarray) -> PartialPrediction:
+        """Classify a prefix; only ready once the whole exemplar has been seen."""
         arr = self._validate_prefix(prefix)
         result = self._model.predict_proba_prefix(arr)
         ready = arr.shape[0] >= self.train_length_
@@ -53,6 +55,7 @@ class FullLengthClassifier(BaseEarlyClassifier):
         )
 
     def checkpoints(self) -> list[int]:
+        """A single checkpoint: the full exemplar length."""
         self._require_fitted()
         return [self.train_length_]
 
@@ -90,6 +93,7 @@ class FixedTruncationClassifier(BaseEarlyClassifier):
         self.trigger_length_: int | None = None
 
     def fit(self, series: np.ndarray, labels: Sequence) -> "FixedTruncationClassifier":
+        """Fit the base classifier and select the cheapest accurate trigger length."""
         data, label_arr = self._validate_training_data(series, labels)
         self._model.fit(data, label_arr)
         self._store_training_shape(data, label_arr)
@@ -122,6 +126,7 @@ class FixedTruncationClassifier(BaseEarlyClassifier):
         return length
 
     def predict_partial(self, prefix: np.ndarray) -> PartialPrediction:
+        """Classify a prefix; ready once the learned trigger length is reached."""
         arr = self._validate_prefix(prefix)
         result = self._model.predict_proba_prefix(arr)
         assert self.trigger_length_ is not None  # set in fit
@@ -135,6 +140,7 @@ class FixedTruncationClassifier(BaseEarlyClassifier):
         )
 
     def checkpoints(self) -> list[int]:
+        """Two checkpoints: the learned trigger length and the full length."""
         self._require_fitted()
         assert self.trigger_length_ is not None
         return [self.trigger_length_, self.train_length_]

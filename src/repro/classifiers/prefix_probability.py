@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.distance.engine import iter_prefix_distances
 from repro.distance.euclidean import pairwise_euclidean
 
 __all__ = ["PrefixProbabilisticClassifier", "PrefixProbabilities"]
@@ -101,9 +102,9 @@ class PrefixProbabilisticClassifier:
             if any(c < 1 or c > length for c in checkpoints):
                 raise ValueError("checkpoints must lie within the training length")
         self._temperatures = {}
-        for checkpoint in checkpoints:
-            prefix = data[:, :checkpoint]
-            distances = pairwise_euclidean(prefix)
+        # One incremental sweep yields every checkpoint's self-distance
+        # matrix for the price of the full-length one (PrefixDistanceEngine).
+        for checkpoint, distances in iter_prefix_distances(data, data, checkpoints):
             np.fill_diagonal(distances, np.inf)
             # The temperature is the typical distance between an exemplar and
             # its nearest neighbour at this prefix length: the scale of
@@ -116,10 +117,12 @@ class PrefixProbabilisticClassifier:
 
     @property
     def classes_(self) -> tuple:
+        """Class labels seen during :meth:`fit`, sorted."""
         return self._classes
 
     @property
     def train_length_(self) -> int:
+        """Length of the training exemplars."""
         if self._train is None:
             raise RuntimeError("classifier must be fitted before use")
         return int(self._train.shape[1])
@@ -176,7 +179,10 @@ class PrefixProbabilisticClassifier:
             cls_distances = np.sort(distances[self._labels == cls])
             k = min(self.n_neighbors, cls_distances.shape[0])
             class_evidence[cls] = float(np.mean(cls_distances[:k]))
+        return self._result_from_evidence(class_evidence, length)
 
+    def _result_from_evidence(self, class_evidence: dict, length: int) -> PrefixProbabilities:
+        """Convert per-class distance evidence into calibrated probabilities."""
         temperature = self._temperature_for(length)
         scores = np.asarray([-class_evidence[cls] / temperature for cls in self._classes])
         scores -= scores.max()
@@ -193,3 +199,72 @@ class PrefixProbabilisticClassifier:
             margin=float(margin),
             prefix_length=length,
         )
+
+    def predict_proba_prefixes(
+        self,
+        rows: np.ndarray,
+        lengths: Sequence[int],
+        exclude_self: bool = False,
+    ) -> dict[int, list[PrefixProbabilities]]:
+        """Batched probabilities for many series at many prefix lengths.
+
+        This is the hot path of TEASER's master training / ``v`` selection
+        and ECDIRE's cross-validated safe-timestamp estimation: every
+        training exemplar evaluated at every checkpoint.  All distances come
+        from a single incremental sweep of
+        :func:`repro.distance.engine.iter_prefix_distances`, so the whole
+        table costs one full-length distance matrix instead of one matrix
+        *per checkpoint*.
+
+        Parameters
+        ----------
+        rows:
+            2-D array ``(n_rows, length)`` of query series.
+        lengths:
+            Strictly increasing prefix lengths to evaluate.
+        exclude_self:
+            Leave-one-out mode: ``rows`` must be the training set itself
+            (same shape), and row ``i`` ignores training exemplar ``i`` in
+            the neighbour search.  This is the honest way to evaluate the
+            model on its own training data (see :meth:`predict_proba_prefix`).
+
+        Returns
+        -------
+        dict
+            Mapping ``length -> [PrefixProbabilities for each row]``.
+        """
+        if self._train is None or self._labels is None:
+            raise RuntimeError("classifier must be fitted before use")
+        data = np.asarray(rows, dtype=float)
+        if data.ndim != 2:
+            raise ValueError("rows must be a 2-D array (n_rows, length)")
+        if exclude_self and data.shape != self._train.shape:
+            raise ValueError(
+                "exclude_self requires rows to be the training set itself"
+            )
+        lengths = sorted({int(v) for v in lengths})
+        if lengths and lengths[0] < self.min_length:
+            raise ValueError(f"prefixes must have at least {self.min_length} samples")
+
+        class_masks = [self._labels == cls for cls in self._classes]
+        results: dict[int, list[PrefixProbabilities]] = {}
+        for length, distances in iter_prefix_distances(data, self._train, lengths):
+            if exclude_self:
+                np.fill_diagonal(distances, np.inf)
+            evidence_per_class = []
+            for mask in class_masks:
+                cls_distances = distances[:, mask]
+                k = min(self.n_neighbors, cls_distances.shape[1])
+                smallest = np.partition(cls_distances, k - 1, axis=1)[:, :k]
+                evidence_per_class.append(smallest.mean(axis=1))
+            results[length] = [
+                self._result_from_evidence(
+                    {
+                        cls: float(evidence_per_class[ci][row])
+                        for ci, cls in enumerate(self._classes)
+                    },
+                    length,
+                )
+                for row in range(data.shape[0])
+            ]
+        return results

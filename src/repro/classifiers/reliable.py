@@ -163,6 +163,7 @@ class ReliableEarlyClassifier(BaseEarlyClassifier):
 
     # ------------------------------------------------------------ training
     def fit(self, series: np.ndarray, labels: Sequence) -> "ReliableEarlyClassifier":
+        """Learn per-class local discriminative Gaussians and their reliability bounds."""
         data, label_arr = self._validate_training_data(series, labels)
         self._train = data
         self._labels = label_arr
@@ -236,6 +237,7 @@ class ReliableEarlyClassifier(BaseEarlyClassifier):
 
     # ------------------------------------------------------------ prediction
     def predict_partial(self, prefix: np.ndarray) -> PartialPrediction:
+        """Classify a prefix; ready once the dominant class is reliably separated."""
         arr = self._validate_prefix(prefix)
         length = arr.shape[0]
         models = self._models_for_prefix(arr)
@@ -294,6 +296,7 @@ class ReliableEarlyClassifier(BaseEarlyClassifier):
         return float(np.mean(full_labels == prefix_label))
 
     def checkpoints(self) -> list[int]:
+        """Prefix lengths evaluated at prediction time."""
         self._require_fitted()
         lengths = sorted(
             {

@@ -54,6 +54,7 @@ class _OneClassGaussian:
 
     @classmethod
     def fit(cls, rows: np.ndarray, quantile: float) -> "_OneClassGaussian":
+        """Fit the envelope to the given acceptance-feature rows."""
         mean = rows.mean(axis=0)
         cov = np.atleast_2d(np.cov(rows, rowvar=False, bias=True))
         cov += 1e-4 * np.eye(cov.shape[0])
@@ -64,6 +65,7 @@ class _OneClassGaussian:
         return cls(mean=mean, inv_covariance=inv, threshold=max(threshold, 1e-6))
 
     def accepts(self, feature: np.ndarray) -> bool:
+        """Whether the feature vector falls inside the Gaussian envelope."""
         centred = feature - self.mean
         distance = float(np.sqrt(centred @ self.inv_covariance @ centred))
         return distance <= self.threshold
@@ -130,37 +132,46 @@ class TEASERClassifier(BaseEarlyClassifier):
 
     # ------------------------------------------------------------ training
     def fit(self, series: np.ndarray, labels: Sequence) -> "TEASERClassifier":
+        """Train slaves, masters and the consecutive-agreement requirement ``v``."""
         data, label_arr = self._validate_training_data(series, labels)
         self._store_training_shape(data, label_arr)
         self._checkpoints = default_checkpoints(data.shape[1], self.n_checkpoints)
         self._slave = PrefixProbabilisticClassifier(
             checkpoints=self._checkpoints, n_neighbors=self.n_neighbors
         ).fit(data, label_arr)
-        self._fit_masters(data, label_arr)
+        # Every training step below consumes the same leave-one-out slave
+        # evaluations (one per exemplar per checkpoint); computing the whole
+        # table in one incremental prefix-distance sweep is what makes
+        # training O(n^2 * L) instead of O(n^2 * L * n_checkpoints).
+        loo = self._slave.predict_proba_prefixes(
+            data, self._checkpoints, exclude_self=True
+        )
+        self._fit_masters(data, label_arr, loo)
         if self.requested_consecutive is not None:
             self.consecutive_required_ = int(self.requested_consecutive)
         else:
-            self.consecutive_required_ = self._select_consecutive(data, label_arr)
+            self.consecutive_required_ = self._select_consecutive(data, label_arr, loo)
         return self
 
     def _acceptance_feature(self, probabilities: dict, margin: float) -> np.ndarray:
         ordered = [probabilities[cls] for cls in self.classes_]
         return np.asarray(ordered + [margin], dtype=float)
 
-    def _fit_masters(self, data: np.ndarray, labels: np.ndarray) -> None:
+    def _fit_masters(self, data: np.ndarray, labels: np.ndarray, loo: dict) -> None:
         """Train the per-checkpoint one-class acceptance models.
 
         The slave is evaluated on each training exemplar with that exemplar
         excluded from the neighbour search (leave-one-out), otherwise every
         training prediction is trivially correct and the master learns an
-        acceptance region that bears no relation to unseen data.
+        acceptance region that bears no relation to unseen data.  ``loo`` is
+        the precomputed table from
+        :meth:`PrefixProbabilisticClassifier.predict_proba_prefixes`.
         """
         self._masters = {}
         for checkpoint in self._checkpoints:
             features = []
             n_correct = 0
-            for index, (row, label) in enumerate(zip(data, labels)):
-                result = self._slave.predict_proba_prefix(row[:checkpoint], exclude=index)
+            for result, label in zip(loo[checkpoint], labels):
                 if result.label == label:
                     n_correct += 1
                     features.append(self._acceptance_feature(result.probabilities, result.margin))
@@ -175,21 +186,54 @@ class TEASERClassifier(BaseEarlyClassifier):
                 # to fit an envelope: the master rejects everything here.
                 self._masters[checkpoint] = None
 
-    def _select_consecutive(self, data: np.ndarray, labels: np.ndarray) -> int:
+    def _gated_partial(self, result, checkpoint: int) -> PartialPrediction:
+        """Gate one slave result through the checkpoint's master acceptance model."""
+        master = self._masters.get(checkpoint)
+        accepted = False
+        if master is not None:
+            accepted = master.accepts(
+                self._acceptance_feature(result.probabilities, result.margin)
+            )
+        return PartialPrediction(
+            label=result.label,
+            ready=accepted,
+            confidence=result.confidence,
+            prefix_length=checkpoint,
+            probabilities=result.probabilities,
+        )
+
+    def _select_consecutive(self, data: np.ndarray, labels: np.ndarray, loo: dict) -> int:
         """Pick v maximising the harmonic mean of training accuracy and earliness.
 
-        As with the master training, every training exemplar is evaluated with
-        itself excluded from the slave's neighbour search.
+        As with the master training, every training exemplar is evaluated
+        with itself excluded from the slave's neighbour search.  The
+        per-(exemplar, checkpoint) partial predictions do not depend on
+        ``v``, so the precomputed ``loo`` table is gated through the masters
+        once and each candidate ``v`` only replays the cheap streak logic.
         """
+        full_length = data.shape[1]
+        partials_per_exemplar = [
+            [
+                (checkpoint, self._gated_partial(loo[checkpoint][index], checkpoint))
+                for checkpoint in self._checkpoints
+            ]
+            for index in range(data.shape[0])
+        ]
         best_v = self.candidate_v[0]
         best_score = -1.0
         for v in self.candidate_v:
             predictions = []
             earliness = []
-            for index, row in enumerate(data):
-                outcome = self._run_cascade(row, v, exclude=index)
-                predictions.append(outcome.label)
-                earliness.append(outcome.earliness)
+            for partials in partials_per_exemplar:
+                trigger_index, last = self._walk_streak((p for _, p in partials), v)
+                if trigger_index is not None:
+                    checkpoint, partial = partials[trigger_index]
+                    predictions.append(partial.label)
+                    earliness.append(checkpoint / full_length)
+                else:
+                    assert last is not None
+                    predictions.append(last.label)
+                    earliness.append(1.0)
             accuracy = float(np.mean(np.asarray(predictions) == labels))
             score = harmonic_mean_accuracy_earliness(accuracy, float(np.mean(earliness)))
             if score > best_score:
@@ -213,6 +257,7 @@ class TEASERClassifier(BaseEarlyClassifier):
         return min(self._checkpoints, key=lambda c: abs(c - length))
 
     def checkpoints(self) -> list[int]:
+        """The snapshot lengths (one per slave/master pair)."""
         self._require_fitted()
         return list(self._checkpoints)
 
@@ -228,19 +273,54 @@ class TEASERClassifier(BaseEarlyClassifier):
         """Slave + master evaluation of one prefix, optionally leave-one-out."""
         result = self._slave.predict_proba_prefix(prefix, exclude=exclude)
         checkpoint = self._nearest_checkpoint(prefix.shape[0])
-        master = self._masters.get(checkpoint)
-        accepted = False
-        if master is not None:
-            accepted = master.accepts(
-                self._acceptance_feature(result.probabilities, result.margin)
+        partial = self._gated_partial(result, checkpoint)
+        if partial.prefix_length != prefix.shape[0]:
+            partial = PartialPrediction(
+                label=partial.label,
+                ready=partial.ready,
+                confidence=partial.confidence,
+                prefix_length=prefix.shape[0],
+                probabilities=partial.probabilities,
             )
-        return PartialPrediction(
-            label=result.label,
-            ready=accepted,
-            confidence=result.confidence,
-            prefix_length=prefix.shape[0],
-            probabilities=result.probabilities,
-        )
+        return partial
+
+    @staticmethod
+    def _walk_streak(partials, consecutive_required: int):
+        """Apply the accept + consecutive-agreement rule to partial predictions.
+
+        Parameters
+        ----------
+        partials:
+            Iterable of :class:`PartialPrediction`, one per checkpoint in
+            increasing order.  Consumed lazily, so a generator that computes
+            predictions on demand stops as soon as the streak completes.
+        consecutive_required:
+            The agreement requirement ``v``.
+
+        Returns
+        -------
+        tuple
+            ``(trigger_index, last_partial)`` where ``trigger_index`` is the
+            position (into ``partials``) at which the streak completed, or
+            ``None`` if it never did.
+        """
+        streak_label = None
+        streak = 0
+        last: PartialPrediction | None = None
+        for index, partial in enumerate(partials):
+            last = partial
+            if partial.ready:
+                if partial.label == streak_label:
+                    streak += 1
+                else:
+                    streak_label = partial.label
+                    streak = 1
+                if streak >= consecutive_required:
+                    return index, last
+            else:
+                streak_label = None
+                streak = 0
+        return None, last
 
     def _run_cascade(
         self,
@@ -252,36 +332,32 @@ class TEASERClassifier(BaseEarlyClassifier):
         """Walk the checkpoints applying the accept + consecutive-agreement rule."""
         arr = self._validate_prefix(series)
         history: list[PartialPrediction] = []
-        streak_label = None
-        streak = 0
-        last: PartialPrediction | None = None
-        for checkpoint in self._checkpoints:
-            if checkpoint > arr.shape[0]:
-                break
-            partial = self._partial_at(arr[:checkpoint], exclude)
-            if keep_history:
-                history.append(partial)
-            last = partial
-            if partial.ready:
-                if partial.label == streak_label:
-                    streak += 1
-                else:
-                    streak_label = partial.label
-                    streak = 1
-                if streak >= consecutive_required:
-                    return EarlyPrediction(
-                        label=partial.label,
-                        trigger_length=checkpoint,
-                        series_length=arr.shape[0],
-                        triggered=True,
-                        confidence=partial.confidence,
-                        history=tuple(history),
-                    )
-            else:
-                streak_label = None
-                streak = 0
+        evaluated: list[tuple[int, PartialPrediction]] = []
+
+        def lazy_partials():
+            """Yield per-checkpoint partials, recording them for the outer scope."""
+            for checkpoint in self._checkpoints:
+                if checkpoint > arr.shape[0]:
+                    return
+                partial = self._partial_at(arr[:checkpoint], exclude)
+                evaluated.append((checkpoint, partial))
+                if keep_history:
+                    history.append(partial)
+                yield partial
+
+        trigger_index, last = self._walk_streak(lazy_partials(), consecutive_required)
         if last is None:
             raise ValueError("series is shorter than the first checkpoint")
+        if trigger_index is not None:
+            checkpoint, partial = evaluated[trigger_index]
+            return EarlyPrediction(
+                label=partial.label,
+                trigger_length=checkpoint,
+                series_length=arr.shape[0],
+                triggered=True,
+                confidence=partial.confidence,
+                history=tuple(history),
+            )
         return EarlyPrediction(
             label=last.label,
             trigger_length=arr.shape[0],

@@ -54,6 +54,7 @@ class ProbabilityThresholdClassifier(BaseEarlyClassifier):
         self._model = PrefixProbabilisticClassifier(min_length=min_length, n_neighbors=n_neighbors)
 
     def fit(self, series: np.ndarray, labels: Sequence) -> "ProbabilityThresholdClassifier":
+        """Fit the prefix probabilistic model used to test the threshold."""
         data, label_arr = self._validate_training_data(series, labels)
         if self.min_length >= data.shape[1]:
             raise ValueError("min_length must be smaller than the series length")
@@ -62,6 +63,7 @@ class ProbabilityThresholdClassifier(BaseEarlyClassifier):
         return self
 
     def predict_partial(self, prefix: np.ndarray) -> PartialPrediction:
+        """Classify a prefix; ready once the winning probability clears the threshold."""
         arr = self._validate_prefix(prefix)
         if arr.shape[0] < self.min_length:
             # Too little data to even form probabilities; report an even split.
@@ -84,6 +86,7 @@ class ProbabilityThresholdClassifier(BaseEarlyClassifier):
         )
 
     def checkpoints(self) -> list[int]:
+        """Prefix lengths evaluated at prediction time (every ``checkpoint_step`` samples)."""
         self._require_fitted()
         points = list(range(self.min_length, self.train_length_ + 1, self.checkpoint_step))
         if points[-1] != self.train_length_:

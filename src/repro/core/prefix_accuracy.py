@@ -127,7 +127,10 @@ def compute_prefix_accuracy_curve(
         Prefix lengths to evaluate; defaults to every 2 samples from 20 to the
         full length, mirroring the figure's x-axis.
     renormalize:
-        Whether to re-z-normalise each prefix (Fig. 9 does).
+        Whether to re-z-normalise each prefix (Fig. 9 does).  When ``False``
+        the sweep runs on the incremental
+        :class:`repro.distance.engine.PrefixDistanceEngine` fast path, which
+        answers every length for the cost of one full-length distance matrix.
     n_neighbors:
         Neighbours for the underlying classifier.
     """

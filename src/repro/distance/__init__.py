@@ -12,10 +12,21 @@ Everything the ETSC algorithms and the meaningfulness analyses rest on:
 * :mod:`repro.distance.profile` -- sliding-window z-normalised distance
   profiles (MASS-style, FFT based), used by the homophone search (Fig. 5), the
   chicken-template experiment (Fig. 8) and the streaming detector.
+* :mod:`repro.distance.engine` -- the incremental prefix-distance engine:
+  running squared-Euclidean partial sums (and DTW row reuse) that let a
+  prefix grow from length ``t`` to ``t + 1`` in O(n_train) instead of
+  O(n_train * t).  Every per-prefix-length sweep in the classifiers and
+  experiments rides on it.
 * :mod:`repro.distance.neighbors` -- 1-NN / k-NN classifiers over any of the
-  above distances.
+  above distances, including a batched prefix-sweep prediction path.
 """
 
+from repro.distance.engine import (
+    PrefixDistanceEngine,
+    PrefixDTWEngine,
+    iter_prefix_distances,
+    pairwise_prefix_distances,
+)
 from repro.distance.euclidean import (
     euclidean_distance,
     squared_euclidean_distance,
@@ -50,6 +61,10 @@ __all__ = [
     "sliding_mean_std",
     "top_k_nearest_subsequences",
     "DistanceProfileIndex",
+    "PrefixDistanceEngine",
+    "PrefixDTWEngine",
+    "iter_prefix_distances",
+    "pairwise_prefix_distances",
     "KNeighborsTimeSeriesClassifier",
     "NearestNeighborResult",
 ]

@@ -13,6 +13,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.distance.engine import iter_prefix_distances
 from repro.distance.euclidean import pairwise_euclidean
 from repro.distance.znorm import znormalize
 
@@ -110,6 +111,7 @@ class KNeighborsTimeSeriesClassifier:
 
     @property
     def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
         return self._train is not None
 
     def _require_fitted(self) -> tuple[np.ndarray, np.ndarray]:
@@ -184,6 +186,71 @@ class KNeighborsTimeSeriesClassifier:
                 nearest = np.argmin(distances, axis=1)
                 return labels[nearest]
         return np.asarray([self.query(q).label for q in queries])
+
+    def predict_prefixes(self, series: np.ndarray, lengths: Sequence[int]) -> np.ndarray:
+        """Predict labels for raw prefixes of every query at several lengths.
+
+        The Fig. 3 / Fig. 9 style sweeps ask the same question at dozens of
+        prefix lengths; with the Euclidean metric all of them are answered
+        from one incremental pass of
+        :func:`repro.distance.engine.iter_prefix_distances`, costing a single
+        full-length distance computation overall.
+
+        Prefixes are compared *as stored*: if ``znormalize_inputs`` is set,
+        the whole query is z-normalised first (matching :meth:`predict`) and
+        its raw prefixes are then used -- there is no per-prefix
+        re-normalisation here.  For the honest re-normalised treatment see
+        :func:`repro.evaluation.runner.prefix_accuracy_curve`.
+
+        Parameters
+        ----------
+        series:
+            2-D array of query series (or a single 1-D series).
+        lengths:
+            Strictly increasing prefix lengths in ``[1, training length]``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Object array of shape ``(len(lengths), n_queries)``;
+            ``result[k, i]`` is the predicted label for query ``i`` truncated
+            to ``lengths[k]`` samples.
+        """
+        train, labels = self._require_fitted()
+        queries = np.asarray(series, dtype=float)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        if self.znormalize_inputs:
+            queries = znormalize(queries)
+        lengths = [int(v) for v in lengths]
+        if not lengths or any(not 1 <= v <= train.shape[1] for v in lengths):
+            raise ValueError(
+                f"lengths must be non-empty and lie in [1, {train.shape[1]}]"
+            )
+        if queries.shape[1] < max(lengths):
+            raise ValueError("queries are shorter than the longest requested prefix")
+
+        out = np.empty((len(lengths), queries.shape[0]), dtype=object)
+        if self.metric == "euclidean":
+            sweep = iter_prefix_distances(
+                queries[:, : max(lengths)], train, lengths, squared=self.n_neighbors == 1
+            )
+            for k, (_, distances) in enumerate(sweep):
+                if self.n_neighbors == 1:
+                    out[k] = labels[np.argmin(distances, axis=1)]
+                else:
+                    order = np.argsort(distances, axis=1, kind="stable")[:, : self.n_neighbors]
+                    for i in range(queries.shape[0]):
+                        votes = self._soft_vote(labels[order[i]], distances[i, order[i]])
+                        out[k, i] = max(votes.items(), key=lambda item: item[1])[0]
+            return out
+        # Generic metric: no incremental structure to exploit, recompute.
+        for k, length in enumerate(lengths):
+            sub = KNeighborsTimeSeriesClassifier(
+                n_neighbors=self.n_neighbors, metric=self.metric
+            ).fit(train[:, :length], labels)
+            out[k] = sub.predict(queries[:, :length])
+        return out
 
     def predict_proba(self, series: np.ndarray) -> list[dict]:
         """Per-class probability dictionaries for a 2-D array of queries."""

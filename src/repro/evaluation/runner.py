@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.data.ucr_format import UCRDataset
 from repro.distance.neighbors import KNeighborsTimeSeriesClassifier
 from repro.evaluation.earliness import EarlinessAccuracyResult, evaluate_early_classifier
@@ -51,18 +53,40 @@ def prefix_accuracy_curve(
     -------
     dict
         Mapping ``prefix_length -> accuracy``.
+
+    Notes
+    -----
+    With ``renormalize=False`` the truncated series at length ``t + 1`` are
+    the length-``t`` ones plus one sample, so the whole sweep is served by a
+    single incremental pass of
+    :meth:`repro.distance.neighbors.KNeighborsTimeSeriesClassifier.predict_prefixes`
+    (built on :class:`repro.distance.engine.PrefixDistanceEngine`).  With
+    ``renormalize=True`` every value of every prefix changes at each length
+    (the per-prefix mean and standard deviation move), so there is no
+    incremental structure to exploit and each length is evaluated with one
+    vectorised distance matrix.
     """
     if train.series_length != test.series_length:
         raise ValueError("train and test must have the same series length")
-    curve: dict[int, float] = {}
-    for length in prefix_lengths:
+    lengths = [int(length) for length in prefix_lengths]
+    for length in lengths:
         if not 1 <= length <= train.series_length:
             raise ValueError(
                 f"prefix length {length} outside [1, {train.series_length}]"
             )
+    truth = np.asarray(test.labels)
+    curve: dict[int, float] = {}
+    if not renormalize and lengths == sorted(set(lengths)):
+        model = KNeighborsTimeSeriesClassifier(n_neighbors=n_neighbors)
+        model.fit(train.series, train.labels)
+        predicted = model.predict_prefixes(test.series, lengths)
+        for k, length in enumerate(lengths):
+            curve[length] = float(np.mean(predicted[k] == truth))
+        return curve
+    for length in lengths:
         train_prefix = train.truncated(length, renormalize=renormalize)
         test_prefix = test.truncated(length, renormalize=renormalize)
         model = KNeighborsTimeSeriesClassifier(n_neighbors=n_neighbors)
         model.fit(train_prefix.series, train_prefix.labels)
-        curve[int(length)] = model.score(test_prefix.series, test_prefix.labels)
+        curve[length] = model.score(test_prefix.series, test_prefix.labels)
     return curve
