@@ -12,9 +12,10 @@ The package is organised in layers (see DESIGN.md for the full inventory):
 * :mod:`repro.classifiers` -- the early-classification algorithms the paper
   critiques (ECTS, RelaxedECTS, EDSC-CHE/KDE, Reliable/LDG, TEASER, a generic
   probability-threshold model) and plain-classification baselines.
-* :mod:`repro.streaming` -- running an early classifier over a stream,
-  matching alarms to ground truth, counting false positives and applying a
-  cost model.
+* :mod:`repro.streaming` -- running an early classifier over a stream: the
+  online multi-stream detection engine (incremental candidate windows,
+  O(1)-per-sample causal normalisation), alarm/ground-truth matching, false
+  positive accounting and the Appendix B cost model.
 * :mod:`repro.evaluation` -- accuracy/earliness metrics and significance
   tests for the offline (UCR-style) experiments.
 * :mod:`repro.core` -- the paper's actual contribution: the meaningfulness

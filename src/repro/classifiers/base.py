@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -31,6 +31,7 @@ __all__ = [
     "PartialPrediction",
     "EarlyPrediction",
     "BaseEarlyClassifier",
+    "ClassifierStream",
     "default_checkpoints",
 ]
 
@@ -229,11 +230,35 @@ class BaseEarlyClassifier(ABC):
 
         Subclasses whose per-prefix evaluation can be made incremental (e.g.
         ECTS, whose 1-NN distances extend in O(n_train) per sample via
-        :class:`repro.distance.engine.PrefixDistanceEngine`) return an engine
+        :class:`repro.distance.engine.PrefixDistanceEngine`) return a sweep
         or similar state here; the default ``None`` keeps the naive
         slice-and-recompute behaviour of :meth:`predict_partial`.
+
+        Contract (relied on by the online streaming engine):
+
+        * the returned state must be **independent** -- creating a second
+          context must not invalidate the first, because the streaming
+          detector walks every overlapping candidate window concurrently;
+        * ``series`` may be a pre-allocated buffer that is filled in as
+          stream samples arrive, so the implementation must not *read*
+          values at construction time, and a later
+          :meth:`_partial_at_length` call must only consume samples
+          ``< length``.
         """
         return None
+
+    def _trigger_rule(self) -> Callable[[PartialPrediction], bool]:
+        """Fresh per-exemplar stopping rule applied to the checkpoint walk.
+
+        The returned callable is invoked once per evaluated checkpoint (in
+        increasing length order) and returns ``True`` when the classifier
+        should commit at that checkpoint.  The default commits at the first
+        checkpoint whose :class:`PartialPrediction` reports ``ready``;
+        TEASER overrides this with its consecutive-agreement streak.  The
+        callable may be stateful -- a new one is created for every exemplar
+        walk, and for every concurrent candidate window on a stream.
+        """
+        return lambda partial: partial.ready
 
     def _partial_at_length(
         self, series: np.ndarray, length: int, context: object | None = None
@@ -266,6 +291,7 @@ class BaseEarlyClassifier(ABC):
         history: list[PartialPrediction] = []
         last: PartialPrediction | None = None
         context = self._stream_context(arr)
+        should_trigger = self._trigger_rule()
         for length in self.checkpoints():
             if length > arr.shape[0]:
                 break
@@ -273,7 +299,7 @@ class BaseEarlyClassifier(ABC):
             if keep_history:
                 history.append(partial)
             last = partial
-            if partial.ready:
+            if should_trigger(partial):
                 return EarlyPrediction(
                     label=partial.label,
                     trigger_length=length,
@@ -292,6 +318,17 @@ class BaseEarlyClassifier(ABC):
             confidence=last.confidence,
             history=tuple(history),
         )
+
+    def open_stream(self) -> "ClassifierStream":
+        """Open a push-based incremental view of :meth:`predict_early`.
+
+        Samples are handed over one at a time; checkpoints are evaluated as
+        they are reached and the stopping rule (:meth:`_trigger_rule`) is
+        applied on the fly.  Any number of streams over the same fitted
+        classifier may be live concurrently -- the online streaming detector
+        keeps one per overlapping candidate window.
+        """
+        return ClassifierStream(self)
 
     def predict(self, series: np.ndarray) -> np.ndarray:
         """Early-classify each row of a 2-D array and return the labels."""
@@ -314,3 +351,153 @@ class BaseEarlyClassifier(ABC):
         if data.ndim == 1:
             data = data[None, :]
         return float(np.mean([self.predict_early(row).earliness for row in data]))
+
+
+class ClassifierStream:
+    """A push-based incremental walk of one exemplar through an early classifier.
+
+    This is the sample-at-a-time counterpart of
+    :meth:`BaseEarlyClassifier.predict_early`: samples arrive via
+    :meth:`push`, checkpoints (from :meth:`BaseEarlyClassifier.checkpoints`)
+    are evaluated through the same :meth:`BaseEarlyClassifier._partial_at_length`
+    hook with the same per-exemplar context and stopping rule, so the two
+    entry points reach identical decisions (the streaming equivalence tests
+    pin this).  Unlike ``predict_early`` it never needs the full exemplar up
+    front, and many streams can be live concurrently over one fitted
+    classifier -- which is what lets the online streaming detector keep every
+    overlapping candidate window as its own in-flight walk.
+
+    Samples are written into a pre-allocated buffer of the training length;
+    the incremental context (e.g. a
+    :class:`repro.distance.engine.PrefixSweep`) holds a view of that buffer
+    and only ever consumes samples the walk has already received.
+    """
+
+    __slots__ = (
+        "_classifier",
+        "_buffer",
+        "_length",
+        "_checkpoints",
+        "_next_checkpoint",
+        "_context",
+        "_rule",
+        "_last",
+        "_outcome",
+    )
+
+    def __init__(self, classifier: BaseEarlyClassifier) -> None:
+        classifier._require_fitted()
+        self._classifier = classifier
+        self._buffer = np.empty(classifier.train_length_, dtype=float)
+        self._length = 0
+        self._checkpoints = classifier.checkpoints()
+        self._next_checkpoint = 0
+        self._context = classifier._stream_context(self._buffer)
+        self._rule = classifier._trigger_rule()
+        self._last: PartialPrediction | None = None
+        self._outcome: EarlyPrediction | None = None
+
+    # ------------------------------------------------------------ properties
+    @property
+    def capacity(self) -> int:
+        """Maximum number of samples the stream accepts (the training length)."""
+        return self._buffer.shape[0]
+
+    @property
+    def length(self) -> int:
+        """Number of samples pushed so far."""
+        return self._length
+
+    @property
+    def last_partial(self) -> PartialPrediction | None:
+        """The most recent checkpoint evaluation, if any."""
+        return self._last
+
+    @property
+    def outcome(self) -> EarlyPrediction | None:
+        """The walk's decision, once reached.
+
+        Set to a *triggered* :class:`EarlyPrediction` at the checkpoint where
+        the stopping rule fires, or to a non-triggered one once ``capacity``
+        samples have been consumed without a trigger (mirroring
+        ``predict_early`` on a full-length exemplar).  ``None`` while the
+        walk is still undecided.
+        """
+        return self._outcome
+
+    # ------------------------------------------------------------ streaming
+    def push(self, value: float) -> PartialPrediction | None:
+        """Consume one sample; evaluate a checkpoint if one was reached.
+
+        Returns
+        -------
+        PartialPrediction or None
+            The checkpoint evaluation when the new length is a checkpoint,
+            ``None`` otherwise.
+        """
+        evaluated_before = self._next_checkpoint
+        self.feed(np.asarray([float(value)]))
+        return self._last if self._next_checkpoint > evaluated_before else None
+
+    def feed(self, values: np.ndarray) -> EarlyPrediction | None:
+        """Consume a block of consecutive samples in one call.
+
+        Writes the whole block into the buffer, then evaluates (in order)
+        every checkpoint the block reached, stopping at the trigger point --
+        the same decisions as pushing the samples one at a time, at a
+        fraction of the per-sample overhead.  This is the hot path of the
+        online streaming session, which feeds each candidate one segment per
+        candidate birth/completion boundary.
+
+        Returns
+        -------
+        EarlyPrediction or None
+            The walk's outcome if it was reached within this block (also
+            available as :attr:`outcome`), else ``None``.
+        """
+        if self._outcome is not None:
+            raise RuntimeError("the stream has already reached an outcome")
+        block = np.asarray(values, dtype=float)
+        if block.ndim != 1:
+            raise ValueError("values must be a 1-D block of samples")
+        if block.shape[0] == 0:
+            return None
+        if self._length + block.shape[0] > self.capacity:
+            raise ValueError("stream exceeds the training length")
+        if not np.all(np.isfinite(block)):
+            raise ValueError("stream samples must be finite")
+        self._buffer[self._length : self._length + block.shape[0]] = block
+        self._length += block.shape[0]
+
+        checkpoints = self._checkpoints
+        while (
+            self._next_checkpoint < len(checkpoints)
+            and checkpoints[self._next_checkpoint] <= self._length
+        ):
+            length = checkpoints[self._next_checkpoint]
+            partial = self._classifier._partial_at_length(self._buffer, length, self._context)
+            self._next_checkpoint += 1
+            self._last = partial
+            if self._rule(partial):
+                self._outcome = EarlyPrediction(
+                    label=partial.label,
+                    trigger_length=length,
+                    series_length=self.capacity,
+                    triggered=True,
+                    confidence=partial.confidence,
+                )
+                return self._outcome
+        if self._length == self.capacity:
+            # Full window consumed without a trigger: same terminal state as
+            # predict_early's fall-through (forced answer from the last
+            # checkpoint).  Checkpoints are non-empty and lie in [1, capacity],
+            # so at least one has been evaluated by now.
+            assert self._last is not None
+            self._outcome = EarlyPrediction(
+                label=self._last.label,
+                trigger_length=self.capacity,
+                series_length=self.capacity,
+                triggered=False,
+                confidence=self._last.confidence,
+            )
+        return self._outcome

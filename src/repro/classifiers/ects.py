@@ -34,7 +34,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.classifiers.base import BaseEarlyClassifier, PartialPrediction
-from repro.distance.engine import PrefixDistanceEngine, iter_prefix_distances
+from repro.distance.engine import PrefixDistanceEngine, PrefixSweep, iter_prefix_distances
 
 __all__ = ["ECTSClassifier", "RelaxedECTSClassifier"]
 
@@ -199,21 +199,22 @@ class ECTSClassifier(BaseEarlyClassifier):
         sq = PrefixDistanceEngine(self._train).start(arr).advance_to(length)
         return self._partial_from_distances(np.sqrt(sq[0]), length)
 
-    def _stream_context(self, series: np.ndarray) -> PrefixDistanceEngine:
-        """The fitted engine restarted on this exemplar: O(n_train) per extra sample.
+    def _stream_context(self, series: np.ndarray) -> PrefixSweep:
+        """An independent prefix sweep on this exemplar: O(n_train) per extra sample.
 
-        The engine instance is shared across calls (restarting it is cheap;
-        constructing one copies the training matrix), so incremental walks on
-        the same classifier must not be interleaved -- ``predict_early`` runs
-        each exemplar to completion, which satisfies that.
+        The sweep shares the fitted engine's training matrix but owns its
+        running state, so any number of walks -- one per concurrent candidate
+        window on a stream -- can be in flight at once.  ``series`` may be a
+        buffer still being filled in; the sweep only reads samples
+        ``advance_to`` has been asked for.
         """
         assert self._engine is not None
-        return self._engine.start(series)
+        return self._engine.open(series)
 
     def _partial_at_length(
         self, series: np.ndarray, length: int, context: object | None = None
     ) -> PartialPrediction:
-        if not isinstance(context, PrefixDistanceEngine):
+        if not isinstance(context, PrefixSweep):
             return self.predict_partial(series[:length])
         sq = context.advance_to(length)
         return self._partial_from_distances(np.sqrt(sq[0]), length)

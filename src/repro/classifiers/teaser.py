@@ -34,7 +34,6 @@ import numpy as np
 
 from repro.classifiers.base import (
     BaseEarlyClassifier,
-    EarlyPrediction,
     PartialPrediction,
     default_checkpoints,
 )
@@ -261,13 +260,35 @@ class TEASERClassifier(BaseEarlyClassifier):
         self._require_fitted()
         return list(self._checkpoints)
 
-    def predict_early(self, series: np.ndarray, keep_history: bool = False) -> EarlyPrediction:
-        """Incremental TEASER prediction with the consecutive-agreement rule."""
+    def _trigger_rule(self):
+        """The consecutive-agreement rule as a stateful stopping rule.
+
+        ``predict_early`` (and the streaming :class:`ClassifierStream`) walk
+        the snapshot checkpoints through the base class; this rule replays
+        the accept + streak logic of :meth:`_walk_streak` one checkpoint at a
+        time, committing once the same class has been accepted ``v`` times in
+        a row.
+        """
         self._require_fitted()
         assert self.consecutive_required_ is not None
-        return self._run_cascade(
-            series, self.consecutive_required_, keep_history=keep_history
-        )
+        required = int(self.consecutive_required_)
+        streak_label: object = None
+        streak = 0
+
+        def should_trigger(partial: PartialPrediction) -> bool:
+            nonlocal streak_label, streak
+            if not partial.ready:
+                streak_label = None
+                streak = 0
+                return False
+            if partial.label == streak_label:
+                streak += 1
+            else:
+                streak_label = partial.label
+                streak = 1
+            return streak >= required
+
+        return should_trigger
 
     def _partial_at(self, prefix: np.ndarray, exclude: int | None) -> PartialPrediction:
         """Slave + master evaluation of one prefix, optionally leave-one-out."""
@@ -321,48 +342,3 @@ class TEASERClassifier(BaseEarlyClassifier):
                 streak_label = None
                 streak = 0
         return None, last
-
-    def _run_cascade(
-        self,
-        series: np.ndarray,
-        consecutive_required: int,
-        exclude: int | None = None,
-        keep_history: bool = False,
-    ) -> EarlyPrediction:
-        """Walk the checkpoints applying the accept + consecutive-agreement rule."""
-        arr = self._validate_prefix(series)
-        history: list[PartialPrediction] = []
-        evaluated: list[tuple[int, PartialPrediction]] = []
-
-        def lazy_partials():
-            """Yield per-checkpoint partials, recording them for the outer scope."""
-            for checkpoint in self._checkpoints:
-                if checkpoint > arr.shape[0]:
-                    return
-                partial = self._partial_at(arr[:checkpoint], exclude)
-                evaluated.append((checkpoint, partial))
-                if keep_history:
-                    history.append(partial)
-                yield partial
-
-        trigger_index, last = self._walk_streak(lazy_partials(), consecutive_required)
-        if last is None:
-            raise ValueError("series is shorter than the first checkpoint")
-        if trigger_index is not None:
-            checkpoint, partial = evaluated[trigger_index]
-            return EarlyPrediction(
-                label=partial.label,
-                trigger_length=checkpoint,
-                series_length=arr.shape[0],
-                triggered=True,
-                confidence=partial.confidence,
-                history=tuple(history),
-            )
-        return EarlyPrediction(
-            label=last.label,
-            trigger_length=arr.shape[0],
-            series_length=arr.shape[0],
-            triggered=False,
-            confidence=last.confidence,
-            history=tuple(history),
-        )

@@ -110,6 +110,25 @@ class ComposedStream:
             raise IndexError("window out of range")
         return self.values[start : start + length].copy()
 
+    def iter_chunks(self, chunk_size: int):
+        """Yield the stream's values in successive fixed-size chunks.
+
+        The consumption pattern of a live deployment: a
+        :class:`~repro.streaming.online.StreamingSession` is fed one chunk at
+        a time instead of being handed the materialised stream.  Chunks are
+        views into :attr:`values` (no copies); the final chunk may be
+        shorter.
+
+        Parameters
+        ----------
+        chunk_size:
+            Number of samples per chunk (>= 1).
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        for start in range(0, len(self), chunk_size):
+            yield self.values[start : start + chunk_size]
+
     def background_fraction(self) -> float:
         """Fraction of samples not covered by any event.
 

@@ -22,11 +22,16 @@ round-off (the equivalence tests assert ``<= 1e-10``) -- this is *not* the
 dot-product expansion used by :func:`~repro.distance.euclidean.pairwise_euclidean`,
 which trades a little accuracy for BLAS throughput.
 
-Three entry points:
+Four entry points:
 
 * :class:`PrefixDistanceEngine` -- stateful: start a batch of queries, then
   :meth:`~PrefixDistanceEngine.advance_to` successive lengths and read the
   current distances.  Used by the classifiers' incremental prediction walk.
+* :meth:`PrefixDistanceEngine.open` -- hand out an *independent*
+  :class:`PrefixSweep` sharing the engine's training matrix.  Many sweeps can
+  be live at once, each at its own prefix length, which is what the online
+  streaming detector needs: every overlapping candidate window on a stream is
+  one concurrent sweep.
 * :func:`iter_prefix_distances` -- generator over ``(length, distances)``
   snapshots; used by training loops that need one distance matrix per
   checkpoint without holding all of them in memory at once.
@@ -47,6 +52,7 @@ import numpy as np
 
 __all__ = [
     "PrefixDistanceEngine",
+    "PrefixSweep",
     "PrefixDTWEngine",
     "iter_prefix_distances",
     "pairwise_prefix_distances",
@@ -79,102 +85,49 @@ def _as_train_matrix(train: np.ndarray) -> np.ndarray:
     return arr
 
 
-class PrefixDistanceEngine:
-    """Running squared-Euclidean prefix distances against a fixed training set.
+class PrefixSweep:
+    """One independent prefix-distance sweep over a shared training matrix.
 
-    Parameters
-    ----------
-    train:
-        2-D array of shape ``(n_train, length)``; the reference series every
-        query prefix is compared against.
+    A sweep owns only the per-query running state (the query series and the
+    accumulated squared partial sums); the training matrix belongs to the
+    :class:`PrefixDistanceEngine` that :meth:`~PrefixDistanceEngine.open`\\ ed
+    it.  Any number of sweeps over the same engine can be live concurrently,
+    each at its own prefix length -- the streaming detector keeps one per
+    overlapping candidate window.
 
-    Examples
-    --------
-    >>> import numpy as np
-    >>> train = np.arange(12.0).reshape(3, 4)
-    >>> engine = PrefixDistanceEngine(train).start(train[:1])
-    >>> squared = engine.advance_to(2)
-    >>> bool(np.isclose(engine.distances()[0, 0], 0.0))
-    True
-
-    Notes
-    -----
-    The engine is deliberately restricted to *monotonically growing* prefixes
-    (``advance_to`` with a smaller length raises); restarting a query batch
-    is a :meth:`start` call, which is O(n_queries * n_train).
+    The query array is held *by reference* (no copy is made for float64
+    input), and :meth:`advance_to` only ever reads columns ``< length``.  A
+    caller may therefore hand over a pre-allocated buffer that is filled in
+    as stream samples arrive, provided it never advances past what has been
+    written -- this is exactly how
+    :class:`repro.classifiers.base.ClassifierStream` uses it.
     """
 
-    def __init__(self, train: np.ndarray) -> None:
-        self._train = _as_train_matrix(train)
-        # The inner loop reads one training *column* per new sample; a
-        # contiguous transpose keeps those reads cache-friendly.
-        self._train_t = np.ascontiguousarray(self._train.T)
-        self._queries: np.ndarray | None = None
-        self._sq: np.ndarray | None = None
+    __slots__ = ("_train_t", "_queries", "_sq", "_length")
+
+    def __init__(self, train_t: np.ndarray, queries: np.ndarray) -> None:
+        self._train_t = train_t
+        self._queries = queries
+        self._sq = np.zeros((queries.shape[0], train_t.shape[1]))
         self._length = 0
 
     # ------------------------------------------------------------ properties
     @property
-    def n_train(self) -> int:
-        """Number of training series."""
-        return self._train.shape[0]
-
-    @property
-    def train_length(self) -> int:
-        """Length of the training series (the maximum prefix length)."""
-        return self._train.shape[1]
-
-    @property
     def length(self) -> int:
-        """Prefix length the engine has currently consumed."""
+        """Prefix length the sweep has currently consumed."""
         return self._length
 
     @property
     def n_queries(self) -> int:
-        """Number of query series in the current sweep (requires :meth:`start`)."""
-        queries, _ = self._require_started()
-        return queries.shape[0]
+        """Number of query series in this sweep."""
+        return self._queries.shape[0]
 
     @property
     def query_length(self) -> int:
-        """Length of the current query series (requires :meth:`start`)."""
-        queries, _ = self._require_started()
-        return queries.shape[1]
+        """Length of the query series (the maximum prefix length)."""
+        return self._queries.shape[1]
 
     # ------------------------------------------------------------ streaming
-    def start(self, queries: np.ndarray) -> "PrefixDistanceEngine":
-        """Begin a new sweep over a batch of query series.
-
-        Parameters
-        ----------
-        queries:
-            1-D series or 2-D array of shape ``(n_queries, q_length)`` with
-            ``q_length <= train_length``.  The full series is stored; samples
-            are only *consumed* by :meth:`advance_to`, so a caller may hand
-            the whole exemplar up front and still evaluate it incrementally.
-        """
-        arr = np.asarray(queries, dtype=float)
-        if arr.ndim == 1:
-            arr = arr[None, :]
-        if arr.ndim != 2:
-            raise ValueError("queries must be a 1-D series or a 2-D batch")
-        if arr.shape[1] > self.train_length:
-            raise ValueError(
-                f"query length {arr.shape[1]} exceeds training length "
-                f"{self.train_length}"
-            )
-        if arr.shape[1] < 1:
-            raise ValueError("queries must contain at least one sample")
-        self._queries = arr
-        self._sq = np.zeros((arr.shape[0], self.n_train))
-        self._length = 0
-        return self
-
-    def _require_started(self) -> tuple[np.ndarray, np.ndarray]:
-        if self._queries is None or self._sq is None:
-            raise RuntimeError("call start() before advancing the engine")
-        return self._queries, self._sq
-
     def advance_to(self, length: int) -> np.ndarray:
         """Consume query samples up to prefix ``length`` and return distances.
 
@@ -187,7 +140,7 @@ class PrefixDistanceEngine:
             The ``(n_queries, n_train)`` squared distances at ``length``
             (a reference to internal state: copy before mutating).
         """
-        queries, sq = self._require_started()
+        queries, sq = self._queries, self._sq
         if not self._length <= length <= queries.shape[1]:
             raise ValueError(
                 f"length must be in [{self._length}, {queries.shape[1]}] "
@@ -210,8 +163,7 @@ class PrefixDistanceEngine:
 
     def squared_distances(self) -> np.ndarray:
         """Copy of the current squared prefix distances, shape ``(n_queries, n_train)``."""
-        _, sq = self._require_started()
-        return sq.copy()
+        return self._sq.copy()
 
     def distances(self) -> np.ndarray:
         """Current Euclidean prefix distances, shape ``(n_queries, n_train)``.
@@ -220,8 +172,124 @@ class PrefixDistanceEngine:
         nonnegative in floating point (unlike the dot-product expansion,
         which needs clipping), so the square root is always well defined.
         """
-        _, sq = self._require_started()
-        return np.sqrt(sq)
+        return np.sqrt(self._sq)
+
+
+class PrefixDistanceEngine:
+    """Running squared-Euclidean prefix distances against a fixed training set.
+
+    Parameters
+    ----------
+    train:
+        2-D array of shape ``(n_train, length)``; the reference series every
+        query prefix is compared against.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> train = np.arange(12.0).reshape(3, 4)
+    >>> engine = PrefixDistanceEngine(train).start(train[:1])
+    >>> squared = engine.advance_to(2)
+    >>> bool(np.isclose(engine.distances()[0, 0], 0.0))
+    True
+
+    Notes
+    -----
+    Sweeps are deliberately restricted to *monotonically growing* prefixes
+    (``advance_to`` with a smaller length raises); restarting a query batch
+    is a :meth:`start` call, which is O(n_queries * n_train).  The engine's
+    own ``start``/``advance_to`` surface drives a single current sweep (the
+    one-exemplar-at-a-time pattern of ``predict_early``); :meth:`open` hands
+    out independent :class:`PrefixSweep` objects for callers that need many
+    concurrent sweeps over the same training matrix.
+    """
+
+    def __init__(self, train: np.ndarray) -> None:
+        self._train = _as_train_matrix(train)
+        # The inner loop reads one training *column* per new sample; a
+        # contiguous transpose keeps those reads cache-friendly.
+        self._train_t = np.ascontiguousarray(self._train.T)
+        self._sweep: PrefixSweep | None = None
+
+    # ------------------------------------------------------------ properties
+    @property
+    def n_train(self) -> int:
+        """Number of training series."""
+        return self._train.shape[0]
+
+    @property
+    def train_length(self) -> int:
+        """Length of the training series (the maximum prefix length)."""
+        return self._train.shape[1]
+
+    @property
+    def length(self) -> int:
+        """Prefix length the engine's current sweep has consumed."""
+        return 0 if self._sweep is None else self._sweep.length
+
+    @property
+    def n_queries(self) -> int:
+        """Number of query series in the current sweep (requires :meth:`start`)."""
+        return self._require_started().n_queries
+
+    @property
+    def query_length(self) -> int:
+        """Length of the current query series (requires :meth:`start`)."""
+        return self._require_started().query_length
+
+    # ------------------------------------------------------------ streaming
+    def open(self, queries: np.ndarray) -> PrefixSweep:
+        """Open an independent sweep over ``queries`` sharing this training matrix.
+
+        Unlike :meth:`start`, the returned :class:`PrefixSweep` carries its
+        own running state, so any number of opened sweeps can be advanced
+        concurrently -- one per overlapping candidate window on a stream.
+
+        Parameters
+        ----------
+        queries:
+            1-D series or 2-D array of shape ``(n_queries, q_length)`` with
+            ``q_length <= train_length``.  The full series is held by
+            reference; samples are only *consumed* by
+            :meth:`PrefixSweep.advance_to`, so a caller may hand the whole
+            exemplar up front (or a buffer filled in as samples arrive) and
+            still evaluate it incrementally.
+        """
+        arr = np.asarray(queries, dtype=float)
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        if arr.ndim != 2:
+            raise ValueError("queries must be a 1-D series or a 2-D batch")
+        if arr.shape[1] > self.train_length:
+            raise ValueError(
+                f"query length {arr.shape[1]} exceeds training length "
+                f"{self.train_length}"
+            )
+        if arr.shape[1] < 1:
+            raise ValueError("queries must contain at least one sample")
+        return PrefixSweep(self._train_t, arr)
+
+    def start(self, queries: np.ndarray) -> "PrefixDistanceEngine":
+        """Begin a new sweep over a batch of query series (replacing the current one)."""
+        self._sweep = self.open(queries)
+        return self
+
+    def _require_started(self) -> PrefixSweep:
+        if self._sweep is None:
+            raise RuntimeError("call start() before advancing the engine")
+        return self._sweep
+
+    def advance_to(self, length: int) -> np.ndarray:
+        """Advance the current sweep; see :meth:`PrefixSweep.advance_to`."""
+        return self._require_started().advance_to(length)
+
+    def squared_distances(self) -> np.ndarray:
+        """Copy of the current squared prefix distances, shape ``(n_queries, n_train)``."""
+        return self._require_started().squared_distances()
+
+    def distances(self) -> np.ndarray:
+        """Current Euclidean prefix distances of the current sweep."""
+        return self._require_started().distances()
 
 
 def iter_prefix_distances(

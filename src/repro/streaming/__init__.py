@@ -6,30 +6,50 @@ itself* where candidate patterns begin -- which is where the prefix,
 inclusion and homophone problems, and the normalisation problem, bite.  This
 package provides the machinery to run that deployment honestly:
 
-* :class:`~repro.streaming.detector.StreamingEarlyDetector` slides candidate
-  windows over a stream and lets an early classifier trigger alarms;
-* :mod:`repro.streaming.events` matches those alarms against ground-truth
-  event annotations;
+* :mod:`repro.streaming.online` is the engine: a
+  :class:`~repro.streaming.online.StreamingSession` ingests samples push by
+  push, keeps every overlapping candidate window in flight as incremental
+  classifier state, causally normalises with O(1)-per-sample running
+  statistics, and a :class:`~repro.streaming.online.MultiStreamDetector`
+  fans a batch of independent streams through concurrent sessions;
+* :class:`~repro.streaming.detector.StreamingEarlyDetector` is the
+  experiment-facing facade (its ``detect`` delegates to the engine; its
+  ``detect_reference`` keeps the original offline loop as the semantic
+  reference the equivalence tests compare against);
+* :mod:`repro.streaming.events` matches alarms against ground-truth event
+  annotations;
 * :mod:`repro.streaming.metrics` turns the matches into the quantities the
   paper's argument is about (false positives per true positive, false-alarm
-  rate, detection earliness);
+  rate, detection earliness), and merges them across a multi-stream fleet;
 * :mod:`repro.streaming.costs` applies the Appendix B cost model (an averted
   event is worth $1000, every action costs $200, so the detector must achieve
   better than one true positive per five false positives just to break even).
 """
 
-from repro.streaming.detector import Alarm, StreamingEarlyDetector
+from repro.streaming.online import (
+    Alarm,
+    MultiStreamDetector,
+    RunningCausalStats,
+    StreamingSession,
+    incremental_causal_znormalize,
+)
+from repro.streaming.detector import StreamingEarlyDetector
 from repro.streaming.events import AlarmMatch, match_alarms_to_events
-from repro.streaming.metrics import StreamingEvaluation, evaluate_alarms
+from repro.streaming.metrics import StreamingEvaluation, evaluate_alarms, merge_evaluations
 from repro.streaming.costs import CostModel, CostOutcome
 
 __all__ = [
     "Alarm",
     "StreamingEarlyDetector",
+    "StreamingSession",
+    "MultiStreamDetector",
+    "RunningCausalStats",
+    "incremental_causal_znormalize",
     "AlarmMatch",
     "match_alarms_to_events",
     "StreamingEvaluation",
     "evaluate_alarms",
+    "merge_evaluations",
     "CostModel",
     "CostOutcome",
 ]

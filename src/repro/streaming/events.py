@@ -12,10 +12,11 @@ lead-in) should not be punished as a false positive.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.data.stream import ComposedStream, GroundTruthEvent
-from repro.streaming.detector import Alarm
+from repro.streaming.online import Alarm
 
 __all__ = ["AlarmMatch", "match_alarms_to_events"]
 
@@ -87,13 +88,19 @@ def match_alarms_to_events(
         detectable = [e for e in stream.events if e.label in target_labels]
     else:
         detectable = list(stream.events)
+    # Events are sorted by start (ComposedStream guarantees it), so no event
+    # past this bisection bound can contain the alarm; a streaming run can
+    # raise tens of thousands of alarms, and scanning all events per alarm is
+    # what made Appendix-B-sized evaluations quadratic.
+    starts = [event.start for event in detectable]
 
     claimed: set[int] = set()
     matches: list[AlarmMatch] = []
     for alarm in alarms:
         matched_event = None
         matched_index = None
-        for index, event in enumerate(detectable):
+        for index in range(bisect_right(starts, alarm.position + onset_tolerance)):
+            event = detectable[index]
             if alarm.position < event.start - onset_tolerance or alarm.position >= event.end:
                 continue
             if require_label_match and alarm.label != event.label:

@@ -8,14 +8,15 @@ and how much of each event had elapsed before it was detected.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.data.stream import ComposedStream
-from repro.streaming.detector import Alarm
 from repro.streaming.events import match_alarms_to_events
+from repro.streaming.online import Alarm
 
-__all__ = ["StreamingEvaluation", "evaluate_alarms"]
+__all__ = ["StreamingEvaluation", "evaluate_alarms", "merge_evaluations"]
 
 
 @dataclass(frozen=True)
@@ -107,4 +108,58 @@ def evaluate_alarms(
         false_alarms_per_1000_samples=1000.0 * false_positives / len(stream),
         mean_fraction_of_event_seen=mean_fraction,
         stream_length=len(stream),
+    )
+
+
+def merge_evaluations(evaluations: Sequence[StreamingEvaluation]) -> StreamingEvaluation:
+    """Aggregate per-stream evaluations into one fleet-level evaluation.
+
+    Counts (alarms, TP/FP/FN, stream length) add across streams; every rate
+    is recomputed from the pooled counts, so the result is what
+    :func:`evaluate_alarms` would report had the streams been one deployment.
+    Used by :meth:`repro.streaming.online.MultiStreamDetector.evaluate`.
+    """
+    if not evaluations:
+        raise ValueError("need at least one evaluation to merge")
+    n_alarms = sum(e.n_alarms for e in evaluations)
+    true_positives = sum(e.true_positives for e in evaluations)
+    false_positives = sum(e.false_positives for e in evaluations)
+    false_negatives = sum(e.false_negatives for e in evaluations)
+    stream_length = sum(e.stream_length for e in evaluations)
+
+    matched = true_positives + false_positives
+    precision = true_positives / matched if matched else 0.0
+    denominator = true_positives + false_negatives
+    recall = true_positives / denominator if denominator else 0.0
+    if true_positives:
+        fp_per_tp = false_positives / true_positives
+    elif false_positives:
+        fp_per_tp = float("inf")
+    else:
+        fp_per_tp = 0.0
+
+    # The per-stream means are averages over that stream's true positives, so
+    # the pooled mean weights each stream by its true-positive count.
+    weighted = [
+        (e.mean_fraction_of_event_seen, e.true_positives)
+        for e in evaluations
+        if e.mean_fraction_of_event_seen is not None and e.true_positives > 0
+    ]
+    if weighted:
+        total_weight = sum(weight for _, weight in weighted)
+        mean_fraction = sum(value * weight for value, weight in weighted) / total_weight
+    else:
+        mean_fraction = None
+
+    return StreamingEvaluation(
+        n_alarms=n_alarms,
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+        precision=float(precision),
+        recall=float(recall),
+        false_positives_per_true_positive=float(fp_per_tp),
+        false_alarms_per_1000_samples=1000.0 * false_positives / stream_length,
+        mean_fraction_of_event_seen=mean_fraction,
+        stream_length=stream_length,
     )

@@ -1,0 +1,589 @@
+"""The online, batched streaming detection engine.
+
+:class:`~repro.streaming.detector.StreamingEarlyDetector` (the offline
+reference) materialises the whole stream, re-runs ``predict_early`` from
+scratch for every candidate window, and causally normalises each window with
+an ``O(L^2)`` pure-Python loop.  That reproduces the paper's argument but can
+neither serve live traffic nor scale.  This module provides the deployment
+path:
+
+* :class:`StreamingSession` ingests samples (or chunks) one push at a time
+  and maintains **all overlapping candidate windows concurrently**, each as
+  an incremental :class:`~repro.classifiers.base.ClassifierStream` riding the
+  prefix-sweep machinery of :mod:`repro.distance.engine` -- no candidate is
+  ever re-evaluated from scratch;
+* :class:`RunningCausalStats` replaces the per-window ``O(L^2)``
+  causal-normalisation loop with ``O(1)``-per-sample running mean/variance
+  (Welford), updated for every concurrent candidate in one vectorised
+  operation per arriving sample;
+* :class:`MultiStreamDetector` fans a batch of independent streams through
+  concurrent sessions in chunked lockstep, one candidate bank per stream.
+
+**Alarm semantics are identical to the offline detector** (the equivalence
+suite in ``tests/test_streaming_online.py`` pins this, field by field):
+candidates start at every ``stride``-th sample, only candidates whose full
+window fits in the stream may alarm, alarms are confirmed in candidate-start
+order, and the refractory / ``max_alarms`` rules apply at confirmation.  The
+one semantic consequence of being online is *latency*: a trigger at stream
+position ``p`` inside the candidate starting at ``s`` is only **confirmed**
+(emitted) once sample ``s + L - 1`` has arrived, because until then the
+engine cannot know that the candidate's window fits in the stream -- exactly
+the eligibility rule the offline detector applies by construction.  The
+triggered :class:`~repro.classifiers.base.ClassifierStream` outcome itself is
+available the moment the trigger checkpoint fires.
+
+The ``"window"`` normalisation mode z-normalises each candidate with
+whole-window statistics and therefore *requires future data* (the paper's
+"peeking" flaw).  The session supports it for apples-to-apples experiments by
+buffering each candidate until its window completes; only ``"none"`` and
+``"causal"`` are genuinely online modes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+from repro.classifiers.base import BaseEarlyClassifier, ClassifierStream, EarlyPrediction
+from repro.data.stream import ComposedStream
+from repro.distance.znorm import EPSILON, znormalize
+
+__all__ = [
+    "Alarm",
+    "NormalizationMode",
+    "RunningCausalStats",
+    "incremental_causal_znormalize",
+    "StreamingSession",
+    "MultiStreamDetector",
+]
+
+NormalizationMode = Literal["none", "window", "causal"]
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """An early-classification alarm raised on a stream.
+
+    Attributes
+    ----------
+    position:
+        Stream index at which the alarm was raised (the last sample the
+        classifier had seen when it triggered).
+    candidate_start:
+        Stream index at which the candidate pattern was assumed to begin.
+    label:
+        The class the classifier committed to.
+    confidence:
+        The classifier's confidence at the trigger point.
+    prefix_length:
+        Number of samples of the candidate that had been observed.
+    """
+
+    position: int
+    candidate_start: int
+    label: object
+    confidence: float
+    prefix_length: int
+
+
+class RunningCausalStats:
+    """Vectorised running mean/variance for a bank of concurrent candidates.
+
+    Each *slot* tracks one growing candidate window.  Adding a stream sample
+    to every active slot is one vectorised Welford update -- ``O(1)`` work
+    per (sample, candidate) with no per-window recomputation -- and returns
+    the causally z-normalised sample for each slot: ``(x - mean) / std``
+    over the samples that slot has seen so far, with the same
+    ``std < 1e-12 -> 0`` convention as batch z-normalisation
+    (:data:`repro.distance.znorm.EPSILON`).
+
+    Numerics: sums are accumulated in baseline-centred coordinates (each
+    slot's samples are shifted by its carried running mean before
+    summation) and the M2 update is Welford's shift-invariant recurrence,
+    so a large DC offset in the stream never enters the cumulative sums.
+    The result agrees with the naive per-prefix ``seen.mean()/seen.std()``
+    recomputation to float round-off (the property-based tests pin
+    ``<= 1e-10`` on well-conditioned streams, and track the reference's own
+    conditioning limit on extreme-offset ones).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._count = np.zeros(capacity)
+        self._mean = np.zeros(capacity)
+        self._m2 = np.zeros(capacity)
+
+    @property
+    def capacity(self) -> int:
+        """Number of slots in the bank."""
+        return self._count.shape[0]
+
+    def reset(self, slot: int) -> None:
+        """Recycle a slot for a new candidate window."""
+        self._count[slot] = 0.0
+        self._mean[slot] = 0.0
+        self._m2[slot] = 0.0
+
+    def push(self, slots: np.ndarray, value: float) -> np.ndarray:
+        """Add ``value`` to every slot in ``slots``; return normalised samples.
+
+        Returns
+        -------
+        numpy.ndarray
+            One causally z-normalised sample per entry of ``slots`` (0.0
+            where the slot's running standard deviation is below
+            :data:`~repro.distance.znorm.EPSILON`).
+        """
+        return self.push_block(slots, np.asarray([value], dtype=float))[:, 0]
+
+    def push_block(self, slots: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Add a block of consecutive samples to every slot; return normalised blocks.
+
+        The per-sample Welford recurrence ``M2 += (v - mean_prev) * (v -
+        mean_cur)`` is applied with all intermediate running means computed
+        vectorially, so one call does ``O(n_slots * k)`` flat numpy work
+        instead of ``k`` python-level updates -- this is what lets the
+        streaming session consume a whole segment of stream between candidate
+        births/completions in one operation per candidate bank.
+
+        Parameters
+        ----------
+        slots:
+            Integer slot indices (each slot tracks one candidate window).
+        values:
+            1-D block of consecutive stream samples, appended to every slot.
+
+        Returns
+        -------
+        numpy.ndarray
+            Array of shape ``(len(slots), len(values))``: row ``j`` holds the
+            causally z-normalised samples as seen by slot ``j``.
+        """
+        block = np.asarray(values, dtype=float)
+        count0 = self._count[slots][:, None]
+        if block.shape[0] == 0:
+            return np.zeros((count0.shape[0], 0))
+        mean0 = self._mean[slots][:, None]
+        m2_0 = self._m2[slots][:, None]
+        k = block.shape[0]
+        counts = count0 + np.arange(1.0, k + 1.0)[None, :]
+        # Accumulate in baseline-centred coordinates: each slot's samples are
+        # shifted by its carried running mean (or the block's first sample
+        # for a fresh slot) before summation, so a large DC offset in the
+        # stream never enters the cumulative sums -- the failure mode that
+        # makes the raw-value cumsum shortcut lose digits.  The running mean
+        # of the raw data is then ``baseline + cumsum(shifted) / counts``
+        # (the carried term ``count0 * (mean0 - baseline)`` is exactly zero
+        # for both slot states), and the M2 recurrence is shift-invariant.
+        baseline = np.where(count0 > 0.0, mean0, block[0])
+        shifted = block[None, :] - baseline
+        shifted_means = np.cumsum(shifted, axis=1) / counts
+        previous_shifted_means = np.concatenate(
+            [mean0 - baseline, shifted_means[:, :-1]], axis=1
+        )
+        m2 = m2_0 + np.cumsum(
+            (shifted - previous_shifted_means) * (shifted - shifted_means), axis=1
+        )
+        self._count[slots] = counts[:, -1]
+        self._mean[slots] = (baseline + shifted_means[:, -1:])[:, 0]
+        self._m2[slots] = m2[:, -1]
+        std = np.sqrt(np.maximum(m2, 0.0) / counts)
+        out = np.zeros_like(std)
+        np.divide(shifted - shifted_means, std, out=out, where=std >= EPSILON)
+        return out
+
+
+def incremental_causal_znormalize(window: np.ndarray) -> np.ndarray:
+    """Causally z-normalise one candidate window in ``O(L)``.
+
+    The single-candidate view of :class:`RunningCausalStats`: sample ``i`` is
+    normalised with the running statistics of ``window[: i + 1]``.  Matches
+    the naive per-prefix recomputation (the offline detector's ``O(L^2)``
+    loop) to float round-off; the property-based tests pin ``<= 1e-10``,
+    including exactly-constant and near-constant segments.
+    """
+    arr = np.asarray(window, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("window must be a 1-D series")
+    if arr.shape[0] == 0:
+        return arr.copy()
+    return RunningCausalStats(1).push_block(np.zeros(1, dtype=np.intp), arr)[0]
+
+
+class _Candidate:
+    """One in-flight candidate window of a :class:`StreamingSession`."""
+
+    __slots__ = ("start", "walker", "slot", "outcome")
+
+    def __init__(self, start: int, walker: ClassifierStream | None, slot: int) -> None:
+        self.start = start
+        self.walker = walker
+        self.slot = slot
+        self.outcome: EarlyPrediction | None = None
+
+
+class StreamingSession:
+    """Online detection over one stream: push samples in, get alarms out.
+
+    Parameters mirror :class:`~repro.streaming.detector.StreamingEarlyDetector`
+    (same defaults, same semantics); the difference is the execution model.
+    Every ``stride``-th sample opens a candidate window, all open candidates
+    are advanced concurrently as each sample arrives, and a candidate is
+    *confirmed* -- its alarm emitted, the refractory and ``max_alarms`` rules
+    applied -- when its window completes, in candidate-start order.
+    Candidates whose window never completes (the stream ended first) are
+    discarded at :meth:`finalize`, matching the offline detector's candidate
+    eligibility.
+
+    Per arriving sample the session does ``O(A)`` work for ``A = ceil(L /
+    stride)`` overlapping candidates: one vectorised
+    :class:`RunningCausalStats` update across the whole bank (``"causal"``
+    mode) plus one :meth:`~repro.classifiers.base.ClassifierStream.push` per
+    undecided candidate -- versus the offline loop's ``O(L^2)`` per-window
+    normalisation and from-scratch re-prediction.  In ``"window"`` mode the
+    raw stream is buffered and each candidate is evaluated once its window
+    completes (whole-window normalisation needs future data by definition).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.classifiers.threshold import ProbabilityThresholdClassifier
+    >>> rng = np.random.default_rng(0)
+    >>> series = np.vstack([rng.normal(i, 0.1, size=(5, 30)) for i in (0, 3)])
+    >>> labels = ["lo"] * 5 + ["hi"] * 5
+    >>> model = ProbabilityThresholdClassifier(min_length=4).fit(series, labels)
+    >>> session = StreamingSession(model, stride=5, normalization="none")
+    >>> for chunk in np.split(rng.normal(0.0, 0.1, size=300), 10):
+    ...     _ = session.extend(chunk)
+    >>> alarms = session.finalize()
+    """
+
+    def __init__(
+        self,
+        classifier: BaseEarlyClassifier,
+        stride: int | None = None,
+        normalization: NormalizationMode = "none",
+        refractory: int | None = None,
+        max_alarms: int = 100_000,
+    ) -> None:
+        if not isinstance(classifier, BaseEarlyClassifier):
+            raise TypeError("classifier must be a BaseEarlyClassifier")
+        if not classifier.is_fitted:
+            raise ValueError("classifier must be fitted before building a session")
+        if normalization not in ("none", "window", "causal"):
+            raise ValueError("normalization must be 'none', 'window' or 'causal'")
+        if max_alarms < 1:
+            raise ValueError("max_alarms must be >= 1")
+        self.classifier = classifier
+        self.window_length = classifier.train_length_
+        self.stride = stride if stride is not None else max(1, self.window_length // 4)
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.normalization = normalization
+        self.refractory = refractory if refractory is not None else self.window_length // 2
+        if self.refractory < 0:
+            raise ValueError("refractory must be non-negative")
+        self.max_alarms = max_alarms
+
+        self._count = 0
+        self._alarms: list[Alarm] = []
+        self._last_alarm_position = -float("inf")
+        self._active: deque[_Candidate] = deque()
+        self._feeding: list[_Candidate] = []
+        self._feed_slots = np.empty(0, dtype=np.intp)
+        self._saturated = False
+        self._finalized = False
+        # One normalisation slot per concurrently open candidate; candidate
+        # k (start = k * stride) recycles slot k mod capacity, and windows
+        # are exactly L samples long, so live candidates never collide.
+        n_slots = self.window_length // self.stride + 2
+        self._stats = RunningCausalStats(n_slots) if normalization == "causal" else None
+        # Whole-window normalisation needs the raw window at completion time;
+        # the genuinely online modes never re-read past samples.
+        self._values = np.empty(4096) if normalization == "window" else None
+
+    # ------------------------------------------------------------ properties
+    @property
+    def n_samples(self) -> int:
+        """Number of stream samples consumed so far."""
+        return self._count
+
+    @property
+    def n_open_candidates(self) -> int:
+        """Number of candidate windows currently in flight."""
+        return len(self._active)
+
+    @property
+    def alarms(self) -> list[Alarm]:
+        """All alarms confirmed so far (copy)."""
+        return list(self._alarms)
+
+    @property
+    def finalized(self) -> bool:
+        """Whether :meth:`finalize` has been called."""
+        return self._finalized
+
+    # ------------------------------------------------------------ ingestion
+    def push(self, value: float) -> list[Alarm]:
+        """Consume one sample; return the alarms it confirmed (possibly none)."""
+        return self.extend(np.asarray([value], dtype=float))
+
+    def extend(self, values: np.ndarray) -> list[Alarm]:
+        """Consume a chunk of samples; return the alarms the chunk confirmed.
+
+        The chunk is processed in *segments* delimited by candidate births
+        (every ``stride``-th stream index) and window completions, so between
+        boundaries the whole active candidate bank advances in one vectorised
+        normalisation update and one buffered block per candidate walk --
+        this segment batching, not the chunk size, is what amortises the
+        per-sample Python overhead.
+        """
+        if self._finalized:
+            raise RuntimeError("the session has been finalized")
+        chunk = np.asarray(values, dtype=float)
+        if chunk.ndim != 1:
+            raise ValueError("stream values must be 1-D")
+        if chunk.size == 0:
+            return []
+        if not np.all(np.isfinite(chunk)):
+            raise ValueError("stream contains non-finite values")
+        if self._values is not None:
+            self._store(chunk)
+        emitted_from = len(self._alarms)
+        offset = 0
+        total = chunk.shape[0]
+        while offset < total:
+            if self._saturated:
+                self._count += total - offset
+                break
+            position = self._count
+            if position % self.stride == 0:
+                self._open_candidate(position)
+            # The segment runs to the next boundary: the next candidate birth,
+            # or one past the sample that completes the oldest open window.
+            next_birth = (position // self.stride + 1) * self.stride
+            end = min(total - offset, next_birth - position)
+            if self._active:
+                completing = self._active[0].start + self.window_length - 1
+                end = min(end, completing - position + 1)
+            self._consume(chunk[offset : offset + end])
+            self._count += end
+            offset += end
+            if self._active and self._active[0].start + self.window_length == self._count:
+                self._confirm(self._active.popleft())
+        return self._alarms[emitted_from:]
+
+    def finalize(self) -> list[Alarm]:
+        """Declare the stream over and return the full alarm list.
+
+        Candidates whose window never completed are discarded -- the offline
+        detector never considers a start that cannot fit a full window, and
+        the equivalence suite holds the engine to the same rule.
+        """
+        if not self._finalized:
+            self._finalized = True
+            self._active.clear()
+            self._feeding = []
+        return list(self._alarms)
+
+    # ------------------------------------------------------------ internals
+    def _store(self, chunk: np.ndarray) -> None:
+        assert self._values is not None
+        needed = self._count + chunk.shape[0]
+        if needed > self._values.shape[0]:
+            grown = np.empty(max(needed, 2 * self._values.shape[0]))
+            grown[: self._count] = self._values[: self._count]
+            self._values = grown
+        self._values[self._count : needed] = chunk
+
+    def _refresh_feeding(self) -> None:
+        self._feeding = [c for c in self._active if c.outcome is None and c.walker is not None]
+        self._feed_slots = np.fromiter(
+            (c.slot for c in self._feeding), dtype=np.intp, count=len(self._feeding)
+        )
+
+    def _open_candidate(self, start: int) -> None:
+        slot = (start // self.stride) % (
+            self._stats.capacity if self._stats is not None else 1
+        )
+        if self._stats is not None:
+            self._stats.reset(slot)
+        walker = None if self.normalization == "window" else self.classifier.open_stream()
+        self._active.append(_Candidate(start, walker, slot))
+        if walker is not None:
+            self._refresh_feeding()
+
+    def _consume(self, segment: np.ndarray) -> None:
+        """Advance every undecided candidate over one boundary-free segment."""
+        if not self._feeding:
+            return
+        if self._stats is not None:
+            normalized = self._stats.push_block(self._feed_slots, segment)
+        else:
+            normalized = None
+        decided = False
+        for index, candidate in enumerate(self._feeding):
+            block = segment if normalized is None else normalized[index]
+            if candidate.walker.feed(block) is not None:
+                candidate.outcome = candidate.walker.outcome
+                decided = True
+        if decided:
+            self._refresh_feeding()
+
+    def _confirm(self, candidate: _Candidate) -> None:
+        """Finalize one completed candidate, applying the emission rules.
+
+        Candidates complete in start order (equal window lengths), so this
+        reproduces the offline detector's sequential walk: the saturation
+        check, the refractory comparison against the last *emitted* alarm,
+        and the alarm field values are all identical.
+        """
+        if candidate.walker is None:
+            # Whole-window ("peeking") mode: normalise and walk only now that
+            # the window exists, exactly as the offline detector does.
+            assert self._values is not None
+            window = self._values[candidate.start : candidate.start + self.window_length]
+            candidate.outcome = self.classifier.predict_early(znormalize(window))
+        outcome = candidate.outcome
+        assert outcome is not None  # the walker decides by window completion
+        if not outcome.triggered:
+            return
+        if len(self._alarms) >= self.max_alarms:
+            # The offline loop stops evaluating candidates entirely once the
+            # cap is reached; no later candidate may alarm.
+            self._saturated = True
+            self._active.clear()
+            self._feeding = []
+            return
+        position = candidate.start + outcome.trigger_length - 1
+        if position - self._last_alarm_position < self.refractory:
+            return
+        self._alarms.append(
+            Alarm(
+                position=int(position),
+                candidate_start=int(candidate.start),
+                label=outcome.label,
+                confidence=float(outcome.confidence),
+                prefix_length=int(outcome.trigger_length),
+            )
+        )
+        self._last_alarm_position = position
+
+
+class MultiStreamDetector:
+    """Fan a batch of independent streams through concurrent online sessions.
+
+    One :class:`StreamingSession` -- one vectorised candidate bank -- per
+    stream, fed in chunked lockstep the way a service would drain a set of
+    live telemetry feeds.  Streams may have different lengths; each stream's
+    alarm list is exactly what a standalone session (and therefore the
+    offline detector) would produce for it.
+
+    Parameters
+    ----------
+    classifier, stride, normalization, refractory, max_alarms:
+        As for :class:`StreamingSession`; shared by every stream.
+    chunk_size:
+        Number of samples per stream consumed per lockstep round.
+    """
+
+    def __init__(
+        self,
+        classifier: BaseEarlyClassifier,
+        stride: int | None = None,
+        normalization: NormalizationMode = "none",
+        refractory: int | None = None,
+        max_alarms: int = 100_000,
+        chunk_size: int = 1024,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        # Validate the shared parameters eagerly (and fail before any data
+        # arrives) by building a throwaway session.
+        probe = StreamingSession(
+            classifier,
+            stride=stride,
+            normalization=normalization,
+            refractory=refractory,
+            max_alarms=max_alarms,
+        )
+        self.classifier = classifier
+        self.stride = probe.stride
+        self.normalization = probe.normalization
+        self.refractory = probe.refractory
+        self.max_alarms = probe.max_alarms
+        self.chunk_size = chunk_size
+
+    def open_sessions(self, n_streams: int) -> list[StreamingSession]:
+        """One fresh session per stream, all with the detector's parameters."""
+        if n_streams < 1:
+            raise ValueError("need at least one stream")
+        return [
+            StreamingSession(
+                self.classifier,
+                stride=self.stride,
+                normalization=self.normalization,
+                refractory=self.refractory,
+                max_alarms=self.max_alarms,
+            )
+            for _ in range(n_streams)
+        ]
+
+    def detect(
+        self, streams: Sequence[ComposedStream | np.ndarray]
+    ) -> list[list[Alarm]]:
+        """Run every stream through its own session; return per-stream alarms."""
+        arrays = []
+        for stream in streams:
+            values = (
+                stream.values
+                if isinstance(stream, ComposedStream)
+                else np.asarray(stream, dtype=float)
+            )
+            if values.ndim != 1:
+                raise ValueError("stream values must be 1-D")
+            arrays.append(values)
+        sessions = self.open_sessions(len(arrays))
+        longest = max(arr.shape[0] for arr in arrays)
+        for offset in range(0, longest, self.chunk_size):
+            for session, values in zip(sessions, arrays):
+                if offset < values.shape[0]:
+                    session.extend(values[offset : offset + self.chunk_size])
+        return [session.finalize() for session in sessions]
+
+    def evaluate(
+        self,
+        streams: Sequence[ComposedStream],
+        target_labels: tuple | None = None,
+        onset_tolerance: int = 0,
+    ):
+        """Detect on annotated streams and merge the per-stream evaluations.
+
+        Returns
+        -------
+        repro.streaming.metrics.StreamingEvaluation
+            Fleet-level counts/rates via
+            :func:`repro.streaming.metrics.merge_evaluations`.
+        """
+        # Imported lazily: metrics sits above this module in the layering.
+        from repro.streaming.metrics import evaluate_alarms, merge_evaluations
+
+        for stream in streams:
+            if not isinstance(stream, ComposedStream):
+                raise TypeError("evaluate() needs annotated ComposedStream inputs")
+        per_stream = self.detect(streams)
+        return merge_evaluations(
+            [
+                evaluate_alarms(
+                    alarms,
+                    stream,
+                    target_labels=target_labels,
+                    onset_tolerance=onset_tolerance,
+                )
+                for alarms, stream in zip(per_stream, streams)
+            ]
+        )

@@ -1,9 +1,12 @@
 """Tests for the experiments command-line interface and result rendering."""
 
+import inspect
+
 import pytest
 
 from repro.experiments.__main__ import main
 from repro.experiments import run_experiment
+from repro.experiments.registry import EXPERIMENTS, FAST_OVERRIDES
 
 
 class TestCLI:
@@ -24,6 +27,28 @@ class TestCLI:
     def test_fast_flag_reduces_workload(self):
         result = run_experiment("figure1", fast=True)
         assert result.class_counts["cat"] < 30  # the full-scale default
+
+
+class TestRegistry:
+    """Pin the fast-path registry to the experiment registry.
+
+    ``run_experiment(..., fast=True)`` silently falls back to the full-scale
+    workload when an experiment has no ``FAST_OVERRIDES`` entry, so renaming
+    an experiment (or one of its keyword arguments) must fail loudly here
+    rather than quietly blowing up CI run times.
+    """
+
+    def test_every_experiment_has_a_fast_path(self):
+        assert set(FAST_OVERRIDES) == set(EXPERIMENTS)
+
+    def test_fast_overrides_match_run_signatures(self):
+        for name, overrides in FAST_OVERRIDES.items():
+            parameters = inspect.signature(EXPERIMENTS[name]).parameters
+            unknown = set(overrides) - set(parameters)
+            assert not unknown, (
+                f"FAST_OVERRIDES[{name!r}] names arguments {sorted(unknown)} "
+                f"that {EXPERIMENTS[name].__module__}.run does not accept"
+            )
 
 
 class TestResultRendering:
