@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench docs-check quickstart experiments all
+.PHONY: test bench docs-check quickstart experiments results check-artifacts all
 
 ## tier-1 gate: unit/property/integration tests + benchmark harness
 test:
@@ -25,5 +25,13 @@ quickstart:
 ## regenerate every paper artefact at reduced scale
 experiments:
 	$(PYTHON) -m repro.experiments --fast
+
+## regenerate every artefact in parallel and write results/<name>.json
+results:
+	$(PYTHON) -m repro.experiments --fast --jobs 2 --json
+
+## fail unless every results/*.json artifact parses with non-empty metrics
+check-artifacts:
+	$(PYTHON) tools/check_artifacts.py results
 
 all: test docs-check

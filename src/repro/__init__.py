@@ -23,6 +23,8 @@ The package is organised in layers (see DESIGN.md for the full inventory):
   cost and prior-probability criteria) combined into a per-domain report.
 * :mod:`repro.experiments` -- one module per table/figure of the paper; each
   regenerates the corresponding numbers from scratch.
+* :mod:`repro.runtime` -- the experiment runtime: declarative specs, a
+  process-parallel scheduler, a prepare-stage cache and JSON artifacts.
 """
 
 from repro._version import __version__

@@ -1,15 +1,35 @@
 """Experiment modules: one per table / figure of the paper.
 
-Every module exposes a ``run(...)`` function whose keyword arguments control
-the workload scale (so the test-suite can run miniature versions) and which
-returns a small result dataclass with a ``to_text()`` method that prints the
-rows or series the corresponding table/figure reports.
+Every module implements the runtime's stage contract -- ``prepare`` (data
+synthesis + model fitting, memoisable), ``compute`` (the numbers),
+``render`` (the text summary) and ``metrics`` (flat key numbers for the
+JSON artifact) -- plus a backwards-compatible ``run(...)`` composing the
+stages.  Keyword arguments control the workload scale (so the test-suite
+can run miniature versions); each ``run`` returns a small result dataclass
+with a ``to_text()`` method that prints the rows or series the
+corresponding table/figure reports.
 
-The registry (:mod:`repro.experiments.registry`) maps experiment identifiers
-("table1", "figure5", ...) to these functions, and ``python -m
-repro.experiments <id>`` runs them from the command line.
+The registry (:mod:`repro.experiments.registry`) holds one declarative
+:class:`~repro.runtime.spec.ExperimentSpec` per experiment, and ``python -m
+repro.experiments <id>`` runs them from the command line -- optionally in
+parallel (``--jobs``), with a prepare-stage cache, and with JSON artifacts
+(``--json``); see :mod:`repro.runtime`.
 """
 
-from repro.experiments.registry import EXPERIMENTS, available_experiments, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    SPECS,
+    available_experiments,
+    experiments_with_tag,
+    get_spec,
+    run_experiment,
+)
 
-__all__ = ["EXPERIMENTS", "available_experiments", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "SPECS",
+    "available_experiments",
+    "experiments_with_tag",
+    "get_spec",
+    "run_experiment",
+]

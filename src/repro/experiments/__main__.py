@@ -1,19 +1,46 @@
-"""Command-line entry point: ``python -m repro.experiments [names...] [--fast]``.
+"""Command-line entry point: ``python -m repro.experiments [names...]``.
 
 Running with no arguments regenerates every table and figure and prints the
 text summary of each (this is the closest thing to re-running the paper).
+On top of that the runtime offers:
+
+``--fast``
+    Reduced-scale versions (for smoke testing).
+``--jobs N``
+    Execute independent experiments across N worker processes.
+``--cache-dir DIR`` / ``--no-cache``
+    Memoise the expensive ``prepare`` stage (data synthesis + model
+    fitting) on disk; a warm cache makes re-runs dramatically cheaper.
+``--json`` / ``--results-dir DIR``
+    Write a machine-readable ``results/<name>.json`` artifact per
+    experiment (parameters, metrics, summary, timings).
+``--list`` / ``--tag TAG`` / ``--seed N``
+    Inspect the registry, select experiments by tag, re-seed a run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
-from repro.experiments.registry import available_experiments, run_experiment
+from repro.experiments.registry import (
+    SPECS,
+    available_experiments,
+    available_tags,
+    experiments_with_tag,
+)
+from repro.runtime.cache import PrepareCache
+from repro.runtime.scheduler import run_experiments
+from repro.runtime.spec import ExperimentResult
+
+#: Default location of the prepare-stage cache (relative to the CWD).
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Default location of the JSON artifacts written by ``--json``.
+DEFAULT_RESULTS_DIR = "results"
 
 
-def main(argv: list[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the tables and figures of the paper.",
@@ -30,21 +57,113 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run reduced-scale versions (for smoke testing)",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent experiments (default: 1, sequential)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"prepare-stage cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the prepare-stage cache entirely",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="write a machine-readable JSON artifact per experiment",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default=DEFAULT_RESULTS_DIR,
+        metavar="DIR",
+        help=f"artifact directory used by --json (default: {DEFAULT_RESULTS_DIR})",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_experiments",
+        help="list experiments (with tags and fast overrides) and exit",
+    )
+    parser.add_argument(
+        "--tag",
+        action="append",
+        default=[],
+        metavar="TAG",
+        help="run only experiments carrying TAG (repeatable; combines with names)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override every selected experiment's seed",
+    )
+    return parser
 
-    names = args.names or available_experiments()
-    unknown = [n for n in names if n not in available_experiments()]
+
+def _list_experiments() -> None:
+    for name in available_experiments():
+        spec = SPECS[name]
+        tags = ", ".join(spec.tags)
+        print(f"{name:<18s} seed={spec.default_seed:<4d} [{tags}]")
+        if spec.description:
+            print(f"    {spec.description}")
+
+
+def _select_names(args, parser: argparse.ArgumentParser) -> list[str]:
+    names = list(args.names)
+    unknown = [n for n in names if n not in SPECS]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+    for tag in args.tag:
+        if tag not in available_tags():
+            parser.error(
+                f"unknown tag {tag!r}; available: {', '.join(available_tags())}"
+            )
+        for name in experiments_with_tag(tag):
+            if name not in names:
+                names.append(name)
+    return names or available_experiments()
 
-    for name in names:
-        start = time.perf_counter()
-        result = run_experiment(name, fast=args.fast)
-        elapsed = time.perf_counter() - start
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_experiments:
+        _list_experiments()
+        return 0
+
+    names = _select_names(args, parser)
+    cache = None if args.no_cache else PrepareCache(args.cache_dir)
+    overrides = {} if args.seed is None else {"seed": args.seed}
+    results_dir = args.results_dir if args.json else None
+
+    def printer(result: ExperimentResult) -> None:
         print("=" * 78)
         print(result.to_text())
-        print(f"[{name} completed in {elapsed:.1f} s]")
+        print(f"[{result.name} completed in {result.timings['total']:.1f} s]")
         print()
+
+    results = run_experiments(
+        names,
+        fast=args.fast,
+        jobs=args.jobs,
+        cache=cache,
+        overrides=overrides,
+        results_dir=results_dir,
+        on_result=printer,
+    )
+    if results_dir is not None:
+        print(f"[wrote {len(results)} artifact(s) to {results_dir}/]")
     return 0
 
 

@@ -31,12 +31,21 @@ from repro.classifiers.teaser import TEASERClassifier
 from repro.core.criteria import CostBenefitCriterion, CriterionResult, PriorProbabilityCriterion
 from repro.data.gunpoint import GUN, make_gunpoint_dataset
 from repro.data.random_walk import random_walk_background
-from repro.data.stream import StreamComposer
+from repro.data.stream import ComposedStream, StreamComposer
+from repro.data.ucr_format import UCRDataset
 from repro.streaming.costs import CostModel
 from repro.streaming.detector import StreamingEarlyDetector
 from repro.streaming.metrics import StreamingEvaluation, evaluate_alarms
 
-__all__ = ["AppendixBResult", "run"]
+__all__ = [
+    "AppendixBPrepared",
+    "AppendixBResult",
+    "prepare",
+    "compute",
+    "render",
+    "metrics",
+    "run",
+]
 
 
 @dataclass(frozen=True)
@@ -92,49 +101,34 @@ class AppendixBResult:
         )
 
 
-def run(
+@dataclass(frozen=True)
+class AppendixBPrepared:
+    """Prepared inputs: the split, the default detector model, the stream."""
+
+    train: UCRDataset
+    default_classifier: BaseEarlyClassifier | None
+    stream: ComposedStream
+
+
+def prepare(
     n_events: int = 20,
     gap_range: tuple[int, int] = (2_000, 6_000),
-    stride: int = 10,
     target_label: str = GUN,
-    classifier: BaseEarlyClassifier | None = None,
-    normalization: str = "window",
-    event_cost: float = 1000.0,
-    action_cost: float = 200.0,
     seed: int = 17,
-) -> AppendixBResult:
-    """Run the Appendix B streaming experiment.
+    fit_default: bool = True,
+) -> AppendixBPrepared:
+    """Fit the default TEASER model and compose the deployment stream.
 
-    Parameters
-    ----------
-    n_events:
-        Number of genuine GunPoint exemplars embedded in the stream.
-    gap_range:
-        Background gap (in samples) between consecutive embedded events.
-    stride:
-        Candidate-start stride of the streaming detector.
-    target_label:
-        The class treated as actionable (alarms for it count; the other class
-        is treated as part of the background, as the paper's framing implies).
-    classifier:
-        A fitted early classifier to deploy; defaults to TEASER trained on the
-        synthetic GunPoint training split.
-    normalization:
-        Candidate-window normalisation mode (``"window"`` gives the detector
-        the *benefit* of peeking; even then the false positives dominate,
-        which is the paper's point).
-    event_cost, action_cost:
-        The Appendix B cost model ($1000 event, $200 action).
-    seed:
-        Stream composition seed.
+    ``fit_default=False`` skips the (expensive) TEASER fit for callers that
+    deploy their own classifier; the runtime always fits it, since the cache
+    key cannot see the compute-stage ``classifier`` argument.
     """
     train, test = make_gunpoint_dataset(seed=7)
 
-    if classifier is None:
-        classifier = TEASERClassifier()
-        classifier.fit(train.series, train.labels)
-    elif not classifier.is_fitted:
-        raise ValueError("a supplied classifier must already be fitted")
+    default_classifier = None
+    if fit_default:
+        default_classifier = TEASERClassifier()
+        default_classifier.fit(train.series, train.labels)
 
     # Build the stream: genuine exemplars of the target class drawn from the
     # *test* split (the detector has never seen them), embedded in long
@@ -151,6 +145,33 @@ def run(
     stream = composer.compose(
         [target_rows[i] for i in picks], [target_label] * n_events, name="appendix-b"
     )
+    return AppendixBPrepared(
+        train=train, default_classifier=default_classifier, stream=stream
+    )
+
+
+def compute(
+    prepared: AppendixBPrepared,
+    n_events: int = 20,
+    stride: int = 10,
+    target_label: str = GUN,
+    classifier: BaseEarlyClassifier | None = None,
+    normalization: str = "window",
+    event_cost: float = 1000.0,
+    action_cost: float = 200.0,
+) -> AppendixBResult:
+    """Deploy the classifier over the prepared stream and price the alarms."""
+    train, stream = prepared.train, prepared.stream
+
+    if classifier is None:
+        classifier = prepared.default_classifier
+        if classifier is None:
+            raise ValueError(
+                "no classifier supplied and the prepared inputs carry no "
+                "default (prepare(fit_default=False) was used)"
+            )
+    elif not classifier.is_fitted:
+        raise ValueError("a supplied classifier must already be fitted")
 
     # Deploy through the online engine, consuming the stream in chunks the
     # way a live service would (the detector's detect() is the same engine;
@@ -197,4 +218,83 @@ def run(
         n_embedded_events=n_events,
         stream_length=len(stream),
         event_prior=event_prior,
+    )
+
+
+def render(result: AppendixBResult) -> str:
+    """The appendix's text summary."""
+    return result.to_text()
+
+
+def metrics(result: AppendixBResult) -> dict:
+    """Key numbers for the JSON artifact."""
+    evaluation = result.evaluation
+    fp_per_tp = evaluation.false_positives_per_true_positive
+    return {
+        "n_alarms": evaluation.n_alarms,
+        "true_positives": evaluation.true_positives,
+        "false_positives": evaluation.false_positives,
+        "false_negatives": evaluation.false_negatives,
+        "false_positives_per_true_positive": (
+            None if fp_per_tp == float("inf") else fp_per_tp
+        ),
+        "stream_length": result.stream_length,
+        "n_embedded_events": result.n_embedded_events,
+        "event_prior": result.event_prior,
+        "breaks_even": result.cost_criterion.passed,
+    }
+
+
+def run(
+    n_events: int = 20,
+    gap_range: tuple[int, int] = (2_000, 6_000),
+    stride: int = 10,
+    target_label: str = GUN,
+    classifier: BaseEarlyClassifier | None = None,
+    normalization: str = "window",
+    event_cost: float = 1000.0,
+    action_cost: float = 200.0,
+    seed: int = 17,
+) -> AppendixBResult:
+    """Run the Appendix B streaming experiment.
+
+    Parameters
+    ----------
+    n_events:
+        Number of genuine GunPoint exemplars embedded in the stream.
+    gap_range:
+        Background gap (in samples) between consecutive embedded events.
+    stride:
+        Candidate-start stride of the streaming detector.
+    target_label:
+        The class treated as actionable (alarms for it count; the other class
+        is treated as part of the background, as the paper's framing implies).
+    classifier:
+        A fitted early classifier to deploy; defaults to TEASER trained on the
+        synthetic GunPoint training split.
+    normalization:
+        Candidate-window normalisation mode (``"window"`` gives the detector
+        the *benefit* of peeking; even then the false positives dominate,
+        which is the paper's point).
+    event_cost, action_cost:
+        The Appendix B cost model ($1000 event, $200 action).
+    seed:
+        Stream composition seed.
+    """
+    prepared = prepare(
+        n_events=n_events,
+        gap_range=gap_range,
+        target_label=target_label,
+        seed=seed,
+        fit_default=classifier is None,
+    )
+    return compute(
+        prepared,
+        n_events=n_events,
+        stride=stride,
+        target_label=target_label,
+        classifier=classifier,
+        normalization=normalization,
+        event_cost=event_cost,
+        action_cost=action_cost,
     )

@@ -18,7 +18,7 @@ from repro.data.ucr_format import UCRDataset
 from repro.data.words import make_word_dataset
 from repro.distance.neighbors import KNeighborsTimeSeriesClassifier
 
-__all__ = ["Figure1Result", "run"]
+__all__ = ["Figure1Prepared", "Figure1Result", "prepare", "compute", "render", "metrics", "run"]
 
 
 @dataclass(frozen=True)
@@ -59,14 +59,27 @@ class Figure1Result:
         return "\n".join(lines)
 
 
-def run(
+@dataclass(frozen=True)
+class Figure1Prepared:
+    """Prepared inputs: the synthesised word dataset."""
+
+    dataset: UCRDataset
+
+
+def prepare(
     words: tuple[str, ...] = ("cat", "dog"),
     n_per_class: int = 30,
     length: int = 150,
     seed: int = 3,
-) -> Figure1Result:
-    """Regenerate the Fig. 1 dataset and its summary statistics."""
+) -> Figure1Prepared:
+    """Synthesise the Fig. 1 word dataset (the cacheable stage)."""
     dataset = make_word_dataset(words=words, n_per_class=n_per_class, length=length, seed=seed)
+    return Figure1Prepared(dataset=dataset)
+
+
+def compute(prepared: Figure1Prepared) -> Figure1Result:
+    """Measure alignment and separability on the prepared dataset."""
+    dataset = prepared.dataset
 
     correlations = []
     for cls in dataset.classes:
@@ -91,3 +104,28 @@ def run(
         mean_within_class_correlation=mean_correlation,
         holdout_accuracy=float(holdout),
     )
+
+
+def render(result: Figure1Result) -> str:
+    """The figure's text summary."""
+    return result.to_text()
+
+
+def metrics(result: Figure1Result) -> dict:
+    """Key numbers for the JSON artifact."""
+    return {
+        "series_length": result.series_length,
+        "n_exemplars": result.dataset.n_exemplars,
+        "mean_within_class_correlation": result.mean_within_class_correlation,
+        "holdout_accuracy": result.holdout_accuracy,
+    }
+
+
+def run(
+    words: tuple[str, ...] = ("cat", "dog"),
+    n_per_class: int = 30,
+    length: int = 150,
+    seed: int = 3,
+) -> Figure1Result:
+    """Regenerate the Fig. 1 dataset and its summary statistics."""
+    return compute(prepare(words=words, n_per_class=n_per_class, length=length, seed=seed))

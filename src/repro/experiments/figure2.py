@@ -20,7 +20,16 @@ import numpy as np
 from repro.classifiers.threshold import ProbabilityThresholdClassifier
 from repro.data.words import WordSynthesizer, make_word_dataset
 
-__all__ = ["Figure2Result", "WordTriggerOutcome", "run"]
+__all__ = [
+    "Figure2Prepared",
+    "Figure2Result",
+    "WordTriggerOutcome",
+    "prepare",
+    "compute",
+    "render",
+    "metrics",
+    "run",
+]
 
 #: The sentence from the paper's Fig. 2 caption.
 FIG2_SENTENCE = "it was said that cathy's dogmatic catechism dogmatized catholic doggery"
@@ -91,28 +100,21 @@ class Figure2Result:
         return "\n".join(lines)
 
 
-def run(
+@dataclass(frozen=True)
+class Figure2Prepared:
+    """Prepared inputs: the fitted cat/dog early classifier."""
+
+    classifier: ProbabilityThresholdClassifier
+
+
+def prepare(
     n_per_class: int = 30,
     length: int = 150,
     threshold: float = 0.8,
     min_length: int = 20,
     seed: int = 3,
-) -> Figure2Result:
-    """Train on isolated cat/dog utterances, then stream the Fig. 2 sentence.
-
-    Parameters
-    ----------
-    n_per_class:
-        Training utterances per class.
-    length:
-        UCR-format exemplar length (padding included).
-    threshold:
-        Probability threshold of the early classifier (Fig. 3's framing).
-    min_length:
-        Smallest prefix at which the classifier may trigger.
-    seed:
-        Seed shared by the synthesiser and the classifier.
-    """
+) -> Figure2Prepared:
+    """Synthesise the training utterances and fit the early classifier."""
     # The dataset is kept in raw units: the prefix problem is independent of
     # the normalisation problem (Section 4), and keeping the units physical
     # isolates it.
@@ -123,7 +125,16 @@ def run(
         threshold=threshold, min_length=min_length, checkpoint_step=2
     )
     classifier.fit(dataset.series, dataset.labels)
+    return Figure2Prepared(classifier=classifier)
 
+
+def compute(
+    prepared: Figure2Prepared,
+    length: int = 150,
+    seed: int = 3,
+) -> Figure2Result:
+    """Stream each word of the Fig. 2 sentence through the fitted classifier."""
+    classifier = prepared.classifier
     synthesizer = WordSynthesizer(seed=seed)
     rng = np.random.default_rng(seed + 100)
     sentence_words = [
@@ -163,3 +174,50 @@ def run(
         false_positives_by_class=by_class,
         confounder_false_positives=confounder_hits,
     )
+
+
+def render(result: Figure2Result) -> str:
+    """The figure's text summary."""
+    return result.to_text()
+
+
+def metrics(result: Figure2Result) -> dict:
+    """Key numbers for the JSON artifact."""
+    return {
+        "false_positives_total": result.false_positives_total,
+        "confounder_false_positives": result.confounder_false_positives,
+        "n_words": len(result.outcomes),
+        "false_positives_by_class": dict(result.false_positives_by_class),
+    }
+
+
+def run(
+    n_per_class: int = 30,
+    length: int = 150,
+    threshold: float = 0.8,
+    min_length: int = 20,
+    seed: int = 3,
+) -> Figure2Result:
+    """Train on isolated cat/dog utterances, then stream the Fig. 2 sentence.
+
+    Parameters
+    ----------
+    n_per_class:
+        Training utterances per class.
+    length:
+        UCR-format exemplar length (padding included).
+    threshold:
+        Probability threshold of the early classifier (Fig. 3's framing).
+    min_length:
+        Smallest prefix at which the classifier may trigger.
+    seed:
+        Seed shared by the synthesiser and the classifier.
+    """
+    prepared = prepare(
+        n_per_class=n_per_class,
+        length=length,
+        threshold=threshold,
+        min_length=min_length,
+        seed=seed,
+    )
+    return compute(prepared, length=length, seed=seed)

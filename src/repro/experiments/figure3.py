@@ -17,8 +17,18 @@ import numpy as np
 from repro.classifiers.teaser import TEASERClassifier
 from repro.classifiers.threshold import ProbabilityThresholdClassifier
 from repro.data.gunpoint import make_gunpoint_dataset
+from repro.data.ucr_format import UCRDataset
 
-__all__ = ["Figure3Result", "ModelTrace", "run"]
+__all__ = [
+    "Figure3Prepared",
+    "Figure3Result",
+    "ModelTrace",
+    "prepare",
+    "compute",
+    "render",
+    "metrics",
+    "run",
+]
 
 
 @dataclass(frozen=True)
@@ -79,26 +89,22 @@ class Figure3Result:
         return "\n".join(lines)
 
 
-def run(
-    exemplar_index: int | None = None,
+@dataclass(frozen=True)
+class Figure3Prepared:
+    """Prepared inputs: the GunPoint split and both fitted models."""
+
+    test: UCRDataset
+    teaser: TEASERClassifier
+    threshold_model: ProbabilityThresholdClassifier
+
+
+def prepare(
     threshold: float = 0.8,
     n_train_per_class: int = 25,
     n_test_per_class: int = 75,
     seed: int = 7,
-) -> Figure3Result:
-    """Reproduce the two panels of Fig. 3.
-
-    Parameters
-    ----------
-    exemplar_index:
-        Index of the test exemplar to trace.  ``None`` picks the first test
-        exemplar that both models classify correctly, mirroring the figure
-        (which shows a success case).
-    threshold:
-        The user threshold of the right-hand panel.
-    n_train_per_class, n_test_per_class, seed:
-        Dataset parameters.
-    """
+) -> Figure3Prepared:
+    """Synthesise GunPoint and fit TEASER plus the threshold model."""
     train, test = make_gunpoint_dataset(
         n_train_per_class=n_train_per_class,
         n_test_per_class=n_test_per_class,
@@ -111,6 +117,18 @@ def run(
         threshold=threshold, min_length=10, checkpoint_step=1
     )
     threshold_model.fit(train.series, train.labels)
+    return Figure3Prepared(test=test, teaser=teaser, threshold_model=threshold_model)
+
+
+def compute(
+    prepared: Figure3Prepared,
+    exemplar_index: int | None = None,
+    threshold: float = 0.8,
+) -> Figure3Result:
+    """Trace both fitted models on one test exemplar."""
+    test = prepared.test
+    teaser = prepared.teaser
+    threshold_model = prepared.threshold_model
 
     def trace_models(index: int) -> list[ModelTrace]:
         row = test.series[index]
@@ -144,3 +162,48 @@ def run(
                 traces = candidate
                 break
     return Figure3Result(traces=tuple(traces))
+
+
+def render(result: Figure3Result) -> str:
+    """The figure's text summary."""
+    return result.to_text()
+
+
+def metrics(result: Figure3Result) -> dict:
+    """Key numbers for the JSON artifact."""
+    values: dict = {"n_models": len(result.traces)}
+    for trace in result.traces:
+        key = trace.model.replace("=", "_").replace(".", "_")
+        values[f"{key}_trigger_length"] = trace.trigger_length
+        values[f"{key}_fraction_seen"] = trace.fraction_seen
+        values[f"{key}_correct"] = trace.correct
+    return values
+
+
+def run(
+    exemplar_index: int | None = None,
+    threshold: float = 0.8,
+    n_train_per_class: int = 25,
+    n_test_per_class: int = 75,
+    seed: int = 7,
+) -> Figure3Result:
+    """Reproduce the two panels of Fig. 3.
+
+    Parameters
+    ----------
+    exemplar_index:
+        Index of the test exemplar to trace.  ``None`` picks the first test
+        exemplar that both models classify correctly, mirroring the figure
+        (which shows a success case).
+    threshold:
+        The user threshold of the right-hand panel.
+    n_train_per_class, n_test_per_class, seed:
+        Dataset parameters.
+    """
+    prepared = prepare(
+        threshold=threshold,
+        n_train_per_class=n_train_per_class,
+        n_test_per_class=n_test_per_class,
+        seed=seed,
+    )
+    return compute(prepared, exemplar_index=exemplar_index, threshold=threshold)

@@ -16,13 +16,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.homophone_analysis import HomophoneAnalysisResult, homophone_analysis
 from repro.data.eog import generate_eog
 from repro.data.epg import generate_epg
 from repro.data.gunpoint import make_gunpoint_dataset
 from repro.data.random_walk import smoothed_random_walk
+from repro.data.ucr_format import UCRDataset
 
-__all__ = ["Figure5Result", "run"]
+__all__ = ["Figure5Prepared", "Figure5Result", "prepare", "compute", "render", "metrics", "run"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +51,57 @@ class Figure5Result:
                 nearest = neighbors[0][1] if neighbors else float("nan")
                 lines.append(f"    nearest in {corpus:<22s}: {nearest:.2f}")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class Figure5Prepared:
+    """Prepared inputs: the query dataset and the three non-gesture corpora."""
+
+    test: UCRDataset
+    corpora: dict[str, np.ndarray]
+
+
+def prepare(
+    eog_points: int = 216_000,
+    random_walk_points: int = 2 ** 20,
+    epg_points: int = 360_000,
+    seed: int = 5,
+) -> Figure5Prepared:
+    """Synthesise the GunPoint queries and the three searched corpora."""
+    _, test = make_gunpoint_dataset(seed=7)
+    corpora = {
+        "EOG (eye movement)": generate_eog(eog_points, seed=seed + 1),
+        "smoothed random walk": smoothed_random_walk(random_walk_points, seed=seed + 2),
+        "EPG (insect behaviour)": generate_epg(epg_points, seed=seed + 3),
+    }
+    return Figure5Prepared(test=test, corpora=corpora)
+
+
+def compute(
+    prepared: Figure5Prepared,
+    n_queries: int = 2,
+    k: int = 3,
+    seed: int = 5,
+) -> Figure5Result:
+    """Run the nearest-neighbour homophone search over the corpora."""
+    analysis = homophone_analysis(
+        prepared.test, prepared.corpora, n_queries=n_queries, k=k, seed=seed
+    )
+    return Figure5Result(analysis=analysis)
+
+
+def render(result: Figure5Result) -> str:
+    """The figure's text summary."""
+    return result.to_text()
+
+
+def metrics(result: Figure5Result) -> dict:
+    """Key numbers for the JSON artifact."""
+    return {
+        "fraction_with_closer_homophone": result.analysis.fraction_with_closer_homophone,
+        "n_queries": len(result.analysis.queries),
+        "corpora_sizes": dict(result.analysis.corpora_sizes),
+    }
 
 
 def run(
@@ -80,11 +134,10 @@ def run(
     seed:
         Seed controlling corpus generation and query selection.
     """
-    _, test = make_gunpoint_dataset(seed=7)
-    corpora = {
-        "EOG (eye movement)": generate_eog(eog_points, seed=seed + 1),
-        "smoothed random walk": smoothed_random_walk(random_walk_points, seed=seed + 2),
-        "EPG (insect behaviour)": generate_epg(epg_points, seed=seed + 3),
-    }
-    analysis = homophone_analysis(test, corpora, n_queries=n_queries, k=k, seed=seed)
-    return Figure5Result(analysis=analysis)
+    prepared = prepare(
+        eog_points=eog_points,
+        random_walk_points=random_walk_points,
+        epg_points=epg_points,
+        seed=seed,
+    )
+    return compute(prepared, n_queries=n_queries, k=k, seed=seed)

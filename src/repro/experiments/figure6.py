@@ -31,8 +31,9 @@ from repro.data.denormalize import denormalize_dataset
 from repro.data.gunpoint import make_gunpoint_dataset
 from repro.data.ucr_format import UCRDataset
 from repro.distance.neighbors import KNeighborsTimeSeriesClassifier
+from repro.evaluation.runner import prefix_accuracy_curve
 
-__all__ = ["Figure6Result", "run"]
+__all__ = ["Figure6Prepared", "Figure6Result", "prepare", "compute", "render", "metrics", "run"]
 
 
 @dataclass(frozen=True)
@@ -87,27 +88,42 @@ class Figure6Result:
 def _prefix_accuracy(
     train: UCRDataset, test: UCRDataset, length: int, renormalize: bool
 ) -> float:
-    train_prefix = train.truncated(length, renormalize=renormalize)
-    test_prefix = test.truncated(length, renormalize=renormalize)
-    model = KNeighborsTimeSeriesClassifier()
-    model.fit(train_prefix.series, train_prefix.labels)
-    return float(model.score(test_prefix.series, test_prefix.labels))
+    # One-point prefix-accuracy curve: the shared evaluation runner owns the
+    # truncation/re-normalisation mechanics (and the incremental fast path).
+    curve = prefix_accuracy_curve(train, test, [length], renormalize=renormalize)
+    return float(curve[length])
 
 
-def run(
+@dataclass(frozen=True)
+class Figure6Prepared:
+    """Prepared inputs: the clean GunPoint train/test split."""
+
+    train: UCRDataset
+    test: UCRDataset
+
+
+def prepare(
     n_train_per_class: int = 25,
     n_test_per_class: int = 75,
-    prefix_length: int = 50,
-    offset_range: tuple[float, float] = (-1.0, 1.0),
     seed: int = 7,
-    denormalize_seed: int = 11,
-) -> Figure6Result:
-    """Apply the Fig. 6 perturbation and measure who it affects."""
+) -> Figure6Prepared:
+    """Synthesise the GunPoint split the perturbation is applied to."""
     train, test = make_gunpoint_dataset(
         n_train_per_class=n_train_per_class,
         n_test_per_class=n_test_per_class,
         seed=seed,
     )
+    return Figure6Prepared(train=train, test=test)
+
+
+def compute(
+    prepared: Figure6Prepared,
+    prefix_length: int = 50,
+    offset_range: tuple[float, float] = (-1.0, 1.0),
+    denormalize_seed: int = 11,
+) -> Figure6Result:
+    """Apply the perturbation and score the three classification procedures."""
+    train, test = prepared.train, prepared.test
     denormalized = denormalize_dataset(test, seed=denormalize_seed, offset_range=offset_range)
     offsets = denormalized.series[:, 0] - test.series[:, 0]
 
@@ -127,4 +143,44 @@ def run(
         ),
         prefix_raw_clean=_prefix_accuracy(train, test, prefix_length, False),
         prefix_raw_denormalized=_prefix_accuracy(train, denormalized, prefix_length, False),
+    )
+
+
+def render(result: Figure6Result) -> str:
+    """The figure's text summary."""
+    return result.to_text()
+
+
+def metrics(result: Figure6Result) -> dict:
+    """Key numbers for the JSON artifact."""
+    return {
+        "prefix_length": result.prefix_length,
+        "full_length_clean": result.full_length_clean,
+        "full_length_denormalized": result.full_length_denormalized,
+        "prefix_renormalized_clean": result.prefix_renormalized_clean,
+        "prefix_renormalized_denormalized": result.prefix_renormalized_denormalized,
+        "prefix_raw_clean": result.prefix_raw_clean,
+        "prefix_raw_denormalized": result.prefix_raw_denormalized,
+    }
+
+
+def run(
+    n_train_per_class: int = 25,
+    n_test_per_class: int = 75,
+    prefix_length: int = 50,
+    offset_range: tuple[float, float] = (-1.0, 1.0),
+    seed: int = 7,
+    denormalize_seed: int = 11,
+) -> Figure6Result:
+    """Apply the Fig. 6 perturbation and measure who it affects."""
+    prepared = prepare(
+        n_train_per_class=n_train_per_class,
+        n_test_per_class=n_test_per_class,
+        seed=seed,
+    )
+    return compute(
+        prepared,
+        prefix_length=prefix_length,
+        offset_range=offset_range,
+        denormalize_seed=denormalize_seed,
     )

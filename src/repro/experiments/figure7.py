@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.data.ecg import ECGGenerator, beat_statistics
 
-__all__ = ["Figure7Result", "run"]
+__all__ = ["Figure7Prepared", "Figure7Result", "prepare", "compute", "render", "metrics", "run"]
 
 
 @dataclass(frozen=True)
@@ -74,19 +74,24 @@ class Figure7Result:
         )
 
 
-def run(
+@dataclass(frozen=True)
+class Figure7Prepared:
+    """Prepared inputs: raw and artefact-free two-lead telemetry."""
+
+    signal: np.ndarray
+    beats: tuple
+    clean_signal: np.ndarray
+    clean_beats: tuple
+
+
+def prepare(
     duration_seconds: float = 15.0,
     sampling_rate: int = 128,
     seed: int = 23,
-) -> Figure7Result:
-    """Regenerate the Fig. 7 telemetry and its per-beat statistics."""
+) -> Figure7Prepared:
+    """Generate the raw telemetry and its artefact-free reference."""
     generator = ECGGenerator(sampling_rate=sampling_rate, seed=seed)
     signal, beats = generator.telemetry(duration_seconds, n_leads=2)
-    if len(beats) < 3:
-        raise RuntimeError("telemetry window too short to contain enough beats")
-
-    lead1_means, _ = beat_statistics(signal[0], beats)
-    _, lead2_stds = beat_statistics(signal[1], beats)
 
     # Reference: the same generator with the acquisition artefacts switched
     # off, i.e. the physiological variability alone.
@@ -94,8 +99,28 @@ def run(
     clean_signal, clean_beats = clean_generator.telemetry(
         duration_seconds, n_leads=2, baseline_wander=False, amplitude_modulation=False
     )
-    clean_means, _ = beat_statistics(clean_signal[0], clean_beats)
-    _, clean_stds = beat_statistics(clean_signal[1], clean_beats)
+    return Figure7Prepared(
+        signal=signal,
+        beats=tuple(beats),
+        clean_signal=clean_signal,
+        clean_beats=tuple(clean_beats),
+    )
+
+
+def compute(
+    prepared: Figure7Prepared,
+    duration_seconds: float = 15.0,
+) -> Figure7Result:
+    """Per-beat statistics of the prepared telemetry."""
+    signal, beats = prepared.signal, list(prepared.beats)
+    if len(beats) < 3:
+        raise RuntimeError("telemetry window too short to contain enough beats")
+
+    lead1_means, _ = beat_statistics(signal[0], beats)
+    _, lead2_stds = beat_statistics(signal[1], beats)
+
+    clean_means, _ = beat_statistics(prepared.clean_signal[0], list(prepared.clean_beats))
+    _, clean_stds = beat_statistics(prepared.clean_signal[1], list(prepared.clean_beats))
 
     return Figure7Result(
         n_beats=len(beats),
@@ -108,3 +133,32 @@ def run(
         clean_mean_range=float(np.ptp(clean_means)),
         clean_std_range=float(np.ptp(clean_stds)),
     )
+
+
+def render(result: Figure7Result) -> str:
+    """The figure's text summary."""
+    return result.to_text()
+
+
+def metrics(result: Figure7Result) -> dict:
+    """Key numbers for the JSON artifact."""
+    return {
+        "n_beats": result.n_beats,
+        "duration_seconds": result.duration_seconds,
+        "lead1_mean_range": result.lead1_mean_range,
+        "lead2_std_range": result.lead2_std_range,
+        "clean_mean_range": result.clean_mean_range,
+        "clean_std_range": result.clean_std_range,
+    }
+
+
+def run(
+    duration_seconds: float = 15.0,
+    sampling_rate: int = 128,
+    seed: int = 23,
+) -> Figure7Result:
+    """Regenerate the Fig. 7 telemetry and its per-beat statistics."""
+    prepared = prepare(
+        duration_seconds=duration_seconds, sampling_rate=sampling_rate, seed=seed
+    )
+    return compute(prepared, duration_seconds=duration_seconds)

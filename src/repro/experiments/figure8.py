@@ -25,7 +25,16 @@ from repro.data.stream import ComposedStream
 from repro.distance.profile import distance_profile
 from repro.evaluation.significance import SignificanceResult, two_proportion_z_test
 
-__all__ = ["TemplateMatchResult", "Figure8Result", "run"]
+__all__ = [
+    "Figure8Prepared",
+    "TemplateMatchResult",
+    "Figure8Result",
+    "prepare",
+    "compute",
+    "render",
+    "metrics",
+    "run",
+]
 
 
 @dataclass(frozen=True)
@@ -155,6 +164,86 @@ def _match_template(
     )
 
 
+@dataclass(frozen=True)
+class Figure8Prepared:
+    """Prepared inputs: the simulated accelerometer stream."""
+
+    stream: ComposedStream
+
+
+def prepare(
+    n_points: int = 400_000,
+    dustbathing_weight: float = 0.08,
+    seed: int = 29,
+) -> Figure8Prepared:
+    """Simulate the chicken accelerometer stream the templates search."""
+    weights = {
+        "resting": 0.44 - dustbathing_weight / 2,
+        "walking": 0.26 - dustbathing_weight / 2,
+        "pecking": 0.17,
+        "preening": 0.08,
+        DUSTBATHING: 0.05 + dustbathing_weight,
+    }
+    simulator = ChickenBehaviorSimulator(seed=seed, behavior_weights=weights)
+    return Figure8Prepared(stream=simulator.generate(n_points))
+
+
+def compute(
+    prepared: Figure8Prepared,
+    full_threshold: float = 2.3,
+    truncated_threshold: float = 1.7,
+    truncated_fraction: float = 0.58,
+) -> Figure8Result:
+    """Match the full and truncated templates and test their equivalence."""
+    stream = prepared.stream
+    dust_events = stream.events_with_label(DUSTBATHING)
+    if len(dust_events) < 5:
+        raise RuntimeError(
+            "too few dustbathing bouts were generated; increase n_points or "
+            "dustbathing_weight"
+        )
+
+    template = dustbathing_template()
+    truncated_length = max(20, int(round(truncated_fraction * template.shape[0])))
+    truncated = template[:truncated_length]
+
+    full_result = _match_template(template, full_threshold, stream, "full")
+    truncated_result = _match_template(truncated, truncated_threshold, stream, "truncated")
+
+    significance = two_proportion_z_test(
+        full_result.true_positives,
+        len(dust_events),
+        truncated_result.true_positives,
+        len(dust_events),
+    )
+    return Figure8Result(
+        full=full_result,
+        truncated=truncated_result,
+        n_dustbathing_bouts=len(dust_events),
+        stream_length=len(stream),
+        significance=significance,
+    )
+
+
+def render(result: Figure8Result) -> str:
+    """The figure's text summary."""
+    return result.to_text()
+
+
+def metrics(result: Figure8Result) -> dict:
+    """Key numbers for the JSON artifact."""
+    return {
+        "n_dustbathing_bouts": result.n_dustbathing_bouts,
+        "stream_length": result.stream_length,
+        "full_recall": result.full.recall,
+        "full_precision": result.full.precision,
+        "truncated_recall": result.truncated.recall,
+        "truncated_precision": result.truncated.precision,
+        "recall_difference_significant": result.significance.significant,
+        "p_value": result.significance.p_value,
+    }
+
+
 def run(
     n_points: int = 400_000,
     full_threshold: float = 2.3,
@@ -184,39 +273,10 @@ def run(
     seed:
         Simulator seed.
     """
-    weights = {
-        "resting": 0.44 - dustbathing_weight / 2,
-        "walking": 0.26 - dustbathing_weight / 2,
-        "pecking": 0.17,
-        "preening": 0.08,
-        DUSTBATHING: 0.05 + dustbathing_weight,
-    }
-    simulator = ChickenBehaviorSimulator(seed=seed, behavior_weights=weights)
-    stream = simulator.generate(n_points)
-    dust_events = stream.events_with_label(DUSTBATHING)
-    if len(dust_events) < 5:
-        raise RuntimeError(
-            "too few dustbathing bouts were generated; increase n_points or "
-            "dustbathing_weight"
-        )
-
-    template = dustbathing_template()
-    truncated_length = max(20, int(round(truncated_fraction * template.shape[0])))
-    truncated = template[:truncated_length]
-
-    full_result = _match_template(template, full_threshold, stream, "full")
-    truncated_result = _match_template(truncated, truncated_threshold, stream, "truncated")
-
-    significance = two_proportion_z_test(
-        full_result.true_positives,
-        len(dust_events),
-        truncated_result.true_positives,
-        len(dust_events),
-    )
-    return Figure8Result(
-        full=full_result,
-        truncated=truncated_result,
-        n_dustbathing_bouts=len(dust_events),
-        stream_length=len(stream),
-        significance=significance,
+    prepared = prepare(n_points=n_points, dustbathing_weight=dustbathing_weight, seed=seed)
+    return compute(
+        prepared,
+        full_threshold=full_threshold,
+        truncated_threshold=truncated_threshold,
+        truncated_fraction=truncated_fraction,
     )

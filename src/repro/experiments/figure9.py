@@ -17,8 +17,9 @@ from dataclasses import dataclass
 
 from repro.core.prefix_accuracy import PrefixAccuracyCurve, compute_prefix_accuracy_curve
 from repro.data.gunpoint import GunPointGenerator, make_gunpoint_dataset
+from repro.data.ucr_format import UCRDataset
 
-__all__ = ["Figure9Result", "run"]
+__all__ = ["Figure9Prepared", "Figure9Result", "prepare", "compute", "render", "metrics", "run"]
 
 
 @dataclass(frozen=True)
@@ -72,20 +73,37 @@ class Figure9Result:
         return "\n".join(lines)
 
 
-def run(
+@dataclass(frozen=True)
+class Figure9Prepared:
+    """Prepared inputs: the raw-unit GunPoint train/test split."""
+
+    train: UCRDataset
+    test: UCRDataset
+
+
+def prepare(
     n_train_per_class: int = 25,
     n_test_per_class: int = 75,
-    min_length: int = 20,
-    step: int = 2,
     seed: int = 7,
-) -> Figure9Result:
-    """Regenerate the Fig. 9 prefix error-rate curve."""
+) -> Figure9Prepared:
+    """Synthesise the GunPoint split the curve is computed over."""
     train, test = make_gunpoint_dataset(
         n_train_per_class=n_train_per_class,
         n_test_per_class=n_test_per_class,
         seed=seed,
         znormalize=False,
     )
+    return Figure9Prepared(train=train, test=test)
+
+
+def compute(
+    prepared: Figure9Prepared,
+    min_length: int = 20,
+    step: int = 2,
+    seed: int = 7,
+) -> Figure9Result:
+    """Sweep every prefix length and extract the headline numbers."""
+    train, test = prepared.train, prepared.test
     lengths = list(range(min_length, train.series_length + 1, step))
     if lengths[-1] != train.series_length:
         lengths.append(train.series_length)
@@ -102,3 +120,36 @@ def run(
         fraction_needed=curve.fraction_needed(),
         discriminative_region=GunPointGenerator(length=train.series_length, seed=seed).discriminative_region(),
     )
+
+
+def render(result: Figure9Result) -> str:
+    """The figure's text summary."""
+    return result.to_text()
+
+
+def metrics(result: Figure9Result) -> dict:
+    """Key numbers for the JSON artifact."""
+    return {
+        "full_length_error": result.full_length_error,
+        "best_length": result.best_length,
+        "best_error": result.best_error,
+        "shortest_matching_length": result.shortest_matching_length,
+        "fraction_needed": result.fraction_needed,
+        "series_length": result.curve.series_length,
+    }
+
+
+def run(
+    n_train_per_class: int = 25,
+    n_test_per_class: int = 75,
+    min_length: int = 20,
+    step: int = 2,
+    seed: int = 7,
+) -> Figure9Result:
+    """Regenerate the Fig. 9 prefix error-rate curve."""
+    prepared = prepare(
+        n_train_per_class=n_train_per_class,
+        n_test_per_class=n_test_per_class,
+        seed=seed,
+    )
+    return compute(prepared, min_length=min_length, step=step, seed=seed)

@@ -1,65 +1,155 @@
-"""Registry of the paper's experiments and a small CLI entry point."""
+"""Registry of the paper's experiments: one declarative spec table.
+
+Each entry is an :class:`~repro.runtime.spec.ExperimentSpec` binding the
+experiment's name to its implementing module, its reduced-scale ("fast")
+overrides, its tags and its seed parameter.  The registry, the CLI, the
+scheduler, the cache and the test-suite all consume this one table -- the
+legacy ``EXPERIMENTS`` / ``FAST_OVERRIDES`` dicts are derived views kept
+for backwards compatibility and cannot drift from it.
+"""
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.experiments import (
-    appendix_b,
-    figure1,
-    figure2,
-    figure3,
-    figure5,
-    figure6,
-    figure7,
-    figure8,
-    figure9,
-    section5_padding,
-    table1,
-)
+from repro.runtime.spec import ExperimentSpec
 
-__all__ = ["EXPERIMENTS", "available_experiments", "run_experiment"]
+__all__ = [
+    "SPECS",
+    "EXPERIMENTS",
+    "FAST_OVERRIDES",
+    "available_experiments",
+    "available_tags",
+    "experiments_with_tag",
+    "get_spec",
+    "run_experiment",
+]
 
-#: Experiment identifier -> run() callable.  Figure 4 is a screen capture of
-#: another paper's figure and has no experiment.
-EXPERIMENTS: dict[str, Callable] = {
-    "figure1": figure1.run,
-    "figure2": figure2.run,
-    "figure3": figure3.run,
-    "figure5": figure5.run,
-    "figure6": figure6.run,
-    "figure7": figure7.run,
-    "figure8": figure8.run,
-    "figure9": figure9.run,
-    "table1": table1.run,
-    "appendix_b": appendix_b.run,
-    "section5_padding": section5_padding.run,
+
+def _spec(name: str, **kwargs) -> ExperimentSpec:
+    return ExperimentSpec(name=name, module=f"repro.experiments.{name}", **kwargs)
+
+
+#: Experiment identifier -> spec.  Figure 4 is a screen capture of another
+#: paper's figure and has no experiment.
+SPECS: dict[str, ExperimentSpec] = {
+    spec.name: spec
+    for spec in (
+        _spec(
+            "figure1",
+            fast_overrides={"n_per_class": 10},
+            tags=("figure", "words", "data"),
+            description="samples of data in the UCR format (aligned cat/dog utterances)",
+        ),
+        _spec(
+            "figure2",
+            fast_overrides={"n_per_class": 10},
+            tags=("figure", "words", "streaming"),
+            description="one valid sentence, six early false positives",
+        ),
+        _spec(
+            "figure3",
+            fast_overrides={"n_train_per_class": 20, "n_test_per_class": 25},
+            tags=("figure", "gunpoint", "classification"),
+            description="how ETSC algorithms frame the problem (TEASER vs threshold)",
+        ),
+        _spec(
+            "figure5",
+            fast_overrides={
+                "eog_points": 40_000,
+                "random_walk_points": 2 ** 16,
+                "epg_points": 40_000,
+            },
+            tags=("figure", "gunpoint", "homophones"),
+            description="time-series homophones exist (closer non-gesture neighbours)",
+        ),
+        _spec(
+            "figure6",
+            fast_overrides={"n_train_per_class": 20, "n_test_per_class": 30},
+            tags=("figure", "gunpoint", "normalization"),
+            description="the denormalisation perturbation and who it hurts",
+        ),
+        _spec(
+            "figure7",
+            fast_overrides={"duration_seconds": 10.0},
+            tags=("figure", "ecg"),
+            description="raw ECG telemetry has wandering per-beat means and deviations",
+        ),
+        _spec(
+            "figure8",
+            fast_overrides={"n_points": 120_000},
+            tags=("figure", "chicken", "streaming"),
+            description="the chicken dustbathing template and its truncated prefix",
+        ),
+        _spec(
+            "figure9",
+            fast_overrides={"n_train_per_class": 20, "n_test_per_class": 30, "step": 5},
+            tags=("figure", "gunpoint", "prefix"),
+            description="the prefix error-rate curve of GunPoint",
+        ),
+        _spec(
+            "table1",
+            fast_overrides={"n_train_per_class": 20, "n_test_per_class": 25, "fast": True},
+            tags=("table", "gunpoint", "normalization", "classification"),
+            description="accuracy of six early classification algorithms",
+        ),
+        _spec(
+            "appendix_b",
+            fast_overrides={"n_events": 8, "gap_range": (800, 2_000), "stride": 20},
+            tags=("appendix", "gunpoint", "streaming", "costs"),
+            description="the streaming deployment and cost-model experiment",
+        ),
+        _spec(
+            "section5_padding",
+            fast_overrides={"n_per_class": 12},
+            tags=("section", "padding", "classification"),
+            description="apparent ETSC success from the right-padding convention",
+        ),
+    )
 }
 
-#: Keyword arguments that shrink each experiment enough for quick smoke runs
-#: (used by ``python -m repro.experiments --fast`` and by the test-suite).
-FAST_OVERRIDES: dict[str, dict] = {
-    "figure1": {"n_per_class": 10},
-    "figure2": {"n_per_class": 10},
-    "figure3": {"n_train_per_class": 20, "n_test_per_class": 25},
-    "figure5": {
-        "eog_points": 40_000,
-        "random_walk_points": 2 ** 16,
-        "epg_points": 40_000,
-    },
-    "figure6": {"n_train_per_class": 20, "n_test_per_class": 30},
-    "figure7": {"duration_seconds": 10.0},
-    "figure8": {"n_points": 120_000},
-    "figure9": {"n_train_per_class": 20, "n_test_per_class": 30, "step": 5},
-    "table1": {"n_train_per_class": 20, "n_test_per_class": 25, "fast": True},
-    "appendix_b": {"n_events": 8, "gap_range": (800, 2_000), "stride": 20},
-    "section5_padding": {"n_per_class": 12},
-}
+
+def _experiments_view() -> dict[str, Callable]:
+    return {name: spec.run_callable for name, spec in SPECS.items()}
+
+
+def _fast_overrides_view() -> dict[str, dict]:
+    return {name: dict(spec.fast_overrides) for name, spec in SPECS.items()}
+
+
+#: Legacy views derived from the spec table (kept for callers that predate
+#: the runtime).  Both are plain dicts computed once at import; the spec
+#: table is the source of truth.
+EXPERIMENTS: dict[str, Callable] = _experiments_view()
+FAST_OVERRIDES: dict[str, dict] = _fast_overrides_view()
 
 
 def available_experiments() -> list[str]:
     """Identifiers of all runnable experiments."""
-    return sorted(EXPERIMENTS)
+    return sorted(SPECS)
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """The spec registered under ``name``; ``KeyError`` with the valid names."""
+    try:
+        return SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(available_experiments())}"
+        ) from None
+
+
+def available_tags() -> list[str]:
+    """Every tag used by at least one spec."""
+    tags: set[str] = set()
+    for spec in SPECS.values():
+        tags.update(spec.tags)
+    return sorted(tags)
+
+
+def experiments_with_tag(tag: str) -> list[str]:
+    """Identifiers of the experiments carrying ``tag``."""
+    return sorted(name for name, spec in SPECS.items() if tag in spec.tags)
 
 
 def run_experiment(name: str, fast: bool = False, **overrides):
@@ -70,15 +160,15 @@ def run_experiment(name: str, fast: bool = False, **overrides):
     name:
         One of :func:`available_experiments`.
     fast:
-        Use the reduced workload from :data:`FAST_OVERRIDES` (explicit keyword
-        overrides still win).
+        Use the reduced workload from the spec's fast overrides (explicit
+        keyword overrides still win).
     **overrides:
         Keyword arguments forwarded to the experiment's ``run`` function.
+        Unknown names raise ``TypeError`` naming the experiment and the bad
+        keyword instead of failing deep inside the run.
     """
-    if name not in EXPERIMENTS:
-        raise KeyError(
-            f"unknown experiment {name!r}; available: {', '.join(available_experiments())}"
-        )
-    kwargs = dict(FAST_OVERRIDES.get(name, {})) if fast else {}
+    spec = get_spec(name)
+    spec.validate_overrides(overrides)
+    kwargs = dict(spec.fast_overrides) if fast else {}
     kwargs.update(overrides)
-    return EXPERIMENTS[name](**kwargs)
+    return spec.run_callable(**kwargs)

@@ -23,9 +23,19 @@ from dataclasses import dataclass
 from repro.classifiers.threshold import ProbabilityThresholdClassifier
 from repro.data.ucr_format import UCRDataset, train_test_split
 from repro.data.ucr_like import make_cbf_dataset, make_trace_dataset
-from repro.evaluation.earliness import EarlinessAccuracyResult, evaluate_early_classifier
+from repro.evaluation.earliness import EarlinessAccuracyResult
+from repro.evaluation.runner import fit_and_score
 
-__all__ = ["PaddingComparison", "Section5PaddingResult", "run"]
+__all__ = [
+    "PaddingComparison",
+    "Section5Prepared",
+    "Section5PaddingResult",
+    "prepare",
+    "compute",
+    "render",
+    "metrics",
+    "run",
+]
 
 
 @dataclass(frozen=True)
@@ -86,8 +96,7 @@ class Section5PaddingResult:
 def _evaluate(dataset: UCRDataset, threshold: float, seed: int) -> EarlinessAccuracyResult:
     train, test = train_test_split(dataset, train_fraction=0.4)
     model = ProbabilityThresholdClassifier(threshold=threshold, min_length=8, checkpoint_step=2)
-    model.fit(train.series, train.labels)
-    return evaluate_early_classifier(model, test.series, test.labels)
+    return fit_and_score(model, train, test)
 
 
 def _compare(
@@ -117,6 +126,81 @@ def _compare(
     )
 
 
+@dataclass(frozen=True)
+class Section5Prepared:
+    """Prepared inputs: each dataset family, padded and unpadded."""
+
+    cbf_padded: UCRDataset
+    cbf_unpadded: UCRDataset
+    trace_padded: UCRDataset
+    trace_unpadded: UCRDataset
+
+
+def prepare(
+    n_per_class: int = 25,
+    pad_fraction: float = 0.4,
+    seed: int = 31,
+) -> Section5Prepared:
+    """Generate the padded and unpadded variants of both dataset families."""
+    return Section5Prepared(
+        cbf_padded=make_cbf_dataset(
+            n_per_class=n_per_class, pad_fraction=pad_fraction, seed=seed
+        ),
+        cbf_unpadded=make_cbf_dataset(n_per_class=n_per_class, pad_fraction=0.0, seed=seed),
+        trace_padded=make_trace_dataset(
+            n_per_class=n_per_class, pad_fraction=pad_fraction, seed=seed + 1
+        ),
+        trace_unpadded=make_trace_dataset(
+            n_per_class=n_per_class, pad_fraction=0.0, seed=seed + 1
+        ),
+    )
+
+
+def compute(
+    prepared: Section5Prepared,
+    pad_fraction: float = 0.4,
+    threshold: float = 0.8,
+    seed: int = 31,
+) -> Section5PaddingResult:
+    """Compare apparent earliness on the padded vs unpadded variants."""
+    comparisons = [
+        _compare(
+            "CBF-like",
+            prepared.cbf_padded,
+            prepared.cbf_unpadded,
+            pad_fraction,
+            threshold,
+            seed,
+        ),
+        _compare(
+            "Trace-like",
+            prepared.trace_padded,
+            prepared.trace_unpadded,
+            pad_fraction,
+            threshold,
+            seed,
+        ),
+    ]
+    return Section5PaddingResult(comparisons=tuple(comparisons))
+
+
+def render(result: Section5PaddingResult) -> str:
+    """The section's text summary."""
+    return result.to_text()
+
+
+def metrics(result: Section5PaddingResult) -> dict:
+    """Key numbers for the JSON artifact."""
+    values: dict = {"n_comparisons": len(result.comparisons)}
+    for comparison in result.comparisons:
+        key = comparison.dataset_name.replace("-", "_").lower()
+        values[f"{key}_padded_accuracy"] = comparison.padded.accuracy
+        values[f"{key}_padded_earliness"] = comparison.padded.earliness
+        values[f"{key}_unpadded_earliness"] = comparison.unpadded.earliness
+        values[f"{key}_padding_share_of_savings"] = comparison.padding_share_of_savings
+    return values
+
+
 def run(
     n_per_class: int = 25,
     pad_fraction: float = 0.4,
@@ -137,16 +221,5 @@ def run(
         Generator seed (shared by the padded and unpadded variants so the
         underlying events are comparable).
     """
-    comparisons = []
-    cbf_padded = make_cbf_dataset(n_per_class=n_per_class, pad_fraction=pad_fraction, seed=seed)
-    cbf_unpadded = make_cbf_dataset(n_per_class=n_per_class, pad_fraction=0.0, seed=seed)
-    comparisons.append(
-        _compare("CBF-like", cbf_padded, cbf_unpadded, pad_fraction, threshold, seed)
-    )
-
-    trace_padded = make_trace_dataset(n_per_class=n_per_class, pad_fraction=pad_fraction, seed=seed + 1)
-    trace_unpadded = make_trace_dataset(n_per_class=n_per_class, pad_fraction=0.0, seed=seed + 1)
-    comparisons.append(
-        _compare("Trace-like", trace_padded, trace_unpadded, pad_fraction, threshold, seed)
-    )
-    return Section5PaddingResult(comparisons=tuple(comparisons))
+    prepared = prepare(n_per_class=n_per_class, pad_fraction=pad_fraction, seed=seed)
+    return compute(prepared, pad_fraction=pad_fraction, threshold=threshold, seed=seed)

@@ -30,7 +30,16 @@ from repro.data.gunpoint import make_gunpoint_dataset
 from repro.data.ucr_format import UCRDataset
 from repro.distance.neighbors import KNeighborsTimeSeriesClassifier
 
-__all__ = ["Table1Result", "default_algorithms", "run"]
+__all__ = [
+    "Table1Prepared",
+    "Table1Result",
+    "default_algorithms",
+    "prepare",
+    "compute",
+    "render",
+    "metrics",
+    "run",
+]
 
 #: Accuracy values reported in the paper's Table 1, for side-by-side display.
 PAPER_REFERENCE = {
@@ -113,6 +122,84 @@ class Table1Result:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class Table1Prepared:
+    """Prepared inputs: the GunPoint train/test split the table audits."""
+
+    train: UCRDataset
+    test: UCRDataset
+
+
+def prepare(
+    n_train_per_class: int = 25,
+    n_test_per_class: int = 75,
+    seed: int = 7,
+) -> Table1Prepared:
+    """Synthesise the GunPoint split shared by every audited algorithm."""
+    train, test = make_gunpoint_dataset(
+        n_train_per_class=n_train_per_class,
+        n_test_per_class=n_test_per_class,
+        seed=seed,
+    )
+    return Table1Prepared(train=train, test=test)
+
+
+def compute(
+    prepared: Table1Prepared,
+    algorithms: Mapping[str, Callable[[], BaseEarlyClassifier]] | None = None,
+    offset_range: tuple[float, float] = (-1.0, 1.0),
+    fast: bool = False,
+    denormalize_seed: int = 11,
+) -> Table1Result:
+    """Audit every algorithm's normalisation sensitivity on the split."""
+    train, test = prepared.train, prepared.test
+    factories = dict(algorithms) if algorithms is not None else default_algorithms(fast=fast)
+
+    audits = []
+    for name, factory in factories.items():
+        audits.append(
+            audit_normalization_sensitivity(
+                factory,
+                train,
+                test,
+                algorithm_name=name,
+                offset_range=offset_range,
+                seed=denormalize_seed,
+            )
+        )
+
+    control_norm, control_denorm = _control_accuracies(
+        train, test, offset_range, denormalize_seed
+    )
+    return Table1Result(
+        audits=tuple(audits),
+        control_normalized=control_norm,
+        control_denormalized=control_denorm,
+    )
+
+
+def render(result: Table1Result) -> str:
+    """The table's text summary."""
+    return result.to_text()
+
+
+def metrics(result: Table1Result) -> dict:
+    """Key numbers for the JSON artifact."""
+    values: dict = {
+        "n_algorithms": len(result.audits),
+        "control_normalized": result.control_normalized,
+        "control_denormalized": result.control_denormalized,
+    }
+    for algorithm, normalized, denormalized in result.rows():
+        key = (
+            algorithm.replace("(", "").replace(")", "").replace("=", "")
+            .replace(".", "").replace(" ", "_").strip("_").lower()
+        )
+        values[f"{key}_normalized"] = normalized
+        values[f"{key}_denormalized"] = denormalized
+    return values
+
+
 def run(
     n_train_per_class: int = 25,
     n_test_per_class: int = 75,
@@ -138,33 +225,17 @@ def run(
     seed, denormalize_seed:
         Data generation and perturbation seeds.
     """
-    train, test = make_gunpoint_dataset(
+    prepared = prepare(
         n_train_per_class=n_train_per_class,
         n_test_per_class=n_test_per_class,
         seed=seed,
     )
-    factories = dict(algorithms) if algorithms is not None else default_algorithms(fast=fast)
-
-    audits = []
-    for name, factory in factories.items():
-        audits.append(
-            audit_normalization_sensitivity(
-                factory,
-                train,
-                test,
-                algorithm_name=name,
-                offset_range=offset_range,
-                seed=denormalize_seed,
-            )
-        )
-
-    control_norm, control_denorm = _control_accuracies(
-        train, test, offset_range, denormalize_seed
-    )
-    return Table1Result(
-        audits=tuple(audits),
-        control_normalized=control_norm,
-        control_denormalized=control_denorm,
+    return compute(
+        prepared,
+        algorithms=algorithms,
+        offset_range=offset_range,
+        fast=fast,
+        denormalize_seed=denormalize_seed,
     )
 
 

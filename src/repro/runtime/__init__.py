@@ -1,0 +1,28 @@
+"""Experiment runtime: declarative specs, scheduler, cache and artifacts.
+
+The runtime is the outer orchestration layer of the reproduction: the
+experiments package declares *what* each table/figure needs
+(:class:`~repro.runtime.spec.ExperimentSpec`), and this package decides
+*how* to execute it -- sequentially or across a process pool
+(:mod:`repro.runtime.scheduler`), with the expensive ``prepare`` stage
+memoised on disk (:mod:`repro.runtime.cache`) and every run persisted as a
+machine-readable JSON artifact (:mod:`repro.runtime.artifacts`).
+"""
+
+from repro.runtime.artifacts import artifact_payload, load_artifact, write_artifact
+from repro.runtime.cache import CACHE_SCHEMA_VERSION, CacheStats, PrepareCache
+from repro.runtime.scheduler import execute_spec, run_experiments
+from repro.runtime.spec import ExperimentResult, ExperimentSpec
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "PrepareCache",
+    "artifact_payload",
+    "execute_spec",
+    "load_artifact",
+    "run_experiments",
+    "write_artifact",
+]

@@ -1,0 +1,194 @@
+"""Experiment executor and process-parallel scheduler.
+
+:func:`execute_spec` runs one experiment through its ``prepare`` /
+``compute`` / ``render`` stages, timing each and memoising ``prepare``
+through an optional :class:`~repro.runtime.cache.PrepareCache`.
+
+:func:`run_experiments` runs a batch.  With ``jobs <= 1`` it executes
+in-process and in order -- the exact code path the golden ``--fast`` output
+is pinned to.  With ``jobs > 1`` independent experiments are fanned out
+across a :class:`concurrent.futures.ProcessPoolExecutor`; each worker
+resolves the spec by name from the registry (specs travel as names, results
+travel back stripped of their unpicklable/raw payload), and the parent
+re-orders completed results to the requested order so output stays
+deterministic regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.runtime.artifacts import write_artifact
+from repro.runtime.cache import PrepareCache, UncacheableParams
+from repro.runtime.spec import ExperimentResult, ExperimentSpec
+
+__all__ = ["execute_spec", "run_experiments"]
+
+
+def _resolve_spec(spec_or_name: ExperimentSpec | str) -> ExperimentSpec:
+    if isinstance(spec_or_name, ExperimentSpec):
+        return spec_or_name
+    # Imported lazily: the registry imports runtime.spec, so a module-level
+    # import here would be circular.
+    from repro.experiments.registry import get_spec
+
+    return get_spec(spec_or_name)
+
+
+def _cached_prepare(
+    spec: ExperimentSpec,
+    params: Mapping[str, Any],
+    cache: PrepareCache | None,
+) -> tuple[Any, bool]:
+    """Run (or recall) the prepare stage; returns ``(prepared, cache_hit)``."""
+    if cache is None:
+        return spec.call_prepare(params), False
+    try:
+        key = cache.key(spec.name, spec.stage_params("prepare", params))
+    except UncacheableParams:
+        # A non-canonical parameter (e.g. a classifier instance) makes the
+        # run unaddressable; fall back to computing without the cache.
+        cache.stats.skips += 1
+        return spec.call_prepare(params), False
+    value = cache.load(spec.name, key)
+    if not cache.is_miss(value):
+        return value, True
+    prepared = spec.call_prepare(params)
+    cache.store(spec.name, key, prepared)
+    return prepared, False
+
+
+def execute_spec(
+    spec_or_name: ExperimentSpec | str,
+    *,
+    fast: bool = False,
+    overrides: Mapping[str, Any] | None = None,
+    cache: PrepareCache | None = None,
+    keep_raw: bool = True,
+) -> ExperimentResult:
+    """Run one experiment through its stages and return a structured result.
+
+    Parameters
+    ----------
+    spec_or_name:
+        An :class:`ExperimentSpec` or a registry identifier.
+    fast:
+        Apply the spec's fast overrides (reduced workload).
+    overrides:
+        Explicit parameter overrides; unknown names raise ``TypeError``.
+    cache:
+        Optional prepare-stage cache.
+    keep_raw:
+        Keep the module's own result dataclass on the returned
+        :class:`ExperimentResult` (set ``False`` across process boundaries).
+    """
+    spec = _resolve_spec(spec_or_name)
+    params = spec.resolve_params(fast=fast, overrides=overrides)
+
+    started = time.perf_counter()
+    prepared, cache_hit = _cached_prepare(spec, params, cache)
+    after_prepare = time.perf_counter()
+    result = spec.call_compute(prepared, params)
+    after_compute = time.perf_counter()
+    summary = spec.call_render(result)
+    metrics = spec.call_metrics(result)
+    finished = time.perf_counter()
+
+    return ExperimentResult(
+        name=spec.name,
+        parameters=params,
+        seed=spec.seed_of(params),
+        metrics=metrics,
+        summary=summary,
+        timings={
+            "prepare": after_prepare - started,
+            "compute": after_compute - after_prepare,
+            "render": finished - after_compute,
+            "total": finished - started,
+        },
+        cache_hit=cache_hit,
+        raw=result if keep_raw else None,
+    )
+
+
+def _execute_named(
+    name: str,
+    fast: bool,
+    overrides: dict[str, Any] | None,
+    cache_dir: str | None,
+) -> ExperimentResult:
+    """Worker entry point: resolve by name, run, strip the raw payload."""
+    cache = PrepareCache(cache_dir) if cache_dir else None
+    return execute_spec(
+        name, fast=fast, overrides=overrides, cache=cache, keep_raw=False
+    )
+
+
+def run_experiments(
+    names: Sequence[str],
+    *,
+    fast: bool = False,
+    jobs: int = 1,
+    cache: PrepareCache | None = None,
+    overrides: Mapping[str, Any] | None = None,
+    results_dir: str | Path | None = None,
+    on_result: Callable[[ExperimentResult], None] | None = None,
+) -> list[ExperimentResult]:
+    """Run a batch of experiments, optionally across worker processes.
+
+    Results are returned (and ``on_result`` is invoked) in the order of
+    ``names`` regardless of which worker finishes first, so sequential and
+    parallel runs render identically.
+
+    Parameters
+    ----------
+    names:
+        Registry identifiers to run.
+    fast:
+        Reduced-scale mode.
+    jobs:
+        Worker processes; ``<= 1`` runs everything in-process.
+    cache:
+        Prepare-stage cache shared by all runs (workers re-open it by path).
+    overrides:
+        Parameter overrides applied to every named experiment.
+    results_dir:
+        If given, write ``<results_dir>/<name>.json`` for every result.
+    on_result:
+        Callback invoked with each result in input order (the CLI's
+        incremental printer).
+    """
+    names = list(names)
+    overrides = dict(overrides or {})
+    results: list[ExperimentResult]
+
+    if jobs <= 1 or len(names) <= 1:
+        results = []
+        for name in names:
+            result = execute_spec(name, fast=fast, overrides=overrides, cache=cache)
+            if results_dir is not None:
+                write_artifact(result, results_dir)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+        return results
+
+    cache_dir = str(cache.root) if cache is not None else None
+    max_workers = min(jobs, len(names))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = [
+            pool.submit(_execute_named, name, fast, overrides or None, cache_dir)
+            for name in names
+        ]
+        results = []
+        for future in futures:  # input order, not completion order
+            result = future.result()
+            if results_dir is not None:
+                write_artifact(result, results_dir)
+            if on_result is not None:
+                on_result(result)
+            results.append(result)
+    return results

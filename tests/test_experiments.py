@@ -168,3 +168,13 @@ class TestAppendixB:
         assert evaluation.false_positives > evaluation.true_positives
         assert not result.cost_criterion.passed
         assert "loses money" in result.to_text()
+
+    def test_prepare_can_skip_the_default_fit_for_custom_classifiers(self):
+        # run(classifier=...) avoids the TEASER fit entirely; compute then
+        # insists a classifier is supplied.
+        prepared = appendix_b.prepare(
+            n_events=2, gap_range=(200, 400), seed=1, fit_default=False
+        )
+        assert prepared.default_classifier is None
+        with pytest.raises(ValueError, match="no classifier supplied"):
+            appendix_b.compute(prepared, n_events=2)

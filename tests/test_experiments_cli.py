@@ -1,17 +1,19 @@
 """Tests for the experiments command-line interface and result rendering."""
 
 import inspect
+import json
+import re
 
 import pytest
 
 from repro.experiments.__main__ import main
 from repro.experiments import run_experiment
-from repro.experiments.registry import EXPERIMENTS, FAST_OVERRIDES
+from repro.experiments.registry import EXPERIMENTS, FAST_OVERRIDES, SPECS
 
 
 class TestCLI:
     def test_runs_named_experiments_fast(self, capsys):
-        exit_code = main(["figure1", "figure6", "--fast"])
+        exit_code = main(["figure1", "figure6", "--fast", "--no-cache"])
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "Figure 1" in output
@@ -28,6 +30,77 @@ class TestCLI:
         result = run_experiment("figure1", fast=True)
         assert result.class_counts["cat"] < 30  # the full-scale default
 
+    def test_list_shows_every_experiment_with_tags(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        for name, spec in SPECS.items():
+            assert name in output
+            for tag in spec.tags:
+                assert tag in output
+        assert "completed in" not in output  # nothing was executed
+
+    def test_tag_selects_matching_experiments(self, capsys):
+        assert main(["--tag", "ecg", "--fast", "--no-cache"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("completed in") == 1
+        assert "[figure7 completed" in output
+
+    def test_unknown_tag_is_an_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--tag", "nonsense"])
+        assert "nonsense" in capsys.readouterr().err
+
+    def test_seed_override_threads_through_to_artifact_and_cache(
+        self, tmp_path, capsys
+    ):
+        cache_dir = tmp_path / "cache"
+        results_dir = tmp_path / "results"
+        base = ["figure1", "--fast", "--cache-dir", str(cache_dir),
+                "--json", "--results-dir", str(results_dir)]
+        assert main([*base, "--seed", "99"]) == 0
+        payload = json.loads((results_dir / "figure1.json").read_text())
+        assert payload["seed"] == 99
+        assert payload["parameters"]["seed"] == 99
+        # A different seed is a different cache key: the default-seed run
+        # must not hit the seeded run's prepared entry.
+        assert main(base) == 0
+        payload = json.loads((results_dir / "figure1.json").read_text())
+        assert payload["seed"] == 3  # figure1's spec-level default
+        assert payload["cache_hit"] is False
+        assert len(list(cache_dir.glob("figure1-*.pkl"))) == 2
+        capsys.readouterr()
+
+    def test_json_writes_parseable_artifacts(self, tmp_path, capsys):
+        results_dir = tmp_path / "results"
+        exit_code = main(
+            ["figure1", "--fast", "--no-cache", "--json", "--results-dir", str(results_dir)]
+        )
+        assert exit_code == 0
+        payload = json.loads((results_dir / "figure1.json").read_text())
+        assert payload["experiment"] == "figure1"
+        assert payload["metrics"]
+        assert "wrote 1 artifact(s)" in capsys.readouterr().out
+
+    def test_default_cache_dir_is_created_in_cwd(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["figure1", "--fast"]) == 0
+        assert (tmp_path / ".repro_cache").is_dir()
+        assert list((tmp_path / ".repro_cache").glob("figure1-*.pkl"))
+        capsys.readouterr()
+
+    def test_jobs_output_matches_sequential_output(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        names = ["figure1", "figure7"]
+        assert main([*names, "--fast"]) == 0
+        sequential = capsys.readouterr().out
+        assert main([*names, "--fast", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def normalise(text):
+            return re.sub(r"completed in [0-9.]+ s", "completed in X s", text)
+
+        assert normalise(sequential) == normalise(parallel)
+
 
 class TestRegistry:
     """Pin the fast-path registry to the experiment registry.
@@ -40,6 +113,14 @@ class TestRegistry:
 
     def test_every_experiment_has_a_fast_path(self):
         assert set(FAST_OVERRIDES) == set(EXPERIMENTS)
+
+    def test_legacy_views_are_derived_from_the_spec_table(self):
+        assert FAST_OVERRIDES == {
+            name: dict(spec.fast_overrides) for name, spec in SPECS.items()
+        }
+        assert EXPERIMENTS == {
+            name: spec.run_callable for name, spec in SPECS.items()
+        }
 
     def test_fast_overrides_match_run_signatures(self):
         for name, overrides in FAST_OVERRIDES.items():

@@ -1,0 +1,111 @@
+"""Golden-summary snapshots and sequential/parallel equivalence.
+
+The files under ``tests/golden/`` pin the ``--fast`` text summary of every
+experiment.  They are the repo's strongest regression guard: any refactor
+of the experiment modules, the registry, the scheduler or the cache that
+changes a single byte of a summary fails here.  The parallel test then
+asserts the process-pool scheduler reproduces those exact bytes, so
+``--jobs N`` can never drift from the sequential golden path.
+
+Regenerate (only after an intentional change) with::
+
+    PYTHONPATH=src python -c "
+    from pathlib import Path
+    from repro.experiments.registry import available_experiments
+    from repro.runtime.scheduler import execute_spec
+    for name in available_experiments():
+        result = execute_spec(name, fast=True)
+        Path('tests/golden', name + '.fast.txt').write_text(result.summary + '\\n')"
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.registry import available_experiments
+from repro.runtime.artifacts import load_artifact
+from repro.runtime.cache import PrepareCache
+from repro.runtime.scheduler import run_experiments
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+ALL_EXPERIMENTS = available_experiments()
+
+
+@pytest.fixture(scope="session")
+def runtime_dirs(tmp_path_factory):
+    root = tmp_path_factory.mktemp("runtime")
+    return {"cache": root / "cache", "results": root / "results"}
+
+
+@pytest.fixture(scope="session")
+def sequential_results(runtime_dirs):
+    """All experiments, fast mode, sequential, cold cache (which it warms)."""
+    cache = PrepareCache(runtime_dirs["cache"])
+    results = run_experiments(ALL_EXPERIMENTS, fast=True, jobs=1, cache=cache)
+    return {result.name: result for result in results}
+
+
+class TestGoldenSummaries:
+    def test_every_experiment_has_a_golden_file(self):
+        expected = {f"{name}.fast.txt" for name in ALL_EXPERIMENTS}
+        present = {path.name for path in GOLDEN_DIR.glob("*.fast.txt")}
+        assert expected == present
+
+    @pytest.mark.parametrize("name", ALL_EXPERIMENTS)
+    def test_fast_summary_matches_golden(self, name, sequential_results):
+        golden = (GOLDEN_DIR / f"{name}.fast.txt").read_text()
+        assert sequential_results[name].summary + "\n" == golden
+
+    @pytest.mark.parametrize("name", ALL_EXPERIMENTS)
+    def test_metrics_are_non_empty_and_jsonable(self, name, sequential_results):
+        import json
+
+        metrics = sequential_results[name].metrics
+        assert metrics, f"{name} produced no metrics"
+        json.dumps(dict(metrics))  # must not raise
+
+
+@pytest.fixture(scope="session")
+def parallel_results(sequential_results, runtime_dirs):
+    """All experiments again, fast mode, across 4 worker processes.
+
+    The cache directory was warmed by the sequential fixture, so this pass
+    re-runs only the compute/render stages -- exactly the code whose output
+    must not depend on the execution mode.
+    """
+    cache = PrepareCache(runtime_dirs["cache"])
+    return run_experiments(
+        ALL_EXPERIMENTS,
+        fast=True,
+        jobs=4,
+        cache=cache,
+        results_dir=runtime_dirs["results"],
+    )
+
+
+class TestParallelEquivalence:
+    def test_jobs4_summaries_byte_identical_to_sequential(
+        self, sequential_results, parallel_results
+    ):
+        assert [result.name for result in parallel_results] == ALL_EXPERIMENTS
+        for result in parallel_results:
+            sequential = sequential_results[result.name]
+            assert result.summary == sequential.summary, result.name
+            assert result.raw is None  # stripped at the process boundary
+            assert dict(result.parameters) == dict(sequential.parameters)
+
+    def test_parallel_run_wrote_parseable_artifacts(
+        self, sequential_results, parallel_results, runtime_dirs
+    ):
+        # Re-assert from disk the contract CI relies on.
+        artifacts = sorted(runtime_dirs["results"].glob("*.json"))
+        assert {path.stem for path in artifacts} == set(ALL_EXPERIMENTS)
+        for path in artifacts:
+            payload = load_artifact(path)
+            assert payload["experiment"] == path.stem
+            assert payload["metrics"], path.name
+            assert payload["summary"] == sequential_results[path.stem].summary
+            assert payload["seed"] == sequential_results[path.stem].seed

@@ -1,0 +1,139 @@
+"""Unit tests for the prepare-stage cache: keys, hits, misses, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.runtime.cache as cache_module
+from repro.runtime.cache import PrepareCache, UncacheableParams
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return PrepareCache(tmp_path / "cache")
+
+
+class TestKeys:
+    def test_key_is_deterministic(self, cache):
+        params = {"n_per_class": 10, "seed": 3}
+        assert cache.key("figure1", params) == cache.key("figure1", dict(params))
+
+    def test_key_ignores_param_order(self, cache):
+        assert cache.key("figure1", {"a": 1, "b": 2}) == cache.key(
+            "figure1", {"b": 2, "a": 1}
+        )
+
+    def test_key_changes_with_params(self, cache):
+        base = cache.key("figure1", {"seed": 3})
+        assert cache.key("figure1", {"seed": 4}) != base
+
+    def test_key_changes_with_experiment(self, cache):
+        assert cache.key("figure1", {"seed": 3}) != cache.key("figure2", {"seed": 3})
+
+    def test_tuples_and_lists_canonicalise_identically(self, cache):
+        # A fast override may say (800, 2000) where a CLI round-trip says
+        # [800, 2000]; both describe the same prepared data.
+        assert cache.key("appendix_b", {"gap_range": (800, 2000)}) == cache.key(
+            "appendix_b", {"gap_range": [800, 2000]}
+        )
+
+    def test_numpy_scalars_canonicalise_like_python_numbers(self, cache):
+        numpy = pytest.importorskip("numpy")
+        assert cache.key("figure1", {"seed": numpy.int64(3)}) == cache.key(
+            "figure1", {"seed": 3}
+        )
+
+    def test_object_valued_params_are_uncacheable(self, cache):
+        class Opaque:
+            pass
+
+        with pytest.raises(UncacheableParams):
+            cache.key("table1", {"algorithms": Opaque()})
+
+    def test_multi_element_numpy_arrays_are_uncacheable_not_fatal(self, cache):
+        # ndarray.item() raises ValueError on >1 element; that must surface
+        # as UncacheableParams (cache bypass), never as a bare crash.
+        numpy = pytest.importorskip("numpy")
+        with pytest.raises(UncacheableParams):
+            cache.key("figure6", {"offset_range": numpy.array([-1.0, 1.0])})
+
+    def test_schema_version_invalidates_keys(self, cache, monkeypatch):
+        before = cache.key("figure1", {"seed": 3})
+        monkeypatch.setattr(cache_module, "CACHE_SCHEMA_VERSION", 999)
+        assert cache.key("figure1", {"seed": 3}) != before
+
+
+class TestStore:
+    def test_miss_then_hit(self, cache):
+        key = cache.key("figure1", {"seed": 3})
+        assert cache.is_miss(cache.load("figure1", key))
+        assert cache.store("figure1", key, {"payload": [1, 2, 3]})
+        value = cache.load("figure1", key)
+        assert not cache.is_miss(value)
+        assert value == {"payload": [1, 2, 3]}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_none_is_a_legitimate_cached_value(self, cache):
+        key = cache.key("figure1", {"seed": 3})
+        cache.store("figure1", key, None)
+        value = cache.load("figure1", key)
+        assert value is None
+        assert not cache.is_miss(value)
+
+    def test_numpy_arrays_roundtrip_exactly(self, cache):
+        numpy = pytest.importorskip("numpy")
+        rng = numpy.random.default_rng(0)
+        payload = rng.normal(size=(7, 11))
+        key = cache.key("figure5", {"seed": 5})
+        cache.store("figure5", key, payload)
+        numpy.testing.assert_array_equal(cache.load("figure5", key), payload)
+
+    def test_unpicklable_value_is_skipped_not_fatal(self, cache):
+        key = cache.key("figure1", {"seed": 3})
+        assert not cache.store("figure1", key, lambda: None)
+        assert cache.is_miss(cache.load("figure1", key))
+        assert cache.stats.skips == 1
+        # No half-written entry may remain behind.
+        assert cache.entries() == []
+
+    def test_corrupt_entry_reads_as_miss(self, cache):
+        key = cache.key("figure1", {"seed": 3})
+        cache.store("figure1", key, [1, 2, 3])
+        cache.path_for("figure1", key).write_bytes(b"not a pickle")
+        assert cache.is_miss(cache.load("figure1", key))
+
+    def test_stale_entry_for_a_vanished_class_reads_as_miss(self, cache, monkeypatch):
+        # Simulate an entry pickled against a class whose module has since
+        # been renamed away: unpickling raises ModuleNotFoundError, which
+        # must count as a miss, not crash every subsequent run.
+        import sys
+        import types
+
+        module = types.ModuleType("_vanishing_module")
+
+        class Payload:
+            pass
+
+        Payload.__module__ = module.__name__
+        Payload.__qualname__ = "Payload"
+        module.Payload = Payload
+        monkeypatch.setitem(sys.modules, module.__name__, module)
+        key = cache.key("figure1", {"seed": 3})
+        cache.store("figure1", key, Payload())
+        del sys.modules[module.__name__]
+        assert cache.is_miss(cache.load("figure1", key))
+
+    def test_clear_removes_every_entry(self, cache):
+        for seed in range(3):
+            key = cache.key("figure1", {"seed": seed})
+            cache.store("figure1", key, seed)
+        assert len(cache.entries()) == 3
+        assert cache.clear() == 3
+        assert cache.entries() == []
+
+    def test_missing_root_reads_as_miss(self, tmp_path):
+        cache = PrepareCache(tmp_path / "never-created")
+        assert cache.is_miss(cache.load("figure1", "0" * 64))
+        assert cache.entries() == []

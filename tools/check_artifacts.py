@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Fail unless every experiment wrote a parseable, non-empty JSON artifact.
+
+CI regenerates the paper's artefacts with::
+
+    PYTHONPATH=src python -m repro.experiments --fast --jobs 2 --json
+
+and then runs this script, which asserts that ``results/`` contains one
+``<name>.json`` per registered experiment and that each artifact parses,
+names the right experiment, and carries non-empty ``metrics`` and
+``summary`` fields.  Exits non-zero listing every problem.
+
+Usage: ``python tools/check_artifacts.py [results_dir]`` (default:
+``results``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def check_artifacts(results_dir: pathlib.Path) -> list[str]:
+    """Return a list of human-readable problems with the artifact set."""
+    from repro.experiments.registry import available_experiments
+
+    problems: list[str] = []
+    if not results_dir.is_dir():
+        return [f"results directory {results_dir} does not exist"]
+
+    for name in available_experiments():
+        path = results_dir / f"{name}.json"
+        if not path.is_file():
+            problems.append(f"missing artifact {path}")
+            continue
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            problems.append(f"{path}: not valid JSON ({error})")
+            continue
+        if payload.get("experiment") != name:
+            problems.append(
+                f"{path}: names experiment {payload.get('experiment')!r}, "
+                f"expected {name!r}"
+            )
+        if not payload.get("metrics"):
+            problems.append(f"{path}: empty or missing 'metrics'")
+        if not payload.get("summary"):
+            problems.append(f"{path}: empty or missing 'summary'")
+        if "seed" not in payload:
+            problems.append(f"{path}: missing 'seed'")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    results_dir = pathlib.Path(argv[1]) if len(argv) > 1 else REPO_ROOT / "results"
+    problems = check_artifacts(results_dir)
+    if problems:
+        print("check-artifacts FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    from repro.experiments.registry import available_experiments
+
+    print(f"check-artifacts OK ({len(available_experiments())} artifacts verified)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
