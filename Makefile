@@ -5,15 +5,21 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench docs-check quickstart experiments results check-artifacts all
+.PHONY: test bench batch-check docs-check quickstart experiments results check-artifacts all
 
 ## tier-1 gate: unit/property/integration tests + benchmark harness
 test:
 	$(PYTHON) -m pytest -x -q
 
-## benchmarks only (one per paper artefact, plus the prefix-engine speedup)
+## benchmarks only (one per paper artefact, plus the prefix-engine and
+## batched-prediction speedups)
 bench:
 	$(PYTHON) -m pytest benchmarks -q
+
+## batched-inference drift gate: batch-vs-per-row equivalence suite plus the
+## >= 5x full-test-set speedup benchmark (run by CI on every push)
+batch-check:
+	$(PYTHON) -m pytest tests/test_batch_predict.py benchmarks/test_bench_batch_predict.py -q
 
 ## fail if README/ARCHITECTURE reference modules or files that don't exist
 docs-check:

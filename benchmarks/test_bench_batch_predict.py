@@ -1,0 +1,70 @@
+"""Benchmark for the batched test-set-at-once prediction engine.
+
+Every headline number of the paper (Table 1, Figures 6-9) is a full test set
+driven through an early classifier.  The seed behaviour fed exemplars one at
+a time through ``predict_early``; ``predict_early_batch`` answers the whole
+test set from one :func:`repro.distance.engine.batch_prefix_distances` pass
+plus vectorised per-checkpoint statistics.  This benchmark times a Table 1
+style evaluation (ECTS, the table's lead algorithm, on a GunPoint-like
+split) both ways and asserts the batched path is at least 5x faster while
+reproducing the per-row metrics exactly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.classifiers.ects import ECTSClassifier
+from repro.data.gunpoint import GunPointGenerator
+from repro.evaluation.earliness import evaluate_early_classifier
+
+N_PER_CLASS = 90
+LENGTH = 150
+REQUIRED_SPEEDUP = 5.0
+
+
+def _make_split():
+    full = GunPointGenerator(length=LENGTH, seed=7).generate(
+        n_per_class=N_PER_CLASS, seed=7
+    )
+    indices = range(2 * N_PER_CLASS)
+    train = full.subset([i for i in indices if i % 6 == 0])  # 30 exemplars
+    test = full.subset([i for i in indices if i % 6 != 0])  # 150 exemplars
+    return train, test
+
+
+def _best_of(function, repeats: int = 3):
+    """Smallest wall-clock time over ``repeats`` runs (robust to CI jitter)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_bench_batch_predict_speedup(run_once):
+    train, test = _make_split()
+    model = ECTSClassifier(min_support=0.0).fit(train.series, train.labels)
+
+    perrow_seconds, perrow = _best_of(
+        lambda: evaluate_early_classifier(model, test.series, test.labels, batch=False)
+    )
+    batch_seconds, batched = _best_of(
+        lambda: evaluate_early_classifier(model, test.series, test.labels, batch=True)
+    )
+    # Record the batched evaluation under the benchmark timer for the log.
+    run_once(evaluate_early_classifier, model, test.series, test.labels)
+
+    # Same answer: the equivalence suite pins per-outcome agreement; here the
+    # aggregate metrics must be exactly equal, or the speedup is meaningless.
+    assert batched == perrow
+
+    speedup = perrow_seconds / batch_seconds
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"expected >= {REQUIRED_SPEEDUP:.0f}x speedup on the "
+        f"{test.series.shape[0]}-exemplar Table 1 style evaluation, measured "
+        f"{speedup:.1f}x (per-row {perrow_seconds * 1e3:.1f} ms, "
+        f"batched {batch_seconds * 1e3:.1f} ms)"
+    )

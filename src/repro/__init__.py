@@ -31,6 +31,7 @@ from repro._version import __version__
 from repro.distance.engine import (
     PrefixDistanceEngine,
     PrefixDTWEngine,
+    batch_prefix_distances,
     pairwise_prefix_distances,
 )
 
@@ -42,5 +43,6 @@ __all__ = [
     "__version__",
     "PrefixDistanceEngine",
     "PrefixDTWEngine",
+    "batch_prefix_distances",
     "pairwise_prefix_distances",
 ]

@@ -30,6 +30,7 @@ import numpy as np
 __all__ = [
     "PartialPrediction",
     "EarlyPrediction",
+    "BatchCheckpoint",
     "BaseEarlyClassifier",
     "ClassifierStream",
     "default_checkpoints",
@@ -135,6 +136,37 @@ class EarlyPrediction:
     def earliness(self) -> float:
         """Fraction of the exemplar seen before committing (lower = earlier)."""
         return self.trigger_length / self.series_length
+
+
+@dataclass(frozen=True)
+class BatchCheckpoint:
+    """One checkpoint of a batched prediction walk.
+
+    Produced by :meth:`BaseEarlyClassifier._batch_partial_evaluators` and
+    consumed by :meth:`BaseEarlyClassifier.predict_early_batch`.
+
+    Attributes
+    ----------
+    length:
+        The checkpoint's prefix length.
+    partial:
+        ``partial(i)`` builds the :class:`PartialPrediction` of batch row
+        ``i`` at this checkpoint -- identical to what ``predict_early``
+        would have computed there.  The heavy numerics should be batched
+        (and may be cached lazily) inside the closure, so the call itself
+        only assembles the per-row object.
+    ready:
+        Optional zero-argument callable returning the boolean readiness of
+        *every* row at this checkpoint (exactly ``partial(i).ready`` for
+        each ``i``), vectorised.  When every checkpoint provides it and the
+        classifier uses the default first-ready trigger rule, the batched
+        walk resolves trigger points from these arrays and only materialises
+        a :class:`PartialPrediction` per row at its commitment point.
+    """
+
+    length: int
+    partial: Callable[[int], PartialPrediction]
+    ready: Callable[[], np.ndarray] | None = None
 
 
 class BaseEarlyClassifier(ABC):
@@ -319,6 +351,210 @@ class BaseEarlyClassifier(ABC):
             history=tuple(history),
         )
 
+    # ------------------------------------------------------------ batching
+    def _batch_partial_evaluators(
+        self, data: np.ndarray
+    ) -> list[BatchCheckpoint] | None:
+        """Hook: vectorised checkpoint evaluation for a batch of exemplars.
+
+        Subclasses whose per-prefix evaluation vectorises across the test set
+        (e.g. via :func:`repro.distance.engine.batch_prefix_distances`)
+        return one :class:`BatchCheckpoint` per checkpoint, in increasing
+        length order.  :meth:`predict_early_batch` walks the checkpoints
+        with the usual per-row stopping rules, evaluating
+        :attr:`BatchCheckpoint.partial` only for rows that have not yet
+        triggered -- or, when every checkpoint carries a vectorised
+        :attr:`BatchCheckpoint.ready` and the classifier keeps the default
+        first-ready trigger rule, only at each row's trigger point.
+
+        The default ``None`` makes :meth:`predict_early_batch` fall back to
+        the per-row reference walk of :meth:`predict_early`.
+        """
+        return None
+
+    def predict_early_batch(
+        self,
+        series: np.ndarray,
+        keep_history: bool = False,
+        batch_size: int = 256,
+    ) -> list[EarlyPrediction]:
+        """Vectorised test-set-at-once counterpart of :meth:`predict_early`.
+
+        Classifiers that override :meth:`_batch_partial_evaluators` answer
+        every checkpoint of every exemplar from batched matrix kernels; the
+        checkpoint walk, trigger rules and returned
+        :class:`EarlyPrediction` objects are otherwise identical to feeding
+        each row through :meth:`predict_early` (the equivalence suite pins
+        this).  Classifiers without a batched override fall back to exactly
+        that per-row loop, so the method is safe to call on any fitted early
+        classifier.
+
+        Parameters
+        ----------
+        series:
+            2-D array of exemplars (a single 1-D series is promoted to a
+            batch of one).  May be empty, in which case an empty list is
+            returned.
+        keep_history:
+            Record the :class:`PartialPrediction` at every evaluated
+            checkpoint of every exemplar (up to its trigger point).
+        batch_size:
+            Exemplars vectorised per kernel invocation; bounds the size of
+            the batched distance temporaries.
+
+        Returns
+        -------
+        list of EarlyPrediction
+            One outcome per row of ``series``, in order.
+        """
+        self._require_fitted()
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        data = np.asarray(series, dtype=float)
+        if data.ndim == 1:
+            data = data[None, :]
+        if data.ndim != 2:
+            raise ValueError("series must be a 2-D array (n_exemplars, length)")
+        if data.shape[0] == 0:
+            return []
+        if data.shape[1] < 1:
+            raise ValueError("exemplars must contain at least one sample")
+        if data.shape[1] > self.train_length_:
+            raise ValueError(
+                f"exemplars of length {data.shape[1]} exceed the training length "
+                f"{self.train_length_}"
+            )
+        if not np.all(np.isfinite(data)):
+            raise ValueError("series contains non-finite values")
+
+        results: list[EarlyPrediction] = []
+        for start in range(0, data.shape[0], batch_size):
+            chunk = data[start : start + batch_size]
+            checkpoints = self._batch_partial_evaluators(chunk)
+            if checkpoints is None:
+                results.extend(
+                    self.predict_early(row, keep_history=keep_history) for row in chunk
+                )
+            elif (
+                not keep_history
+                and type(self)._trigger_rule is BaseEarlyClassifier._trigger_rule
+                and checkpoints
+                and all(cp.ready is not None for cp in checkpoints)
+            ):
+                results.extend(self._walk_batch_first_ready(chunk, checkpoints))
+            else:
+                results.extend(self._walk_batch(chunk, checkpoints, keep_history))
+        return results
+
+    def _walk_batch_first_ready(
+        self, data: np.ndarray, checkpoints: list[BatchCheckpoint]
+    ) -> list[EarlyPrediction]:
+        """Vectorised walk for the default first-ready stopping rule.
+
+        Trigger points are resolved from the checkpoints' batched ``ready``
+        arrays, so exactly one :class:`PartialPrediction` is materialised per
+        row -- at its commitment point (or at the last evaluated checkpoint
+        for rows that never trigger).  Decisions are identical to
+        :meth:`_walk_batch` with the default rule, which in turn mirrors the
+        per-row reference walk.
+        """
+        n_rows, row_length = data.shape
+        outcomes: list[EarlyPrediction | None] = [None] * n_rows
+        active = np.ones(n_rows, dtype=bool)
+        last: BatchCheckpoint | None = None
+        for checkpoint in checkpoints:
+            if checkpoint.length > row_length or not np.any(active):
+                break
+            last = checkpoint
+            assert checkpoint.ready is not None
+            ready = np.asarray(checkpoint.ready(), dtype=bool)
+            for i in np.flatnonzero(active & ready):
+                partial = checkpoint.partial(int(i))
+                outcomes[i] = EarlyPrediction(
+                    label=partial.label,
+                    trigger_length=checkpoint.length,
+                    series_length=row_length,
+                    triggered=True,
+                    confidence=partial.confidence,
+                )
+            active &= ~ready
+        if last is None:
+            raise ValueError("series is shorter than the first checkpoint")
+        for i in np.flatnonzero(active):
+            partial = last.partial(int(i))
+            outcomes[i] = EarlyPrediction(
+                label=partial.label,
+                trigger_length=row_length,
+                series_length=row_length,
+                triggered=False,
+                confidence=partial.confidence,
+            )
+        # Every row is resolved by now: it either triggered or was answered
+        # from the last evaluated checkpoint above.
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def _walk_batch(
+        self,
+        data: np.ndarray,
+        checkpoints: list[BatchCheckpoint],
+        keep_history: bool,
+    ) -> list[EarlyPrediction]:
+        """Apply per-row stopping rules to batched checkpoint evaluators.
+
+        This is :meth:`predict_early`'s walk with the exemplar loop turned
+        inside out: checkpoints advance in lockstep across the batch, each
+        row keeps its own fresh :meth:`_trigger_rule`, and rows drop out of
+        the walk at their trigger point (so no partials are materialised for
+        checkpoints a row never reaches -- same work profile as the per-row
+        reference).
+        """
+        n_rows, row_length = data.shape
+        rules = [self._trigger_rule() for _ in range(n_rows)]
+        outcomes: list[EarlyPrediction | None] = [None] * n_rows
+        lasts: list[PartialPrediction | None] = [None] * n_rows
+        histories: list[list[PartialPrediction]] = [[] for _ in range(n_rows)]
+        active = list(range(n_rows))
+        for checkpoint in checkpoints:
+            if checkpoint.length > row_length or not active:
+                break
+            still_active = []
+            for i in active:
+                partial = checkpoint.partial(i)
+                if keep_history:
+                    histories[i].append(partial)
+                lasts[i] = partial
+                if rules[i](partial):
+                    outcomes[i] = EarlyPrediction(
+                        label=partial.label,
+                        trigger_length=checkpoint.length,
+                        series_length=row_length,
+                        triggered=True,
+                        confidence=partial.confidence,
+                        history=tuple(histories[i]),
+                    )
+                else:
+                    still_active.append(i)
+            active = still_active
+
+        results: list[EarlyPrediction] = []
+        for i in range(n_rows):
+            outcome = outcomes[i]
+            if outcome is None:
+                last = lasts[i]
+                if last is None:
+                    raise ValueError("series is shorter than the first checkpoint")
+                outcome = EarlyPrediction(
+                    label=last.label,
+                    trigger_length=row_length,
+                    series_length=row_length,
+                    triggered=False,
+                    confidence=last.confidence,
+                    history=tuple(histories[i]),
+                )
+            results.append(outcome)
+        return results
+
     def open_stream(self) -> "ClassifierStream":
         """Open a push-based incremental view of :meth:`predict_early`.
 
@@ -332,10 +568,7 @@ class BaseEarlyClassifier(ABC):
 
     def predict(self, series: np.ndarray) -> np.ndarray:
         """Early-classify each row of a 2-D array and return the labels."""
-        data = np.asarray(series, dtype=float)
-        if data.ndim == 1:
-            data = data[None, :]
-        return np.asarray([self.predict_early(row).label for row in data])
+        return np.asarray([p.label for p in self.predict_early_batch(series)])
 
     def score(self, series: np.ndarray, labels: Sequence) -> float:
         """Early-classification accuracy over a test set."""
@@ -347,10 +580,8 @@ class BaseEarlyClassifier(ABC):
 
     def average_earliness(self, series: np.ndarray) -> float:
         """Mean fraction of each exemplar seen before the trigger point."""
-        data = np.asarray(series, dtype=float)
-        if data.ndim == 1:
-            data = data[None, :]
-        return float(np.mean([self.predict_early(row).earliness for row in data]))
+        outcomes = self.predict_early_batch(series)
+        return float(np.mean([outcome.earliness for outcome in outcomes]))
 
 
 class ClassifierStream:

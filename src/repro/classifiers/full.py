@@ -18,7 +18,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.classifiers.base import BaseEarlyClassifier, PartialPrediction
-from repro.classifiers.prefix_probability import PrefixProbabilisticClassifier
+from repro.classifiers.prefix_probability import (
+    PrefixProbabilisticClassifier,
+    partial_prediction_evaluators,
+)
 
 __all__ = ["FullLengthClassifier", "FixedTruncationClassifier"]
 
@@ -58,6 +61,15 @@ class FullLengthClassifier(BaseEarlyClassifier):
         """A single checkpoint: the full exemplar length."""
         self._require_fitted()
         return [self.train_length_]
+
+    def _batch_partial_evaluators(self, data: np.ndarray):
+        """Batched evaluation of the single full-length checkpoint."""
+        return partial_prediction_evaluators(
+            self._model,
+            data,
+            self.checkpoints(),
+            lambda result, length: length >= self.train_length_,
+        )
 
 
 class FixedTruncationClassifier(BaseEarlyClassifier):
@@ -144,3 +156,13 @@ class FixedTruncationClassifier(BaseEarlyClassifier):
         self._require_fitted()
         assert self.trigger_length_ is not None
         return [self.trigger_length_, self.train_length_]
+
+    def _batch_partial_evaluators(self, data: np.ndarray):
+        """Batched evaluation of the trigger-length and full-length checkpoints."""
+        assert self.trigger_length_ is not None
+        return partial_prediction_evaluators(
+            self._model,
+            data,
+            self.checkpoints(),
+            lambda result, length: length >= self.trigger_length_,
+        )

@@ -18,14 +18,18 @@ how little it knows early on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.distance.engine import iter_prefix_distances
 from repro.distance.euclidean import pairwise_euclidean
 
-__all__ = ["PrefixProbabilisticClassifier", "PrefixProbabilities"]
+__all__ = [
+    "PrefixProbabilisticClassifier",
+    "PrefixProbabilities",
+    "partial_prediction_evaluators",
+]
 
 
 @dataclass(frozen=True)
@@ -41,6 +45,65 @@ class PrefixProbabilities:
     def confidence(self) -> float:
         """Probability of the winning class."""
         return float(self.probabilities[self.label])
+
+
+def partial_prediction_evaluators(
+    model: "PrefixProbabilisticClassifier",
+    rows: np.ndarray,
+    lengths: Sequence[int],
+    ready_at: Callable[["PrefixProbabilities", int], bool],
+):
+    """Batched checkpoint evaluators for classifiers built on this primitive.
+
+    The probability-threshold model and the full-length/fixed-truncation
+    baselines all evaluate the same prefix-probability primitive at their
+    checkpoints and differ only in when a prediction counts as *ready*.
+    This helper batches the probability computation with
+    :meth:`PrefixProbabilisticClassifier.predict_proba_batch` -- one length
+    at a time, lazily, so checkpoints past every row's trigger point are
+    never computed -- and wraps each checkpoint in the
+    :class:`repro.classifiers.base.BatchCheckpoint` shape that
+    :meth:`repro.classifiers.base.BaseEarlyClassifier._batch_partial_evaluators`
+    expects, applying ``ready_at(result, length)`` per row.
+
+    Returns an empty list when no requested length fits the rows, which
+    makes ``predict_early_batch`` raise the same "shorter than the first
+    checkpoint" error as the per-row walk.
+    """
+    from repro.classifiers.base import BatchCheckpoint, PartialPrediction
+
+    usable = [int(v) for v in lengths if int(v) <= rows.shape[1]]
+    if not usable:
+        return []
+
+    def make(length: int) -> BatchCheckpoint:
+        cache: list = []
+
+        def compute() -> list:
+            if not cache:
+                cache.extend(model.predict_proba_batch(rows, [length])[length])
+            return cache
+
+        def partial(i: int) -> PartialPrediction:
+            result = compute()[i]
+            return PartialPrediction(
+                label=result.label,
+                ready=ready_at(result, length),
+                confidence=result.confidence,
+                prefix_length=length,
+                probabilities=result.probabilities,
+            )
+
+        def ready() -> np.ndarray:
+            return np.fromiter(
+                (ready_at(result, length) for result in compute()),
+                dtype=bool,
+                count=rows.shape[0],
+            )
+
+        return BatchCheckpoint(length=length, partial=partial, ready=ready)
+
+    return [make(length) for length in usable]
 
 
 class PrefixProbabilisticClassifier:
@@ -199,6 +262,74 @@ class PrefixProbabilisticClassifier:
             margin=float(margin),
             prefix_length=length,
         )
+
+    def predict_proba_batch(
+        self, rows: np.ndarray, lengths: Sequence[int]
+    ) -> dict[int, list[PrefixProbabilities]]:
+        """Batched inference counterpart of :meth:`predict_proba_prefix`.
+
+        One vectorised :func:`repro.distance.euclidean.pairwise_euclidean`
+        matrix per requested length answers every query at once, and the
+        per-class evidence is reduced with the *same* sort-then-mean the
+        per-row path uses, so a batched evaluation reproduces the per-row
+        probabilities to floating-point round-off.  This is the kernel under
+        the early classifiers' ``predict_early_batch`` fast paths (TEASER,
+        the probability-threshold model and the full-length/fixed-truncation
+        baselines).
+
+        Distinct from :meth:`predict_proba_prefixes`, which serves *training*
+        sweeps over dense length grids from one incremental engine pass and
+        supports leave-one-out; here the lengths are the handful of inference
+        checkpoints and fidelity to :meth:`predict_proba_prefix` is what
+        matters.
+
+        Parameters
+        ----------
+        rows:
+            2-D array ``(n_rows, length)`` of query series (prefixes are
+            taken per requested length).
+        lengths:
+            Prefix lengths to evaluate, each within ``[min_length,
+            train_length_]``.
+
+        Returns
+        -------
+        dict
+            Mapping ``length -> [PrefixProbabilities for each row]``.
+        """
+        if self._train is None or self._labels is None:
+            raise RuntimeError("classifier must be fitted before use")
+        data = np.asarray(rows, dtype=float)
+        if data.ndim != 2:
+            raise ValueError("rows must be a 2-D array (n_rows, length)")
+        lengths = [int(v) for v in lengths]
+        if lengths and min(lengths) < self.min_length:
+            raise ValueError(f"prefixes must have at least {self.min_length} samples")
+        if lengths and max(lengths) > self.train_length_:
+            raise ValueError("prefix is longer than the training exemplars")
+        if data.shape[1] < max(lengths, default=0):
+            raise ValueError("rows are shorter than the longest requested prefix")
+
+        class_masks = [self._labels == cls for cls in self._classes]
+        results: dict[int, list[PrefixProbabilities]] = {}
+        for length in lengths:
+            distances = pairwise_euclidean(data[:, :length], self._train[:, :length])
+            evidence_per_class = []
+            for mask in class_masks:
+                cls_distances = np.sort(distances[:, mask], axis=1)
+                k = min(self.n_neighbors, cls_distances.shape[1])
+                evidence_per_class.append(cls_distances[:, :k].mean(axis=1))
+            results[length] = [
+                self._result_from_evidence(
+                    {
+                        cls: float(evidence_per_class[ci][row])
+                        for ci, cls in enumerate(self._classes)
+                    },
+                    length,
+                )
+                for row in range(data.shape[0])
+            ]
+        return results
 
     def predict_proba_prefixes(
         self,

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.classifiers.base import (
     BaseEarlyClassifier,
+    BatchCheckpoint,
     PartialPrediction,
     default_checkpoints,
 )
@@ -289,6 +290,37 @@ class TEASERClassifier(BaseEarlyClassifier):
             return streak >= required
 
         return should_trigger
+
+    def _batch_partial_evaluators(self, data: np.ndarray):
+        """Batched snapshot evaluation: slave probabilities for the whole batch.
+
+        Each snapshot's class probabilities come from one vectorised
+        :meth:`PrefixProbabilisticClassifier.predict_proba_batch` matrix --
+        computed lazily, on the first row that reaches the snapshot, so
+        snapshots past every row's trigger streak are never evaluated -- and
+        are gated through that snapshot's master exactly as the per-row walk
+        does; the consecutive-agreement rule stays per-row in
+        :meth:`~repro.classifiers.base.BaseEarlyClassifier.predict_early_batch`'s
+        walk via :meth:`_trigger_rule`.
+        """
+        lengths = [c for c in self._checkpoints if c <= data.shape[1]]
+        if not lengths:
+            return []
+
+        def make(length: int) -> BatchCheckpoint:
+            cache: list = []
+
+            def partial(i: int) -> PartialPrediction:
+                if not cache:
+                    cache.extend(self._slave.predict_proba_batch(data, [length])[length])
+                return self._gated_partial(cache[i], length)
+
+            # No vectorised ``ready``: TEASER's stopping rule is the
+            # consecutive-agreement streak (an overridden _trigger_rule), so
+            # the base walk replays it per row from these partials anyway.
+            return BatchCheckpoint(length=length, partial=partial)
+
+        return [make(length) for length in lengths]
 
     def _partial_at(self, prefix: np.ndarray, exclude: int | None) -> PartialPrediction:
         """Slave + master evaluation of one prefix, optionally leave-one-out."""

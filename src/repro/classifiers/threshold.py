@@ -13,7 +13,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.classifiers.base import BaseEarlyClassifier, PartialPrediction
-from repro.classifiers.prefix_probability import PrefixProbabilisticClassifier
+from repro.classifiers.prefix_probability import (
+    PrefixProbabilisticClassifier,
+    partial_prediction_evaluators,
+)
 
 __all__ = ["ProbabilityThresholdClassifier"]
 
@@ -92,3 +95,12 @@ class ProbabilityThresholdClassifier(BaseEarlyClassifier):
         if points[-1] != self.train_length_:
             points.append(self.train_length_)
         return points
+
+    def _batch_partial_evaluators(self, data: np.ndarray):
+        """Batched checkpoint evaluation: one distance matrix per checkpoint."""
+        return partial_prediction_evaluators(
+            self._model,
+            data,
+            self.checkpoints(),
+            lambda result, length: result.confidence >= self.threshold,
+        )

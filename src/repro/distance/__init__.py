@@ -24,6 +24,7 @@ Everything the ETSC algorithms and the meaningfulness analyses rest on:
 from repro.distance.engine import (
     PrefixDistanceEngine,
     PrefixDTWEngine,
+    batch_prefix_distances,
     iter_prefix_distances,
     pairwise_prefix_distances,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "DistanceProfileIndex",
     "PrefixDistanceEngine",
     "PrefixDTWEngine",
+    "batch_prefix_distances",
     "iter_prefix_distances",
     "pairwise_prefix_distances",
     "KNeighborsTimeSeriesClassifier",

@@ -13,9 +13,9 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.distance.engine import iter_prefix_distances
+from repro.distance.engine import batch_prefix_distances, iter_prefix_distances
 from repro.distance.euclidean import pairwise_euclidean
-from repro.distance.znorm import znormalize
+from repro.distance.znorm import EPSILON, znormalize
 
 __all__ = ["NearestNeighborResult", "KNeighborsTimeSeriesClassifier"]
 
@@ -61,7 +61,34 @@ class KNeighborsTimeSeriesClassifier:
         If ``True``, every training and query series is z-normalised before
         distances are computed.  Set to ``False`` to reproduce the "peeking"
         behaviour of models that assume their inputs arrive pre-normalised.
+
+    Notes
+    -----
+    **Tie-breaking convention.**  All prediction paths (:meth:`query`,
+    :meth:`predict`, :meth:`predict_prefixes`) resolve exact distance ties by
+    preferring the *lowest training index*, via a stable sort of the distance
+    vector.  This matters on UCR-style integer-valued data, where exact ties
+    are common; a path-dependent tie-break would let the batched and
+    per-query entry points silently disagree on such datasets.
+
+    **Zero-distance convention.**  An exact-match neighbour (*computed*
+    distance below :data:`repro.distance.znorm.EPSILON`) deterministically
+    receives the whole soft vote -- split uniformly if several neighbours
+    match exactly -- rather than a large-but-finite inverse-distance weight.
+    The convention is judged on the distance the metric path reports: the
+    Euclidean fast path's dot-product expansion has a noise floor of about
+    ``1e-8 * ||x||^2``, so on raw data far from zero a true duplicate can
+    come back slightly above the floor, in which case it is (still
+    deterministically) treated as a merely very close neighbour.  On
+    z-normalised data -- the convention of every experiment in this repo --
+    duplicates land below the floor and take the whole vote.  See
+    :meth:`_soft_vote`.
     """
+
+    #: Byte budget for :meth:`predict_prefixes`' stacked distance array;
+    #: sweeps that would exceed it stream one per-length matrix at a time
+    #: through the incremental engine instead (same labels, bounded memory).
+    max_prefix_sweep_bytes: int = 64 * 2**20
 
     def __init__(
         self,
@@ -137,16 +164,33 @@ class KNeighborsTimeSeriesClassifier:
             return out
         raise ValueError(f"unknown metric {self.metric!r}")
 
+    def _k_nearest_stable(self, distances: np.ndarray) -> np.ndarray:
+        """Indices of the ``k`` smallest entries per row, lowest index on ties.
+
+        ``distances`` has shape ``(n_queries, n_train)``.  For ``k == 1`` the
+        stable order reduces to :func:`numpy.argmin` (which is documented to
+        return the *first* occurrence of the minimum), avoiding a full sort on
+        the 1-NN hot path; both therefore implement the same lowest-index
+        tie-break.
+        """
+        if self.n_neighbors == 1:
+            return np.argmin(distances, axis=1)[:, None]
+        return np.argsort(distances, axis=1, kind="stable")[:, : self.n_neighbors]
+
     def query(self, series: np.ndarray) -> NearestNeighborResult:
         """Full nearest-neighbour query for a single series."""
-        train, labels = self._require_fitted()
         q = np.asarray(series, dtype=float)
         if q.ndim != 1:
             raise ValueError("query expects a single 1-D series")
         if self.znormalize_inputs:
             q = znormalize(q)
+        return self._query_prepared(q)
+
+    def _query_prepared(self, q: np.ndarray) -> NearestNeighborResult:
+        """:meth:`query` on a series that has already been normalised (if any)."""
+        _, labels = self._require_fitted()
         distances = self._distances_to_train(q[None, :])[0]
-        order = np.argsort(distances, kind="stable")[: self.n_neighbors]
+        order = self._k_nearest_stable(distances[None, :])[0]
         neighbor_labels = labels[order]
         neighbor_distances = distances[order]
 
@@ -160,41 +204,82 @@ class KNeighborsTimeSeriesClassifier:
         )
 
     def _soft_vote(self, neighbor_labels: np.ndarray, distances: np.ndarray) -> dict:
-        """Inverse-distance-weighted vote, normalised to a probability dict."""
-        weights = 1.0 / (distances + 1e-9)
+        """Inverse-distance-weighted vote, normalised to a probability dict.
+
+        Zero-distance convention: neighbours at computed distance below
+        :data:`repro.distance.znorm.EPSILON` are exact matches and
+        deterministically receive all of the probability mass (split
+        uniformly among them).  Every other neighbour is weighted by the
+        plain inverse distance ``1 / d`` -- no smoothing epsilon, so the
+        vote cannot be swayed by how a magic constant compares to ``d``.
+        (See the class docstring for the one caveat: a metric path with a
+        numerical noise floor above ``EPSILON`` reports a true duplicate as
+        a very close -- not exact -- neighbour.)
+        """
+        distances = np.asarray(distances, dtype=float)
+        exact = distances < EPSILON
+        if np.any(exact):
+            weights = exact.astype(float)
+        else:
+            weights = 1.0 / distances
         scores = {cls: 0.0 for cls in self._classes}
         for lbl, w in zip(neighbor_labels, weights):
             key = lbl.item() if hasattr(lbl, "item") else lbl
             scores[key] = scores.get(key, 0.0) + float(w)
         total = sum(scores.values())
         if total <= 0:
+            # Every neighbour at infinite distance (a gated custom metric can
+            # report that): no evidence either way, return a uniform vote.
             uniform = 1.0 / max(len(scores), 1)
             return {cls: uniform for cls in scores}
         return {cls: score / total for cls, score in scores.items()}
 
+    def _vote_from_distances(self, distances: np.ndarray) -> np.ndarray:
+        """Labels for a precomputed ``(n_queries, n_train)`` distance matrix.
+
+        One stable k-smallest selection on the whole matrix; only the
+        (cheap) per-row soft vote remains in Python, and only for ``k > 1``.
+        """
+        _, labels = self._require_fitted()
+        neighbours = self._k_nearest_stable(distances)
+        if self.n_neighbors == 1:
+            return labels[neighbours[:, 0]]
+        predicted = []
+        for i in range(distances.shape[0]):
+            votes = self._soft_vote(labels[neighbours[i]], distances[i, neighbours[i]])
+            predicted.append(max(votes.items(), key=lambda item: item[1])[0])
+        return np.asarray(predicted)
+
     def predict(self, series: np.ndarray) -> np.ndarray:
-        """Predict labels for a 2-D array of query series."""
+        """Predict labels for a 2-D array of query series.
+
+        With the Euclidean metric the whole test set is answered from one
+        pairwise distance matrix for any ``n_neighbors`` -- the matrix is
+        computed once and both the k-smallest selection and the vote consume
+        it directly (no per-query recomputation, no re-normalisation of
+        already-normalised queries).
+        """
         queries = np.asarray(series, dtype=float)
         if queries.ndim == 1:
             queries = queries[None, :]
         if self.znormalize_inputs:
             queries = znormalize(queries)
         if self.metric == "euclidean":
-            train, labels = self._require_fitted()
-            distances = self._distances_to_train(queries)
-            if self.n_neighbors == 1:
-                nearest = np.argmin(distances, axis=1)
-                return labels[nearest]
-        return np.asarray([self.query(q).label for q in queries])
+            return self._vote_from_distances(self._distances_to_train(queries))
+        return np.asarray([self._query_prepared(q).label for q in queries])
 
     def predict_prefixes(self, series: np.ndarray, lengths: Sequence[int]) -> np.ndarray:
         """Predict labels for raw prefixes of every query at several lengths.
 
         The Fig. 3 / Fig. 9 style sweeps ask the same question at dozens of
         prefix lengths; with the Euclidean metric all of them are answered
-        from one incremental pass of
-        :func:`repro.distance.engine.iter_prefix_distances`, costing a single
-        full-length distance computation overall.
+        from one cumulative-sum pass of
+        :func:`repro.distance.engine.batch_prefix_distances`, costing a
+        single full-length distance computation overall.  Sweeps whose
+        stacked ``(n_lengths, n_queries, n_train)`` distance array would
+        exceed :attr:`max_prefix_sweep_bytes` stream one per-length matrix
+        at a time through the incremental engine instead, keeping peak
+        memory at a single matrix.
 
         Prefixes are compared *as stored*: if ``znormalize_inputs`` is set,
         the whole query is z-normalised first (matching :meth:`predict`) and
@@ -232,17 +317,32 @@ class KNeighborsTimeSeriesClassifier:
 
         out = np.empty((len(lengths), queries.shape[0]), dtype=object)
         if self.metric == "euclidean":
-            sweep = iter_prefix_distances(
-                queries[:, : max(lengths)], train, lengths, squared=self.n_neighbors == 1
+            sorted_lengths = sorted(set(lengths))
+            squared = self.n_neighbors == 1
+            stacked_bytes = (
+                len(sorted_lengths) * queries.shape[0] * train.shape[0] * 8
             )
-            for k, (_, distances) in enumerate(sweep):
-                if self.n_neighbors == 1:
-                    out[k] = labels[np.argmin(distances, axis=1)]
-                else:
-                    order = np.argsort(distances, axis=1, kind="stable")[:, : self.n_neighbors]
-                    for i in range(queries.shape[0]):
-                        votes = self._soft_vote(labels[order[i]], distances[i, order[i]])
-                        out[k, i] = max(votes.items(), key=lambda item: item[1])[0]
+            if stacked_bytes <= self.max_prefix_sweep_bytes:
+                batched = batch_prefix_distances(
+                    queries[:, : max(lengths)], train, sorted_lengths, squared=squared
+                )
+                votes = {
+                    length: self._vote_from_distances(batched[k])
+                    for k, length in enumerate(sorted_lengths)
+                }
+            else:
+                # Dense sweeps at scale would stack a (n_lengths, n_queries,
+                # n_train) array; above the budget, stream one matrix at a
+                # time through the incremental engine instead (only the
+                # per-length label vectors are kept).
+                votes = {
+                    length: self._vote_from_distances(distances)
+                    for length, distances in iter_prefix_distances(
+                        queries[:, : max(lengths)], train, sorted_lengths, squared=squared
+                    )
+                }
+            for k, length in enumerate(lengths):
+                out[k] = votes[length]
             return out
         # Generic metric: no incremental structure to exploit, recompute.
         for k, length in enumerate(lengths):

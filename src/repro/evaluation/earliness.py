@@ -69,18 +69,34 @@ class EarlinessAccuracyResult:
 
 
 def evaluate_early_classifier(
-    classifier, series: np.ndarray, labels: Sequence
+    classifier, series: np.ndarray, labels: Sequence, batch: bool = True
 ) -> EarlinessAccuracyResult:
     """Run an early classifier over a test set and collect the joint metrics.
+
+    The whole test set is handed to the classifier's vectorised
+    ``predict_early_batch`` entry point when it has one (every
+    :class:`~repro.classifiers.base.BaseEarlyClassifier` does); the per-row
+    ``predict_early`` loop is kept as the reference implementation, selected
+    with ``batch=False``, and the equivalence suite asserts the two agree on
+    every metric.
+
+    An empty test set is well-defined: every metric is reported as ``0.0``
+    with ``n_exemplars == 0`` (rather than propagating NaN means), and the
+    batched and per-row paths agree on that convention.
 
     Parameters
     ----------
     classifier:
-        A fitted :class:`~repro.classifiers.base.BaseEarlyClassifier`.
+        A fitted :class:`~repro.classifiers.base.BaseEarlyClassifier` (any
+        object with ``predict_early`` works; ``predict_early_batch`` is used
+        when present).
     series:
         2-D array of test exemplars.
     labels:
         Ground-truth labels, one per exemplar.
+    batch:
+        Use the vectorised batch path when available (default).  ``False``
+        forces the per-row reference loop.
     """
     data = np.asarray(series, dtype=float)
     if data.ndim != 2:
@@ -88,17 +104,24 @@ def evaluate_early_classifier(
     truth = np.asarray(labels)
     if truth.shape[0] != data.shape[0]:
         raise ValueError("labels must have one entry per exemplar")
+    if data.shape[0] == 0:
+        return EarlinessAccuracyResult(
+            accuracy=0.0,
+            earliness=0.0,
+            harmonic_mean=0.0,
+            trigger_rate=0.0,
+            mean_trigger_length=0.0,
+            n_exemplars=0,
+        )
 
-    predictions = []
-    earliness_values = []
-    trigger_lengths = []
-    triggered_flags = []
-    for row in data:
-        outcome = classifier.predict_early(row)
-        predictions.append(outcome.label)
-        earliness_values.append(outcome.earliness)
-        trigger_lengths.append(outcome.trigger_length)
-        triggered_flags.append(outcome.triggered)
+    if batch and hasattr(classifier, "predict_early_batch"):
+        outcomes = classifier.predict_early_batch(data)
+    else:
+        outcomes = [classifier.predict_early(row) for row in data]
+    predictions = [outcome.label for outcome in outcomes]
+    earliness_values = [outcome.earliness for outcome in outcomes]
+    trigger_lengths = [outcome.trigger_length for outcome in outcomes]
+    triggered_flags = [outcome.triggered for outcome in outcomes]
 
     accuracy = float(np.mean(np.asarray(predictions) == truth))
     earliness = float(np.mean(earliness_values))

@@ -14,17 +14,21 @@ __all__ = ["fit_and_score", "prefix_accuracy_curve"]
 
 
 def fit_and_score(
-    classifier, train: UCRDataset, test: UCRDataset
+    classifier, train: UCRDataset, test: UCRDataset, batch: bool = True
 ) -> EarlinessAccuracyResult:
     """Fit an early classifier on one dataset and evaluate it on another.
 
     The datasets are used exactly as given -- no re-normalisation happens
     here, so passing a denormalised test set reproduces the Table 1 setting.
+    Evaluation runs through the classifier's vectorised
+    ``predict_early_batch`` path; ``batch=False`` selects the per-row
+    reference loop instead (see
+    :func:`repro.evaluation.earliness.evaluate_early_classifier`).
     """
     if train.series_length != test.series_length:
         raise ValueError("train and test must have the same series length")
     classifier.fit(train.series, train.labels)
-    return evaluate_early_classifier(classifier, test.series, test.labels)
+    return evaluate_early_classifier(classifier, test.series, test.labels, batch=batch)
 
 
 def prefix_accuracy_curve(
@@ -58,13 +62,14 @@ def prefix_accuracy_curve(
     -----
     With ``renormalize=False`` the truncated series at length ``t + 1`` are
     the length-``t`` ones plus one sample, so the whole sweep is served by a
-    single incremental pass of
+    single batched pass of
     :meth:`repro.distance.neighbors.KNeighborsTimeSeriesClassifier.predict_prefixes`
-    (built on :class:`repro.distance.engine.PrefixDistanceEngine`).  With
+    (built on :func:`repro.distance.engine.batch_prefix_distances`).  With
     ``renormalize=True`` every value of every prefix changes at each length
     (the per-prefix mean and standard deviation move), so there is no
-    incremental structure to exploit and each length is evaluated with one
-    vectorised distance matrix.
+    shared-prefix structure to exploit and each length is evaluated with one
+    vectorised distance matrix (``model.score`` answers the whole test set
+    from it for any ``n_neighbors``).
     """
     if train.series_length != test.series_length:
         raise ValueError("train and test must have the same series length")

@@ -18,6 +18,7 @@ from repro.distance.dtw import dtw_distance
 from repro.distance.engine import (
     PrefixDistanceEngine,
     PrefixDTWEngine,
+    batch_prefix_distances,
     iter_prefix_distances,
     pairwise_prefix_distances,
 )
@@ -171,6 +172,77 @@ class TestIterAndBatchedHelpers:
         plain = pairwise_prefix_distances(queries, train, [12])
         squared = pairwise_prefix_distances(queries, train, [12], squared=True)
         np.testing.assert_allclose(plain**2, squared, atol=TOLERANCE)
+
+
+class TestBatchPrefixDistances:
+    """The one-shot cumulative-sum kernel under the batched prediction paths."""
+
+    def test_matches_naive_recomputation(self, walks):
+        queries, train = walks
+        lengths = [1, 2, 7, 33, 60]
+        batched = batch_prefix_distances(queries, train, lengths)
+        np.testing.assert_allclose(
+            batched, _naive_prefix_distances(queries, train, lengths), atol=TOLERANCE
+        )
+
+    def test_matches_naive_on_znormalized_data(self, walks):
+        queries, train = walks
+        queries, train = znormalize(queries), znormalize(train)
+        lengths = [2, 15, 60]
+        batched = batch_prefix_distances(queries, train, lengths)
+        np.testing.assert_allclose(
+            batched, _naive_prefix_distances(queries, train, lengths), atol=TOLERANCE
+        )
+
+    def test_matches_incremental_engine_exactly(self, walks):
+        """Same term sequence as the per-sample sweep: bit-identical sums."""
+        queries, train = walks
+        lengths = list(range(1, 61))
+        batched = batch_prefix_distances(queries, train, lengths, squared=True)
+        sweep = PrefixDistanceEngine(train).open(queries)
+        for k, length in enumerate(lengths):
+            assert np.array_equal(sweep.advance_to(length), batched[k])
+
+    def test_chunking_is_invisible(self, walks):
+        queries, train = walks
+        lengths = [5, 40]
+        whole = batch_prefix_distances(queries, train, lengths)
+        # A budget this small forces one-query chunks.
+        chunked = batch_prefix_distances(
+            queries, train, lengths, max_block_bytes=train.shape[0] * 60 * 8
+        )
+        assert np.array_equal(whole, chunked)
+
+    def test_squared_flag(self, walks):
+        queries, train = walks
+        plain = batch_prefix_distances(queries, train, [12])
+        squared = batch_prefix_distances(queries, train, [12], squared=True)
+        np.testing.assert_allclose(plain**2, squared, atol=TOLERANCE)
+
+    def test_single_query_promotion(self, walks):
+        queries, train = walks
+        batched = batch_prefix_distances(queries[0], train, [10])
+        assert batched.shape == (1, 1, train.shape[0])
+        np.testing.assert_allclose(
+            batched[0, 0],
+            [euclidean_distance(queries[0][:10], t[:10]) for t in train],
+            atol=TOLERANCE,
+        )
+
+    def test_validation(self, walks):
+        queries, train = walks
+        with pytest.raises(ValueError):
+            batch_prefix_distances(queries, train, [])
+        with pytest.raises(ValueError):
+            batch_prefix_distances(queries, train, [9, 3])
+        with pytest.raises(ValueError):
+            batch_prefix_distances(queries, train, [0])
+        with pytest.raises(ValueError):
+            batch_prefix_distances(queries, train, [61])
+        with pytest.raises(ValueError):
+            batch_prefix_distances(queries, train, [5], max_block_bytes=0)
+        with pytest.raises(ValueError):
+            batch_prefix_distances(np.empty((2, 0)), train, [1])
 
 
 class TestPrefixDTWEngine:

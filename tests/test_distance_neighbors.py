@@ -89,6 +89,142 @@ class TestPrediction:
             model.score(series, labels[:-2])
 
 
+class TestTieBreaking:
+    """Exact distance ties must resolve to the lowest training index on every path."""
+
+    @pytest.fixture
+    def duplicated_training(self):
+        # Integer-valued, UCR-style data with exact duplicates carrying
+        # different labels: index 0 and 2 are identical, as are 1 and 3.
+        series = np.asarray(
+            [
+                [0.0, 1.0, 2.0, 3.0],
+                [3.0, 2.0, 1.0, 0.0],
+                [0.0, 1.0, 2.0, 3.0],
+                [3.0, 2.0, 1.0, 0.0],
+                [1.0, 1.0, 1.0, 2.0],
+            ]
+        )
+        labels = np.asarray(["a", "b", "c", "d", "a"])
+        return series, labels
+
+    def test_query_and_predict_agree_on_ties(self, duplicated_training):
+        series, labels = duplicated_training
+        model = KNeighborsTimeSeriesClassifier().fit(series, labels)
+        queries = series[:4]
+        predicted = model.predict(queries)
+        per_query = np.asarray([model.query(q).label for q in queries])
+        assert np.array_equal(predicted, per_query)
+        # Lowest-index convention: the duplicates at indices 2/3 must map to
+        # the labels of their lower-index twins 0/1.
+        assert predicted.tolist() == ["a", "b", "a", "b"]
+
+    def test_query_reports_lowest_index_neighbour(self, duplicated_training):
+        series, labels = duplicated_training
+        model = KNeighborsTimeSeriesClassifier().fit(series, labels)
+        assert model.query(series[2]).neighbor_indices[0] == 0
+        assert model.query(series[3]).neighbor_indices[0] == 1
+
+    def test_predict_prefixes_agrees_on_ties(self, duplicated_training):
+        series, labels = duplicated_training
+        model = KNeighborsTimeSeriesClassifier().fit(series, labels)
+        predicted = model.predict_prefixes(series[:4], [2, 4])
+        for row in predicted:
+            assert row.tolist() == ["a", "b", "a", "b"]
+
+    def test_k3_stable_neighbour_order_on_ties(self, duplicated_training):
+        series, labels = duplicated_training
+        model = KNeighborsTimeSeriesClassifier(n_neighbors=3).fit(series, labels)
+        # Ties between the two exact matches (0 and 2) keep index order.
+        assert model.query(series[0]).neighbor_indices[:2] == (0, 2)
+
+
+class TestVectorisedVote:
+    """predict answers k > 1 from the one distance matrix, matching query."""
+
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    @pytest.mark.parametrize("znorm", [False, True])
+    def test_predict_matches_per_query_path(self, tiny_two_class, k, znorm):
+        series, labels = tiny_two_class
+        model = KNeighborsTimeSeriesClassifier(n_neighbors=k, znormalize_inputs=znorm).fit(
+            series[::2], labels[::2]
+        )
+        queries = series[1::2]
+        predicted = model.predict(queries)
+        per_query = np.asarray([model.query(q).label for q in queries])
+        assert np.array_equal(predicted, per_query)
+
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_prefix_sweep_streaming_fallback_matches_stacked(self, tiny_two_class, k):
+        series, labels = tiny_two_class
+        model = KNeighborsTimeSeriesClassifier(n_neighbors=k).fit(series[::2], labels[::2])
+        queries = series[1::2]
+        lengths = list(range(1, series.shape[1] + 1))
+        stacked = model.predict_prefixes(queries, lengths)
+        # A one-matrix budget forces the incremental streaming path.
+        model.max_prefix_sweep_bytes = queries.shape[0] * series[::2].shape[0] * 8
+        streamed = model.predict_prefixes(queries, lengths)
+        assert np.array_equal(stacked, streamed)
+
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    @pytest.mark.parametrize("znorm", [False, True])
+    def test_full_length_prefix_matches_predict(self, tiny_two_class, k, znorm):
+        series, labels = tiny_two_class
+        model = KNeighborsTimeSeriesClassifier(n_neighbors=k, znormalize_inputs=znorm).fit(
+            series[::2], labels[::2]
+        )
+        queries = series[1::2]
+        by_prefix = model.predict_prefixes(queries, [series.shape[1]])[0]
+        assert np.array_equal(by_prefix, model.predict(queries))
+
+
+class TestZeroDistanceVote:
+    """An exact-match neighbour deterministically dominates the soft vote."""
+
+    def test_exact_match_takes_all_probability_mass(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = KNeighborsTimeSeriesClassifier(n_neighbors=5).fit(series, labels)
+        result = model.query(series[0])
+        assert result.neighbor_distances[0] == 0.0
+        assert result.probabilities[labels[0]] == 1.0
+        assert result.label == labels[0]
+
+    def test_tied_exact_matches_split_mass_uniformly(self):
+        series = np.asarray(
+            [[0.0, 1.0, 0.0], [0.0, 1.0, 0.0], [5.0, 5.0, 5.0], [9.0, 9.0, 9.0]]
+        )
+        labels = np.asarray(["a", "b", "a", "b"])
+        model = KNeighborsTimeSeriesClassifier(n_neighbors=4).fit(series, labels)
+        result = model.query(series[0])
+        # Both zero-distance neighbours share the mass; the non-matching
+        # neighbours contribute nothing, regardless of any epsilon.
+        assert result.probabilities["a"] == pytest.approx(0.5)
+        assert result.probabilities["b"] == pytest.approx(0.5)
+
+    def test_all_infinite_distances_fall_back_to_uniform_vote(self):
+        series = np.asarray([[0.0, 1.0], [1.0, 0.0]])
+        labels = np.asarray(["a", "b"])
+        model = KNeighborsTimeSeriesClassifier(
+            n_neighbors=2, metric=lambda a, b: float("inf")
+        ).fit(series, labels)
+        result = model.query(series[0])
+        assert result.probabilities["a"] == pytest.approx(0.5)
+        assert result.probabilities["b"] == pytest.approx(0.5)
+
+    def test_near_zero_distances_do_not_depend_on_magic_epsilon(self):
+        # A neighbour at distance ~1e-8 used to be weighted 1/(d + 1e-9),
+        # letting the smoothing constant rival the signal.  With the
+        # convention tied to znorm.EPSILON the closer neighbour wins the
+        # vote outright.
+        base = np.asarray([0.0, 1.0, 0.0, 1.0])
+        series = np.vstack([base + 1e-8, base + 1.0, base])
+        labels = np.asarray(["close", "far", "query"])
+        model = KNeighborsTimeSeriesClassifier(n_neighbors=2).fit(series[:2], labels[:2])
+        result = model.query(base)
+        assert result.label == "close"
+        assert result.probabilities["close"] > 0.99
+
+
 class TestGunPointAccuracy:
     def test_realistic_accuracy_band(self, gunpoint_medium):
         train, test = gunpoint_medium

@@ -1,5 +1,6 @@
 """Unit tests for repro.evaluation (accuracy, earliness, significance, runner)."""
 
+import numpy as np
 import pytest
 
 from repro.classifiers.threshold import ProbabilityThresholdClassifier
@@ -80,6 +81,62 @@ class TestEvaluateEarlyClassifier:
             evaluate_early_classifier(model, series, labels[:-1])
         with pytest.raises(ValueError):
             evaluate_early_classifier(model, series[0], labels[:1])
+
+    def test_batch_flag_gives_identical_metrics(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = ProbabilityThresholdClassifier(min_length=4).fit(series[::2], labels[::2])
+        fast = evaluate_early_classifier(model, series[1::2], labels[1::2], batch=True)
+        slow = evaluate_early_classifier(model, series[1::2], labels[1::2], batch=False)
+        assert fast == slow
+
+
+class TestEvaluateEarlyClassifierEdgeCases:
+    """Empty, singleton and trigger-free test sets; batched == per-row on all."""
+
+    def _fitted(self, tiny_two_class, threshold=0.8):
+        series, labels = tiny_two_class
+        return ProbabilityThresholdClassifier(threshold=threshold, min_length=4).fit(
+            series, labels
+        )
+
+    @staticmethod
+    def _both(model, series, labels):
+        return (
+            evaluate_early_classifier(model, series, labels, batch=True),
+            evaluate_early_classifier(model, series, labels, batch=False),
+        )
+
+    def test_empty_test_set(self, tiny_two_class):
+        series, _ = tiny_two_class
+        model = self._fitted(tiny_two_class)
+        empty = np.empty((0, series.shape[1]))
+        fast, slow = self._both(model, empty, np.empty(0))
+        assert fast == slow
+        assert fast.n_exemplars == 0
+        assert fast.accuracy == 0.0
+        assert fast.earliness == 0.0
+        assert fast.harmonic_mean == 0.0
+        assert fast.trigger_rate == 0.0
+        assert fast.mean_trigger_length == 0.0
+
+    def test_single_exemplar(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = self._fitted(tiny_two_class)
+        fast, slow = self._both(model, series[:1], labels[:1])
+        assert fast == slow
+        assert fast.n_exemplars == 1
+        assert fast.accuracy in (0.0, 1.0)
+
+    def test_classifier_that_never_triggers(self, tiny_two_class):
+        series, labels = tiny_two_class
+        # A softmax over two classes never reaches probability 1.0 exactly,
+        # so threshold=1.0 yields trigger_rate 0 on every exemplar.
+        model = self._fitted(tiny_two_class, threshold=1.0)
+        fast, slow = self._both(model, series, labels)
+        assert fast == slow
+        assert fast.trigger_rate == 0.0
+        assert fast.earliness == 1.0
+        assert fast.mean_trigger_length == series.shape[1]
 
 
 class TestSignificance:
