@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench batch-check docs-check quickstart experiments results check-artifacts all
+.PHONY: test bench batch-check fit-check docs-check quickstart experiments results check-artifacts all
 
 ## tier-1 gate: unit/property/integration tests + benchmark harness
 test:
@@ -20,6 +20,12 @@ bench:
 ## >= 5x full-test-set speedup benchmark (run by CI on every push)
 batch-check:
 	$(PYTHON) -m pytest tests/test_batch_predict.py benchmarks/test_bench_batch_predict.py -q
+
+## training-engine drift gate: fit-kernel equivalence suite (exact ECTS
+## MPLs/supports, exact EDSC shapelet selection, bit-identical DTW wavefront)
+## plus the >= 5x fit speedup benchmarks (run by CI on every push)
+fit-check:
+	$(PYTHON) -m pytest tests/test_training_kernels.py benchmarks/test_bench_fit.py -q
 
 ## fail if README/ARCHITECTURE reference modules or files that don't exist
 docs-check:

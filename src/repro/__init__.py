@@ -32,6 +32,7 @@ from repro.distance.engine import (
     PrefixDistanceEngine,
     PrefixDTWEngine,
     batch_prefix_distances,
+    dtw_pairwise_distances,
     pairwise_prefix_distances,
 )
 
@@ -44,5 +45,6 @@ __all__ = [
     "PrefixDistanceEngine",
     "PrefixDTWEngine",
     "batch_prefix_distances",
+    "dtw_pairwise_distances",
     "pairwise_prefix_distances",
 ]

@@ -34,9 +34,23 @@ from typing import Sequence
 import numpy as np
 
 from repro.classifiers.base import BaseEarlyClassifier, BatchCheckpoint, PartialPrediction
-from repro.distance.engine import PrefixDistanceEngine, PrefixSweep, iter_prefix_distances
+from repro.distance.engine import (
+    _BLOCK,
+    PrefixDistanceEngine,
+    PrefixSweep,
+    iter_prefix_distances,
+)
 
 __all__ = ["ECTSClassifier", "RelaxedECTSClassifier"]
+
+#: Byte budget for the dense ``(full, n, n)`` squared-difference stack of
+#: the vectorised fit kernel.  The choice is all-or-nothing: a stack within
+#: the budget is answered in one cache-resident cumulative-sum pass (a
+#: handful of big array operations instead of per-length Python dispatch);
+#: anything larger runs the per-length incremental sweep, whose ``(n, n)``
+#: working set stays cache-resident where the dense stack would be pure
+#: main-memory traffic.
+_FIT_BLOCK_BYTES = 2**20
 
 
 class ECTSClassifier(BaseEarlyClassifier):
@@ -92,9 +106,9 @@ class ECTSClassifier(BaseEarlyClassifier):
         self._store_training_shape(data, label_arr)
 
         lengths = self._mpl_lengths(data.shape[1])
-        nn_indices, rnn_sets = self._neighbour_structures(data, lengths)
-        self.mpl_ = self._compute_mpls(label_arr, lengths, nn_indices, rnn_sets)
-        self.support_ = self._compute_support(label_arr, rnn_sets[lengths[-1]])
+        nearest = self._nearest_index_matrix(data, lengths)
+        self.mpl_ = self._compute_mpls(label_arr, lengths, nearest)
+        self.support_ = self._compute_support(label_arr, nearest[-1])
         self._eligible = self.support_ >= self.min_support
         return self
 
@@ -110,6 +124,167 @@ class ECTSClassifier(BaseEarlyClassifier):
         masked = distances.copy()
         np.fill_diagonal(masked, np.inf)
         return np.argmin(masked, axis=1)
+
+    def _nearest_index_matrix(self, data: np.ndarray, lengths: list[int]) -> np.ndarray:
+        """``(n_lengths, n)`` index of every exemplar's 1-NN at every prefix length.
+
+        Small ``checkpoint_step=1`` problems (the per-tenant / per-stream
+        refit regime the training engine is built for) are answered by one
+        dense time-major cumulative-sum pass: the ``(full, n, n)``
+        squared-difference tensor, cumulative-summed over time, with the
+        diagonal masked and one contiguous argmin over the checkpoint
+        planes.  The per-sample cumulative sum reproduces the incremental
+        engine's term sequence bit for bit only when the engine also
+        advances one sample at a time -- ``checkpoint_step == 1`` past a
+        first checkpoint inside one engine block (a multi-sample engine
+        advance groups its block sum before adding the running base, which
+        can differ in the last ulp) -- so exactly that case takes the dense
+        pass.  Everything else (larger steps, long ``min_length``, or a
+        stack past ``_FIT_BLOCK_BYTES`` where the big passes would turn into
+        main-memory traffic) runs a copy-free
+        :class:`~repro.distance.engine.PrefixSweep` over the fitted engine,
+        masking and restoring the diagonal in place (each exemplar's
+        self-distance is exactly zero at every prefix) -- trivially the
+        reference's own distances.  Both paths take the argmin on squared
+        distances (ordering is the same) and resolve ties to the lowest
+        training index, exactly like the reference
+        :meth:`_neighbour_structures`.
+        """
+        assert self._engine is not None
+        n = data.shape[0]
+        full = lengths[-1]
+        out = np.empty((len(lengths), n), dtype=np.intp)
+        diagonal = np.arange(n)
+        if (
+            self.checkpoint_step == 1
+            and lengths[0] <= _BLOCK
+            and full * n * n * 8 <= _FIT_BLOCK_BYTES
+        ):
+            # Time-major dense pass: every operation streams over contiguous
+            # (n, n) planes, and the training axis argmin reduces over the
+            # contiguous last axis.
+            data_t = np.ascontiguousarray(data.T[:full])
+            stack = data_t[:, :, None] - data_t[:, None, :]
+            np.square(stack, out=stack)
+            np.cumsum(stack, axis=0, out=stack)
+            stack[:, diagonal, diagonal] = np.inf
+            # checkpoint_step == 1 makes the length grid contiguous, so the
+            # checkpoint planes are a view, not a gather.
+            np.argmin(stack[lengths[0] - 1 :], axis=2, out=out)
+        else:
+            sweep = self._engine.open(data)
+            for k, length in enumerate(lengths):
+                distances = sweep.advance_to(length)
+                distances[diagonal, diagonal] = np.inf
+                out[k] = np.argmin(distances, axis=1)
+                # Restore the masked diagonal to its exact running value --
+                # zero, a sum of (x_t - x_t)^2 terms -- so the sweep state
+                # needs no per-length copy.
+                distances[diagonal, diagonal] = 0.0
+        return out
+
+    def _compute_mpls(
+        self, labels: np.ndarray, lengths: list[int], nearest: np.ndarray
+    ) -> np.ndarray:
+        """Minimum prediction length of every training exemplar (vectorised).
+
+        Everything the MPL rule needs is derivable from the
+        ``(n_lengths, n)`` nearest-index matrix, because exemplar ``i`` is in
+        the RNN set of ``j`` at length ``l`` exactly when
+        ``nearest[l, i] == j`` -- the RNN sets are the columns of a boolean
+        membership matrix that never has to be materialised:
+
+        * *strict RNN stability* -- ``RNN_l(j) != RNN_full(j)`` iff some
+          member ``i`` moved (``nearest[l, i] != nearest[full, i]``) into or
+          out of ``j``, so scattering both endpoints of every moved member
+          marks every unstable ``j``;
+        * *relaxed RNN stability* (``RNN_l(j)`` a subset of ``RNN_full(j)``)
+          scatters only the length-``l`` endpoint;
+        * *label purity* scatters ``nearest[l, i]`` for every member ``i``
+          whose label disagrees with its neighbour's;
+        * *1-NN label stability* is a direct comparison of label codes.
+
+        The per-exemplar reverse walk of the reference implementation
+        ("longest suffix of lengths over which the evidence is stable") then
+        becomes one reverse cumulative boolean AND along the length axis.
+        Equivalence to :meth:`_compute_mpls_reference` is pinned exactly by
+        the training-kernel test suite.
+        """
+        n = labels.shape[0]
+        n_lengths = len(lengths)
+        codes = np.unique(labels, return_inverse=True)[1]
+        full_nn = nearest[-1]
+
+        # ok[k, j]: exemplar j's evidence at lengths[k] already matches its
+        # full-length evidence (the per-length condition of the reference
+        # walk).  Start from 1-NN label stability.
+        ok = codes[nearest] == codes[full_nn][None, :]
+
+        # RNN stability: scatter the endpoints of every member whose nearest
+        # neighbour at lengths[k] differs from its full-length one.
+        rows, members = np.nonzero(nearest != full_nn[None, :])
+        unstable = np.zeros((n_lengths, n), dtype=bool)
+        unstable[rows, nearest[rows, members]] = True
+        if self.require_rnn_stability:
+            unstable[rows, full_nn[members]] = True
+        ok &= ~unstable
+
+        # Label purity: an RNN set containing a differently-labelled member
+        # disqualifies its owner (an empty RNN set is vacuously pure).
+        rows, members = np.nonzero(codes[nearest] != codes[None, :])
+        impure = np.zeros((n_lengths, n), dtype=bool)
+        impure[rows, nearest[rows, members]] = True
+        ok &= ~impure
+
+        # The reference walks lengths from the longest down and stops at the
+        # first failure; vectorised, the MPL is the first length of the
+        # all-stable suffix -- a reverse cumulative AND.
+        stable_suffix = np.logical_and.accumulate(ok[::-1], axis=0)[::-1]
+        first_stable = np.argmax(stable_suffix, axis=0)
+        length_arr = np.asarray(lengths, dtype=int)
+        return np.where(
+            stable_suffix.any(axis=0), length_arr[first_stable], length_arr[-1]
+        )
+
+    @staticmethod
+    def _compute_support(labels: np.ndarray, full_nn: np.ndarray) -> np.ndarray:
+        """Support of each exemplar: fraction of its class in its full-length RNN set.
+
+        One :func:`numpy.unique` pass yields the per-class sizes (the
+        reference recounted ``np.sum(labels == labels[i])`` inside its loop);
+        the same-class RNN member counts are one ``bincount`` over the
+        full-length nearest-index vector restricted to label-agreeing pairs.
+        """
+        _, codes, class_sizes = np.unique(
+            labels, return_inverse=True, return_counts=True
+        )
+        agreeing = codes == codes[full_nn]
+        same_class_rnn = np.bincount(full_nn[agreeing], minlength=labels.shape[0])
+        same_class = class_sizes[codes] - 1
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(same_class > 0, same_class_rnn / same_class, 0.0)
+
+    # ------------------------------------------------- reference fit kernels
+    #
+    # The frozenset-and-loop implementation the vectorised kernels replaced.
+    # It is kept verbatim as the semantic reference: the training-kernel
+    # equivalence tests assert exact MPL/support agreement against it, and
+    # ``benchmarks/test_bench_fit.py`` times the vectorised fit against it.
+
+    def _fit_reference(self, series: np.ndarray, labels: Sequence) -> "ECTSClassifier":
+        """The pre-vectorisation fit path (per-exemplar Python loops)."""
+        data, label_arr = self._validate_training_data(series, labels)
+        self._train = data
+        self._labels = label_arr
+        self._engine = PrefixDistanceEngine(data)
+        self._store_training_shape(data, label_arr)
+
+        lengths = self._mpl_lengths(data.shape[1])
+        nn_indices, rnn_sets = self._neighbour_structures(data, lengths)
+        self.mpl_ = self._compute_mpls_reference(label_arr, lengths, nn_indices, rnn_sets)
+        self.support_ = self._compute_support_reference(label_arr, rnn_sets[lengths[-1]])
+        self._eligible = self.support_ >= self.min_support
+        return self
 
     def _neighbour_structures(
         self, data: np.ndarray, lengths: list[int]
@@ -135,14 +310,14 @@ class ECTSClassifier(BaseEarlyClassifier):
             rnn_sets[length] = [frozenset(s) for s in reverse]
         return nn_indices, rnn_sets
 
-    def _compute_mpls(
+    def _compute_mpls_reference(
         self,
         labels: np.ndarray,
         lengths: list[int],
         nn_indices: dict[int, np.ndarray],
         rnn_sets: dict[int, list[frozenset[int]]],
     ) -> np.ndarray:
-        """Minimum prediction length of every training exemplar."""
+        """Minimum prediction length of every training exemplar (reference loop)."""
         n = labels.shape[0]
         full = lengths[-1]
         mpl = np.full(n, full, dtype=int)
@@ -171,8 +346,10 @@ class ECTSClassifier(BaseEarlyClassifier):
         return mpl
 
     @staticmethod
-    def _compute_support(labels: np.ndarray, full_rnn: list[frozenset[int]]) -> np.ndarray:
-        """Support of each exemplar: fraction of its class in its full-length RNN set."""
+    def _compute_support_reference(
+        labels: np.ndarray, full_rnn: list[frozenset[int]]
+    ) -> np.ndarray:
+        """Support of each exemplar, recomputed per exemplar (reference loop)."""
         support = np.zeros(labels.shape[0])
         for i, rnn in enumerate(full_rnn):
             same_class = np.sum(labels == labels[i]) - 1
@@ -194,9 +371,11 @@ class ECTSClassifier(BaseEarlyClassifier):
         differ at ~1e-7 relative on near-duplicate exemplars).
         """
         arr = self._validate_prefix(prefix)
-        assert self._train is not None
+        assert self._engine is not None
         length = arr.shape[0]
-        sq = PrefixDistanceEngine(self._train).start(arr).advance_to(length)
+        # One independent sweep over the *fitted* engine: no per-call engine
+        # construction (and no per-call transpose of the training matrix).
+        sq = self._engine.open(arr).advance_to(length)
         return self._partial_from_distances(np.sqrt(sq[0]), length)
 
     def _stream_context(self, series: np.ndarray) -> PrefixSweep:
@@ -263,12 +442,13 @@ class ECTSClassifier(BaseEarlyClassifier):
         )
 
     def checkpoints(self) -> list[int]:
-        """Prefix lengths evaluated at prediction time (every ``checkpoint_step`` samples)."""
+        """Prefix lengths evaluated at prediction time (every ``checkpoint_step`` samples).
+
+        Identical to the grid MPLs are computed on (:meth:`_mpl_lengths`), so
+        training and prediction can never disagree about the checkpoint set.
+        """
         self._require_fitted()
-        points = list(range(self.min_length, self.train_length_ + 1, self.checkpoint_step))
-        if points[-1] != self.train_length_:
-            points.append(self.train_length_)
-        return points
+        return self._mpl_lengths(self.train_length_)
 
     # ------------------------------------------------------------ batched path
     def _batch_partial_evaluators(self, data: np.ndarray) -> list[BatchCheckpoint]:

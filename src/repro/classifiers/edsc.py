@@ -47,6 +47,10 @@ from repro.classifiers.base import BaseEarlyClassifier, PartialPrediction
 
 __all__ = ["EDSCClassifier", "Shapelet"]
 
+#: Byte budget for the ``(rows, grid, samples)`` broadcast of the batched KDE
+#: threshold learner; candidate rows are chunked to respect it.
+_KDE_BLOCK_BYTES = 64 * 2**20
+
 
 @dataclass(frozen=True)
 class Shapelet:
@@ -202,6 +206,15 @@ class EDSCClassifier(BaseEarlyClassifier):
     # ------------------------------------------------------------ training
     def fit(self, series: np.ndarray, labels: Sequence) -> "EDSCClassifier":
         """Mine discriminative shapelets and select per-shapelet distance thresholds."""
+        return self._fit_impl(series, labels, self._evaluate_candidates_of_length)
+
+    def _fit_reference(self, series: np.ndarray, labels: Sequence) -> "EDSCClassifier":
+        """Fit through the per-candidate reference loop (equivalence tests, benchmarks)."""
+        return self._fit_impl(
+            series, labels, self._evaluate_candidates_of_length_reference
+        )
+
+    def _fit_impl(self, series: np.ndarray, labels: Sequence, evaluate) -> "EDSCClassifier":
         data, label_arr = self._validate_training_data(series, labels)
         self._store_training_shape(data, label_arr)
         rng = np.random.default_rng(self.random_state)
@@ -216,9 +229,7 @@ class EDSCClassifier(BaseEarlyClassifier):
 
         candidates: list[Shapelet] = []
         for window in shapelet_lengths:
-            candidates.extend(
-                self._evaluate_candidates_of_length(data, label_arr, window, rng)
-            )
+            candidates.extend(evaluate(data, label_arr, window, rng))
         if not candidates:
             raise RuntimeError(
                 "no shapelet reached the target precision; the training data may "
@@ -240,7 +251,255 @@ class EDSCClassifier(BaseEarlyClassifier):
         window: int,
         rng: np.random.Generator,
     ) -> list[Shapelet]:
-        """Extract, threshold and score all candidates of one length."""
+        """Extract, threshold and score all candidates of one length -- batched.
+
+        The vectorised counterpart of
+        :meth:`_evaluate_candidates_of_length_reference`: candidates come out
+        of one :func:`numpy.lib.stride_tricks.sliding_window_view`, and
+        threshold learning / scoring run across the whole
+        ``(n_candidates, n_series)`` best-match distance matrix at once
+        instead of one Python iteration per candidate.  The random
+        subsampling consumes the generator identically to the reference
+        (same per-class draws in the same order), so a fixed seed selects
+        identical candidates, and the training-kernel equivalence tests pin
+        the resulting shapelets against the reference loop.
+        """
+        length = data.shape[1]
+        matrix, cand_labels, src_index, src_position = self._extract_candidates(
+            data, labels, window, rng
+        )
+        distances, match_ends = _best_match_distances(matrix, data)
+        thresholds = self._learn_thresholds_batch(
+            distances, cand_labels, src_index, labels
+        )
+        return self._score_candidates_batch(
+            matrix,
+            cand_labels,
+            thresholds,
+            distances,
+            match_ends,
+            labels,
+            length,
+            src_index,
+            src_position,
+        )
+
+    def _extract_candidates(
+        self,
+        data: np.ndarray,
+        labels: np.ndarray,
+        window: int,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """All subsampled candidates of one window length, in exemplar-major order.
+
+        Returns ``(matrix, labels, source_index, source_position)`` with the
+        candidate ordering of the reference loop (outer loop over exemplars,
+        inner over start positions) so the per-class subsample draws the same
+        indices from the same generator state.
+        """
+        n_series, length = data.shape
+        positions = self._candidate_positions(length, window)
+        windows = np.lib.stride_tricks.sliding_window_view(data, window, axis=1)
+        matrix = windows[:, positions, :].reshape(
+            n_series * positions.shape[0], window
+        )
+        src_index = np.repeat(np.arange(n_series), positions.shape[0])
+        src_position = np.tile(positions, n_series)
+        cand_labels = labels[src_index]
+
+        # Subsample per class to keep the quadratic matching step bounded.
+        keep: list[int] = []
+        for cls in np.unique(labels):
+            cls_idx = np.flatnonzero(cand_labels == cls)
+            if cls_idx.shape[0] > self.max_candidates_per_class:
+                cls_idx = rng.choice(cls_idx, size=self.max_candidates_per_class, replace=False)
+            keep.extend(cls_idx.tolist())
+        keep_arr = np.asarray(sorted(keep))
+        return (
+            matrix[keep_arr],
+            cand_labels[keep_arr],
+            src_index[keep_arr],
+            src_position[keep_arr],
+        )
+
+    def _learn_thresholds_batch(
+        self,
+        distances: np.ndarray,
+        candidate_labels: np.ndarray,
+        source_index: np.ndarray,
+        labels: np.ndarray,
+    ) -> np.ndarray:
+        """Matching thresholds of every candidate in one pass per class.
+
+        Candidates of one class share their target/non-target split, so the
+        per-candidate Chebyshev statistics (or KDE precision curves) reduce
+        along the candidate axis of the class's distance-matrix slice.
+        Rejected candidates (too few non-targets, non-positive threshold, KDE
+        precision never acceptable) carry ``NaN``.
+        """
+        thresholds = np.full(distances.shape[0], np.nan)
+        for cls in np.unique(candidate_labels):
+            rows = np.flatnonzero(candidate_labels == cls)
+            target_mask = labels == cls
+            non_target = distances[np.ix_(rows, np.flatnonzero(~target_mask))]
+            if non_target.shape[1] < 2:
+                continue
+            if self.threshold_method == "che":
+                values = np.mean(non_target, axis=1) - self.chebyshev_k * np.std(
+                    non_target, axis=1
+                )
+            else:
+                values = self._kde_thresholds_batch(
+                    distances[rows], target_mask, source_index[rows], non_target
+                )
+            thresholds[rows] = values
+        # A non-positive threshold can never fire; reject exactly like the
+        # per-candidate reference does.
+        thresholds[~(thresholds > 0)] = np.nan
+        return thresholds
+
+    def _kde_thresholds_batch(
+        self,
+        distances: np.ndarray,
+        target_mask: np.ndarray,
+        source_index: np.ndarray,
+        non_target: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised :meth:`_kde_threshold` for all candidates of one class.
+
+        Per candidate the reference pools target distances (minus the source
+        exemplar's own) with non-target distances, places a Gaussian KDE on
+        each side and reads the largest grid value whose estimated precision
+        stays acceptable.  Here the per-candidate grids, bandwidths and CDF
+        stacks are built as one ``(n_candidates, grid, samples)`` broadcast;
+        the grid replicates :func:`numpy.linspace`'s arithmetic
+        (``arange * step`` with a pinned endpoint) so thresholds are
+        bit-identical to the reference.
+        """
+        n_rows = distances.shape[0]
+        target_cols = np.flatnonzero(target_mask)
+        n_target = target_cols.shape[0] - 1
+        if n_target < 1:
+            return np.full(n_rows, np.nan)
+        # Drop each candidate's source exemplar from its own target sample.
+        target_full = distances[:, target_cols]
+        keep = np.ones(target_full.shape, dtype=bool)
+        keep[np.arange(n_rows), np.searchsorted(target_cols, source_index)] = False
+        target = target_full[keep].reshape(n_rows, n_target)
+
+        pooled = np.concatenate([target, non_target], axis=1)
+        spread = np.std(pooled, axis=1)
+        # Silverman's rule of thumb for the bandwidth.
+        bandwidth = np.maximum(
+            1.06 * spread * pooled.shape[1] ** (-1 / 5), 1e-6
+        )
+        top = np.max(pooled, axis=1)
+        grid = np.arange(200.0)[None, :] * (top / 199.0)[:, None]
+        grid[:, -1] = top
+
+        def cumulative(samples: np.ndarray) -> np.ndarray:
+            """P(X <= g) on each row's grid under that row's Gaussian KDE.
+
+            The ``(rows, grid, samples)`` broadcast is built in row chunks so
+            its float64 working set stays under ``_KDE_BLOCK_BYTES``.
+            """
+            out = np.empty((n_rows, grid.shape[1]))
+            per_row = grid.shape[1] * samples.shape[1] * 8
+            chunk = max(1, int(_KDE_BLOCK_BYTES // per_row))
+            for start in range(0, n_rows, chunk):
+                stop = min(start + chunk, n_rows)
+                z = (
+                    grid[start:stop, :, None] - samples[start:stop, None, :]
+                ) / bandwidth[start:stop, None, None]
+                out[start:stop] = np.mean(_standard_normal_cdf(z), axis=2)
+            return out
+
+        target_cdf = cumulative(target) * target.shape[1]
+        non_target_cdf = cumulative(non_target) * non_target.shape[1]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            precision = np.where(
+                target_cdf + non_target_cdf > 0,
+                target_cdf / (target_cdf + non_target_cdf),
+                1.0,
+            )
+        acceptable = precision >= self.target_precision
+        has_acceptable = acceptable.any(axis=1)
+        last = grid.shape[1] - 1 - np.argmax(acceptable[:, ::-1], axis=1)
+        values = grid[np.arange(n_rows), last]
+        return np.where(has_acceptable & (spread > 0), values, np.nan)
+
+    def _score_candidates_batch(
+        self,
+        matrix: np.ndarray,
+        candidate_labels: np.ndarray,
+        thresholds: np.ndarray,
+        distances: np.ndarray,
+        match_ends: np.ndarray,
+        labels: np.ndarray,
+        series_length: int,
+        source_index: np.ndarray,
+        source_position: np.ndarray,
+    ) -> list[Shapelet]:
+        """Precision / earliness-weighted recall / utility across all candidates.
+
+        The match matrices, per-candidate counts and precisions reduce across
+        the whole ``(n_candidates, n_series)`` distance matrix at once; only
+        the earliness-weighted recall of the (much rarer) *surviving*
+        candidates is summed per row, over the compacted matched entries,
+        because a padded whole-row sum groups NumPy's pairwise summation
+        differently and drifts from :meth:`_score_candidate` by one ulp --
+        enough to break exact utility ties and reorder the greedy selection.
+        """
+        matched = distances <= thresholds[:, None]
+        target = labels[None, :] == candidate_labels[:, None]
+        matched_target = matched & target
+        n_matched = matched.sum(axis=1)
+        n_matched_target = matched_target.sum(axis=1)
+        precision = n_matched_target / np.maximum(n_matched, 1)
+        n_target = target.sum(axis=1)
+
+        rows = np.flatnonzero(
+            (n_matched > 0) & (precision >= self.target_precision)
+        )
+        # Earliness-weighted recall: matches that complete earlier in the
+        # exemplar are worth more (this is what makes a shapelet "early").
+        weights = 1.0 - (match_ends - 1) / series_length
+        shapelets: list[Shapelet] = []
+        for row in rows:
+            recall = float(np.sum(weights[row][matched_target[row]])) / max(
+                int(n_target[row]), 1
+            )
+            utility = precision[row] * recall
+            if n_matched[row] - n_matched_target[row] > 0 and precision[row] < 1.0:
+                utility *= precision[row]
+            shapelets.append(
+                Shapelet(
+                    values=np.array(matrix[row], copy=True),
+                    label=candidate_labels[row],
+                    threshold=float(thresholds[row]),
+                    utility=float(utility),
+                    precision=float(precision[row]),
+                    source_index=int(source_index[row]),
+                    source_position=int(source_position[row]),
+                )
+            )
+        return shapelets
+
+    def _evaluate_candidates_of_length_reference(
+        self,
+        data: np.ndarray,
+        labels: np.ndarray,
+        window: int,
+        rng: np.random.Generator,
+    ) -> list[Shapelet]:
+        """Extract, threshold and score all candidates of one length (reference loop).
+
+        The per-candidate Python loop the batched pipeline replaced, kept
+        verbatim (together with :meth:`_learn_threshold` and
+        :meth:`_score_candidate`) as the semantic reference the equivalence
+        tests and the fit benchmark run against.
+        """
         n_series, length = data.shape
         positions = self._candidate_positions(length, window)
 

@@ -25,6 +25,7 @@ from repro.distance.engine import (
     PrefixDistanceEngine,
     PrefixDTWEngine,
     batch_prefix_distances,
+    dtw_pairwise_distances,
     iter_prefix_distances,
     pairwise_prefix_distances,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "PrefixDistanceEngine",
     "PrefixDTWEngine",
     "batch_prefix_distances",
+    "dtw_pairwise_distances",
     "iter_prefix_distances",
     "pairwise_prefix_distances",
     "KNeighborsTimeSeriesClassifier",

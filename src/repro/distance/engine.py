@@ -46,7 +46,10 @@ Four entry points:
 For DTW, :class:`PrefixDTWEngine` keeps one dynamic-programming row per
 training series so extending the query prefix by one sample costs
 ``O(n_train * m)`` (``m`` the training length) instead of re-running the
-``O(t * m)`` recurrence from scratch.
+``O(t * m)`` recurrence from scratch, and
+:func:`dtw_pairwise_distances` is the batch entry point: every
+(query, train) pair of a test set rides one shared anti-diagonal wavefront
+DP, so DTW sits on the same engine surface as the Euclidean kernels.
 """
 
 from __future__ import annotations
@@ -55,11 +58,14 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.distance.dtw import _resolve_band, _wavefront_accumulated_cost
+
 __all__ = [
     "PrefixDistanceEngine",
     "PrefixSweep",
     "PrefixDTWEngine",
     "batch_prefix_distances",
+    "dtw_pairwise_distances",
     "iter_prefix_distances",
     "pairwise_prefix_distances",
 ]
@@ -449,6 +455,74 @@ def batch_prefix_distances(
         out[:, start:stop, :] = np.moveaxis(block[:, :, columns], 2, 0)
     if not squared:
         np.sqrt(out, out=out)
+    return out
+
+
+def dtw_pairwise_distances(
+    queries: np.ndarray,
+    train: np.ndarray,
+    window: int | float | None = None,
+    max_block_bytes: int = _BATCH_BYTES,
+) -> np.ndarray:
+    """Banded DTW distance of every query to every training series in one pass.
+
+    The scalar :func:`repro.distance.dtw.dtw_distance` evaluates one
+    ``O(n * m)`` dynamic program per pair; here every (query, train) pair of
+    the batch shares one anti-diagonal wavefront
+    (:func:`repro.distance.dtw._wavefront_accumulated_cost` over a
+    ``(n_pairs, n, m)`` cost tensor), so the Python-level loop is the
+    ``n + m - 1`` diagonals rather than ``n_pairs * n * band`` cells.  Per
+    pair the recurrence is exactly the scalar one, so the distances are
+    bit-identical to calling :func:`~repro.distance.dtw.dtw_distance` with
+    the same ``window`` on each pair.
+
+    Parameters
+    ----------
+    queries, train:
+        2-D arrays ``(n_queries, n)`` and ``(n_train, m)``; unlike the
+        Euclidean prefix kernels, ``n`` and ``m`` may differ freely (DTW
+        aligns unequal lengths).  A single 1-D query is promoted to a batch
+        of one.
+    window:
+        Sakoe-Chiba band constraint with the semantics of
+        :func:`~repro.distance.dtw.dtw_distance`: ``None`` unconstrained, an
+        ``int`` an absolute width, a float in [0, 1] a fraction of the longer
+        length.  All pairs share one shape, hence one resolved band.
+    max_block_bytes:
+        Upper bound on the per-chunk cost tensors; queries are chunked so
+        arbitrarily large batches run in bounded memory.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_queries, n_train)`` DTW distances (square roots of accumulated
+        squared costs).
+    """
+    train = _as_train_matrix(train)
+    arr = np.asarray(queries, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2:
+        raise ValueError("queries must be a 1-D series or a 2-D batch")
+    if arr.shape[1] < 1:
+        raise ValueError("queries must contain at least one sample")
+    if max_block_bytes < 1:
+        raise ValueError("max_block_bytes must be positive")
+    n, m = arr.shape[1], train.shape[1]
+    band = _resolve_band(n, m, window)
+    n_queries, n_train = arr.shape[0], train.shape[0]
+
+    out = np.empty((n_queries, n_train))
+    # Working set per query: the (n_train, n, m) squared-cost tensor plus the
+    # (n_train, n + 1, m + 1) accumulated-cost tensor.
+    per_query = n_train * (n * m + (n + 1) * (m + 1)) * 8
+    chunk = max(1, int(max_block_bytes // per_query))
+    for start in range(0, n_queries, chunk):
+        stop = min(start + chunk, n_queries)
+        diff = arr[start:stop, None, :, None] - train[None, :, None, :]
+        np.square(diff, out=diff)
+        cost = _wavefront_accumulated_cost(diff, band)
+        out[start:stop] = np.sqrt(cost[..., n, m])
     return out
 
 

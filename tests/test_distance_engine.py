@@ -19,6 +19,7 @@ from repro.distance.engine import (
     PrefixDistanceEngine,
     PrefixDTWEngine,
     batch_prefix_distances,
+    dtw_pairwise_distances,
     iter_prefix_distances,
     pairwise_prefix_distances,
 )
@@ -317,3 +318,58 @@ class TestRewiredCallers:
             model = KNeighborsTimeSeriesClassifier().fit(tr.series, tr.labels)
             naive[length] = model.score(te.series, te.labels)
         assert fast == pytest.approx(naive)
+
+
+class TestDTWPairwiseDistances:
+    def test_matches_scalar_dtw_per_pair(self):
+        rng = np.random.default_rng(14)
+        queries = rng.standard_normal((6, 35))
+        train = rng.standard_normal((5, 28))
+        for window in (None, 5, 0.2):
+            batched = dtw_pairwise_distances(queries, train, window=window)
+            assert batched.shape == (6, 5)
+            for i in range(6):
+                for j in range(5):
+                    naive = dtw_distance(queries[i], train[j], window=window)
+                    assert batched[i, j] == pytest.approx(naive, abs=TOLERANCE)
+
+    def test_single_query_promoted_to_batch(self):
+        rng = np.random.default_rng(15)
+        query = rng.standard_normal(20)
+        train = rng.standard_normal((4, 20))
+        batched = dtw_pairwise_distances(query, train, window=3)
+        assert batched.shape == (1, 4)
+        for j in range(4):
+            naive = dtw_distance(query, train[j], window=3)
+            assert batched[0, j] == pytest.approx(naive, abs=TOLERANCE)
+
+    def test_chunking_does_not_change_results(self):
+        rng = np.random.default_rng(16)
+        queries = rng.standard_normal((7, 24))
+        train = rng.standard_normal((3, 30))
+        whole = dtw_pairwise_distances(queries, train, window=0.5)
+        chunked = dtw_pairwise_distances(
+            queries, train, window=0.5, max_block_bytes=1
+        )
+        np.testing.assert_array_equal(whole, chunked)
+
+    def test_zero_band_equal_lengths_is_euclidean(self):
+        rng = np.random.default_rng(17)
+        queries = rng.standard_normal((3, 25))
+        train = rng.standard_normal((4, 25))
+        batched = dtw_pairwise_distances(queries, train, window=0)
+        for i in range(3):
+            for j in range(4):
+                naive = euclidean_distance(queries[i], train[j])
+                assert batched[i, j] == pytest.approx(naive, abs=TOLERANCE)
+
+    def test_validation(self):
+        train = np.zeros((2, 5))
+        with pytest.raises(ValueError):
+            dtw_pairwise_distances(np.zeros((2, 2, 2)), train)
+        with pytest.raises(ValueError):
+            dtw_pairwise_distances(np.zeros((2, 0)), train)
+        with pytest.raises(ValueError):
+            dtw_pairwise_distances(np.zeros((2, 5)), train, max_block_bytes=0)
+        with pytest.raises(ValueError):
+            dtw_pairwise_distances(np.zeros((2, 5)), train, window=1.5)
