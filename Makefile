@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench batch-check fit-check docs-check quickstart experiments results check-artifacts all
+.PHONY: test bench batch-check fit-check serve-check docs-check quickstart experiments results check-artifacts all
 
 ## tier-1 gate: unit/property/integration tests + benchmark harness
 test:
@@ -26,6 +26,13 @@ batch-check:
 ## plus the >= 5x fit speedup benchmarks (run by CI on every push)
 fit-check:
 	$(PYTHON) -m pytest tests/test_training_kernels.py benchmarks/test_bench_fit.py -q
+
+## serving-layer drift gate: the multi-tenant engine's batched alarms must
+## stay identical to dedicated per-stream sessions (equivalence + fuzz +
+## shedding suites) and keep its >= 5x fleet throughput over sequential
+## sessions (run by CI on every push)
+serve-check:
+	$(PYTHON) -m pytest tests/test_serving.py benchmarks/test_bench_serving.py -q
 
 ## fail if README/ARCHITECTURE reference modules or files that don't exist
 docs-check:

@@ -25,6 +25,11 @@ The package is organised in layers (see DESIGN.md for the full inventory):
   regenerates the corresponding numbers from scratch.
 * :mod:`repro.runtime` -- the experiment runtime: declarative specs, a
   process-parallel scheduler, a prepare-stage cache and JSON artifacts.
+* :mod:`repro.serving` -- the multi-tenant serving layer: a per-tenant
+  model registry with fingerprinted warm reloads, a batching scheduler
+  coalescing candidate evaluations across streams and tenants, load
+  shedding and backpressure metrics -- with alarms identical to dedicated
+  per-stream streaming sessions.
 """
 
 from repro._version import __version__
@@ -33,6 +38,7 @@ from repro.distance.engine import (
     PrefixDTWEngine,
     batch_prefix_distances,
     dtw_pairwise_distances,
+    ragged_prefix_distances,
     pairwise_prefix_distances,
 )
 
@@ -46,5 +52,6 @@ __all__ = [
     "PrefixDTWEngine",
     "batch_prefix_distances",
     "dtw_pairwise_distances",
+    "ragged_prefix_distances",
     "pairwise_prefix_distances",
 ]

@@ -555,6 +555,73 @@ class BaseEarlyClassifier(ABC):
             results.append(outcome)
         return results
 
+    def predict_partial_batch(
+        self, series: np.ndarray, lengths: Sequence[int] | None = None
+    ) -> list[PartialPrediction]:
+        """Evaluate one externally-held prefix per row, each at its own length.
+
+        This is the checkpoint-evaluation hook for callers that hold the
+        incremental state *outside* the classifier -- the serving layer keeps
+        one growing sample buffer per in-flight stream and asks, in one call,
+        "what would you say right now for each of them?".  Row ``i`` of
+        ``series`` is a buffer of which only the first ``lengths[i]`` samples
+        are meaningful; the returned :class:`PartialPrediction` for that row
+        is exactly ``predict_partial(series[i, :lengths[i]])``.
+
+        The default implementation is that per-row loop.  Subclasses whose
+        per-prefix evaluation vectorises across rows *and* lengths override
+        it (ECTS answers the whole batch from one
+        :func:`repro.distance.engine.ragged_prefix_distances` pass); the
+        equivalence tests pin every override to the per-row reference.
+
+        Parameters
+        ----------
+        series:
+            2-D array ``(n_rows, L)`` with ``L <= train_length_``.  Entries
+            at or past each row's length must be finite but are otherwise
+            ignored (a partially filled buffer padded with zeros is fine).
+        lengths:
+            One prefix length per row, each in ``[1, L]``; ``None`` evaluates
+            every row at the full buffer length ``L``.
+
+        Returns
+        -------
+        list of PartialPrediction
+            One per row of ``series``, in order.
+        """
+        self._require_fitted()
+        data = np.asarray(series, dtype=float)
+        if data.ndim != 2:
+            raise ValueError("series must be a 2-D array (n_rows, length)")
+        if data.shape[0] == 0:
+            return []
+        if data.shape[1] < 1:
+            raise ValueError("rows must contain at least one sample")
+        if data.shape[1] > self.train_length_:
+            raise ValueError(
+                f"rows of length {data.shape[1]} exceed the training length "
+                f"{self.train_length_}"
+            )
+        if not np.all(np.isfinite(data)):
+            raise ValueError("series contains non-finite values")
+        if lengths is None:
+            per_row = np.full(data.shape[0], data.shape[1], dtype=np.intp)
+        else:
+            per_row = np.asarray([int(v) for v in lengths], dtype=np.intp)
+            if per_row.shape[0] != data.shape[0]:
+                raise ValueError("need exactly one prefix length per row")
+            if per_row.min() < 1 or per_row.max() > data.shape[1]:
+                raise ValueError(f"lengths must lie in [1, {data.shape[1]}]")
+        return self._predict_partial_batch(data, per_row)
+
+    def _predict_partial_batch(
+        self, data: np.ndarray, lengths: np.ndarray
+    ) -> list[PartialPrediction]:
+        """Validated core of :meth:`predict_partial_batch`; override to vectorise."""
+        return [
+            self.predict_partial(row[:length]) for row, length in zip(data, lengths)
+        ]
+
     def open_stream(self) -> "ClassifierStream":
         """Open a push-based incremental view of :meth:`predict_early`.
 

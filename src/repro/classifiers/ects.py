@@ -39,6 +39,7 @@ from repro.distance.engine import (
     PrefixDistanceEngine,
     PrefixSweep,
     iter_prefix_distances,
+    ragged_prefix_distances,
 )
 
 __all__ = ["ECTSClassifier", "RelaxedECTSClassifier"]
@@ -449,6 +450,47 @@ class ECTSClassifier(BaseEarlyClassifier):
         """
         self._require_fitted()
         return self._mpl_lengths(self.train_length_)
+
+    def _predict_partial_batch(
+        self, data: np.ndarray, lengths: np.ndarray
+    ) -> list[PartialPrediction]:
+        """Whole-batch checkpoint evaluation from externally held prefixes.
+
+        One :func:`repro.distance.engine.ragged_prefix_distances` pass
+        answers every row at its own prefix length; the per-row 1-NN
+        statistics (first-minimum nearest index -- the stable lowest-index
+        tie-break of the per-row path -- readiness against the matched
+        exemplar's MPL, and the margin confidence) are vectorised across the
+        batch.  The equivalence tests pin labels/readiness exactly and
+        confidence to ``<= 1e-10`` against per-row :meth:`predict_partial`.
+        """
+        assert self._labels is not None and self._train is not None
+        assert self.mpl_ is not None and self._eligible is not None
+        labels = self._labels
+        distances = ragged_prefix_distances(data, self._train, lengths)
+        nearest = np.argmin(distances, axis=1)
+        ready = self._eligible[nearest] & (self.mpl_[nearest] <= lengths)
+
+        best_same = distances[np.arange(distances.shape[0]), nearest]
+        class_masks = [labels == cls for cls in self.classes_]
+        class_minima = np.stack(
+            [distances[:, mask].min(axis=1) for mask in class_masks], axis=1
+        )
+        own_class = np.stack([mask[nearest] for mask in class_masks], axis=1)
+        best_other = np.min(np.where(own_class, np.inf, class_minima), axis=1)
+        # A single-class training set cannot happen (fit validates >= 2
+        # classes), so best_other is always finite and the margin matches
+        # the per-row formula exactly.
+        confidence = best_other / (best_other + best_same + 1e-12)
+        return [
+            self._partial_from_statistics(
+                labels[nearest[i]],
+                bool(ready[i]),
+                float(confidence[i]),
+                int(lengths[i]),
+            )
+            for i in range(data.shape[0])
+        ]
 
     # ------------------------------------------------------------ batched path
     def _batch_partial_evaluators(self, data: np.ndarray) -> list[BatchCheckpoint]:

@@ -26,6 +26,7 @@ from repro.distance.engine import (
     PrefixDTWEngine,
     batch_prefix_distances,
     dtw_pairwise_distances,
+    ragged_prefix_distances,
     iter_prefix_distances,
     pairwise_prefix_distances,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "PrefixDTWEngine",
     "batch_prefix_distances",
     "dtw_pairwise_distances",
+    "ragged_prefix_distances",
     "iter_prefix_distances",
     "pairwise_prefix_distances",
     "KNeighborsTimeSeriesClassifier",

@@ -68,6 +68,7 @@ __all__ = [
     "dtw_pairwise_distances",
     "iter_prefix_distances",
     "pairwise_prefix_distances",
+    "ragged_prefix_distances",
 ]
 
 #: Number of time steps accumulated per vectorised block when advancing the
@@ -453,6 +454,92 @@ def batch_prefix_distances(
         np.cumsum(block, axis=2, out=block)
         # (chunk, n_train, n_lengths) -> (n_lengths, chunk, n_train)
         out[:, start:stop, :] = np.moveaxis(block[:, :, columns], 2, 0)
+    if not squared:
+        np.sqrt(out, out=out)
+    return out
+
+
+def ragged_prefix_distances(
+    queries: np.ndarray,
+    train: np.ndarray,
+    lengths: Sequence[int],
+    squared: bool = False,
+    max_block_bytes: int = _BATCH_BYTES,
+) -> np.ndarray:
+    """Prefix distances of many queries, each at its *own* prefix length.
+
+    The multi-stream coalescing entry point: where
+    :func:`batch_prefix_distances` evaluates every query at the same shared
+    length grid, this kernel answers the serving-layer question "a thousand
+    concurrent streams are each part-way through a candidate window -- what
+    are everyone's 1-NN distances *right now*?" in one fused pass.  Row ``i``
+    of the result is the distance between ``queries[i, :lengths[i]]`` and the
+    corresponding prefix of every training series: one cumulative sum over
+    the time axis and a per-row column gather, instead of one Python-level
+    sweep per distinct length.
+
+    The accumulation is the same ``(q_t - x_t)^2`` term sequence the
+    incremental :class:`PrefixSweep` adds one sample at a time, so the two
+    agree to float round-off (``<= 1e-10`` in the equivalence tests; bit-for-
+    bit when the sweep advances one sample per step).
+
+    Parameters
+    ----------
+    queries:
+        2-D array ``(n_queries, L)``.  Entries at or beyond each row's
+        ``lengths[i]`` are never read into the result (rows may be partially
+        filled buffers, padded arbitrarily -- but must be finite, since the
+        cumulative sum runs over the full time axis before the gather).
+    train:
+        2-D array ``(n_train, L_train)`` with ``L <= L_train``.
+    lengths:
+        One prefix length per query row, each in ``[1, L]`` (not necessarily
+        sorted or distinct).
+    squared:
+        Return squared distances (the neighbour ordering is the same).
+    max_block_bytes:
+        Upper bound on the ``(chunk, n_train, L)`` float64 temporary.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(n_queries, n_train)`` distances; row ``i`` evaluated at
+        ``lengths[i]``.
+    """
+    train = _as_train_matrix(train)
+    arr = np.asarray(queries, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError("queries must be a 2-D (n_queries, length) batch")
+    if arr.shape[1] > train.shape[1]:
+        raise ValueError(
+            f"query length {arr.shape[1]} exceeds training length {train.shape[1]}"
+        )
+    if arr.shape[1] < 1:
+        raise ValueError("queries must contain at least one sample")
+    if max_block_bytes < 1:
+        raise ValueError("max_block_bytes must be positive")
+    per_row = np.asarray([int(v) for v in lengths], dtype=np.intp)
+    if per_row.shape[0] != arr.shape[0]:
+        raise ValueError("need exactly one prefix length per query row")
+    if per_row.size and (per_row.min() < 1 or per_row.max() > arr.shape[1]):
+        raise ValueError(f"lengths must lie in [1, {arr.shape[1]}]")
+
+    n_queries, n_train = arr.shape[0], train.shape[0]
+    out = np.empty((n_queries, n_train))
+    if n_queries == 0:
+        return out
+    full = int(per_row.max())
+    chunk = max(1, int(max_block_bytes // (n_train * full * 8)))
+    train_prefix = train[None, :, :full]
+    rows = np.arange(n_queries)
+    for start in range(0, n_queries, chunk):
+        stop = min(start + chunk, n_queries)
+        block = arr[start:stop, None, :full] - train_prefix
+        np.square(block, out=block)
+        np.cumsum(block, axis=2, out=block)
+        out[start:stop] = block[
+            rows[start:stop] - start, :, per_row[start:stop] - 1
+        ]
     if not squared:
         np.sqrt(out, out=out)
     return out

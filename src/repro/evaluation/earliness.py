@@ -68,8 +68,27 @@ class EarlinessAccuracyResult:
     n_exemplars: int
 
 
+def _require_unique_ids(ids: Sequence, what: str) -> None:
+    """Raise with a clear message when ``ids`` contains duplicates."""
+    seen: set = set()
+    duplicates: list = []
+    for value in ids:
+        if value in seen and value not in duplicates:
+            duplicates.append(value)
+        seen.add(value)
+    if duplicates:
+        raise ValueError(
+            f"duplicate {what} would double-count their streams in the pooled "
+            f"metrics: {duplicates!r}"
+        )
+
+
 def evaluate_early_classifier(
-    classifier, series: np.ndarray, labels: Sequence, batch: bool = True
+    classifier,
+    series: np.ndarray,
+    labels: Sequence,
+    batch: bool = True,
+    ids: Sequence | None = None,
 ) -> EarlinessAccuracyResult:
     """Run an early classifier over a test set and collect the joint metrics.
 
@@ -97,6 +116,13 @@ def evaluate_early_classifier(
     batch:
         Use the vectorised batch path when available (default).  ``False``
         forces the per-row reference loop.
+    ids:
+        Optional per-exemplar (stream) identities, one per row.  When given,
+        they must be unique: a duplicate id means the same stream was handed
+        over twice, which would silently double-count it in every pooled
+        metric -- the serving layer's per-tenant evaluation path passes its
+        stream ids here for exactly that reason.  Duplicates raise
+        ``ValueError`` naming the offending ids.
     """
     data = np.asarray(series, dtype=float)
     if data.ndim != 2:
@@ -104,6 +130,10 @@ def evaluate_early_classifier(
     truth = np.asarray(labels)
     if truth.shape[0] != data.shape[0]:
         raise ValueError("labels must have one entry per exemplar")
+    if ids is not None:
+        if len(ids) != data.shape[0]:
+            raise ValueError("ids must have one entry per exemplar")
+        _require_unique_ids(ids, "exemplar ids")
     if data.shape[0] == 0:
         return EarlinessAccuracyResult(
             accuracy=0.0,

@@ -1,0 +1,42 @@
+"""Multi-tenant early-classification serving layer.
+
+The deployment story on top of the paper's machinery: a
+:class:`~repro.serving.registry.ModelRegistry` holds one fitted early
+classifier per tenant (fingerprinted fit configs, warm reload through the
+experiment runtime's prepare cache), and a
+:class:`~repro.serving.engine.ServingEngine` ingests interleaved sample
+chunks for thousands of streams, coalesces completed candidate windows
+across streams and tenants sharing a model into single batched classifier
+calls (:class:`~repro.serving.scheduler.BatchScheduler`), and routes the
+confirmed alarms back per ``(tenant, stream_id)`` -- with admission
+control, load shedding and backpressure counters
+(:class:`~repro.serving.metrics.ServingMetrics`).
+
+The design contract, pinned by the equivalence suite in
+``tests/test_serving.py``: for every admitted stream the engine's alarms
+are identical to a dedicated per-stream
+:class:`~repro.streaming.online.StreamingSession` fed the same samples.
+"""
+
+from repro.serving.engine import ServedAlarm, ServingEngine
+from repro.serving.metrics import ServingMetrics, TenantMetrics
+from repro.serving.registry import (
+    ModelRegistry,
+    TenantConfig,
+    TenantEntry,
+    fit_fingerprint,
+)
+from repro.serving.scheduler import BatchScheduler, PendingCandidate
+
+__all__ = [
+    "BatchScheduler",
+    "ModelRegistry",
+    "PendingCandidate",
+    "ServedAlarm",
+    "ServingEngine",
+    "ServingMetrics",
+    "TenantConfig",
+    "TenantEntry",
+    "TenantMetrics",
+    "fit_fingerprint",
+]

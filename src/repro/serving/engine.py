@@ -1,0 +1,466 @@
+"""Multi-tenant serving engine: push chunks in, get batched alarms out.
+
+:class:`ServingEngine` is the deployment front-end over the online streaming
+machinery: thousands of live streams across many tenants push sample chunks
+in whatever interleaved order they arrive, and the engine turns them into
+the *same alarms* a dedicated :class:`~repro.streaming.online.StreamingSession`
+per stream would have produced -- the equivalence suite in
+``tests/test_serving.py`` pins this field by field.
+
+Why batching does not change semantics
+--------------------------------------
+A :class:`StreamingSession` advances every open candidate incrementally, but
+nothing it *emits* depends on intermediate state: a candidate's outcome is a
+function of its own (normalised) window alone, and it is only confirmed --
+refractory and saturation rules applied -- once its window completes, in
+candidate-start order.  The engine therefore keeps per-stream state down to
+a raw sample buffer and a :class:`~repro.streaming.online.AlarmGate` (the
+same class the session uses, so the emission rules cannot drift), defers all
+classifier work to window completion, and hands completed windows to the
+:class:`~repro.serving.scheduler.BatchScheduler`, which coalesces windows
+across streams *and tenants sharing a model* into single
+``predict_early_batch`` calls.  Confirmation replays per stream in FIFO
+(= candidate-start) order at :meth:`flush`.
+
+Load shedding
+-------------
+Admission control bounds the pending-candidate queue.  A chunk whose
+windows would overflow the queue is dropped whole -- the shed counter
+increments exactly once per dropped chunk -- and dropping a chunk leaves a
+gap in the stream's sample sequence, after which every window spanning the
+gap would be wrong; the engine therefore *closes* the stream (marking it
+shed and discarding its queued candidates) rather than serve corrupt
+windows, so a shed stream never emits another alarm.  Backpressure is
+observable via :meth:`metrics` (queue depth, shed counts, per-tenant alarm
+latency); producers re-open shed streams under a fresh stream id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.classifiers.base import BaseEarlyClassifier, PartialPrediction
+from repro.distance.znorm import znormalize
+from repro.serving.metrics import ServingMetrics, TenantCounters
+from repro.serving.registry import ModelRegistry, TenantEntry
+from repro.serving.scheduler import BatchScheduler, PendingCandidate
+from repro.streaming.online import (
+    Alarm,
+    AlarmGate,
+    SessionState,
+    causal_znormalize_batch,
+)
+
+__all__ = ["ServedAlarm", "ServingEngine"]
+
+
+@dataclass(frozen=True)
+class ServedAlarm:
+    """An alarm routed back to its origin: tenant, stream, and the alarm."""
+
+    tenant: str
+    stream_id: object
+    alarm: Alarm
+
+
+class _StreamLedger:
+    """Per-stream serving state: raw tail buffer, stride cursor, alarm gate.
+
+    This is the whole per-stream footprint -- at most ``L - 1`` buffered
+    samples (the incomplete tail no extracted window covers yet) plus the
+    gate; no per-stream classifier walkers, which is what lets one engine
+    hold thousands of streams.
+    """
+
+    __slots__ = (
+        "tenant",
+        "stream_id",
+        "classifier",
+        "normalization",
+        "stride",
+        "window_length",
+        "gate",
+        "counters",
+        "buffer",
+        "base",
+        "count",
+        "next_start",
+        "shed",
+        "saturated",
+        "finalized",
+        "evicted",
+    )
+
+    def __init__(
+        self,
+        tenant: str,
+        stream_id: object,
+        entry: TenantEntry,
+        counters: TenantCounters,
+    ) -> None:
+        self.tenant = tenant
+        self.stream_id = stream_id
+        self.classifier: BaseEarlyClassifier = entry.classifier
+        config = entry.config
+        self.normalization = config.normalization
+        self.stride = int(config.stride)
+        self.window_length = entry.classifier.train_length_
+        self.gate = AlarmGate(int(config.refractory), int(config.max_alarms))
+        self.counters = counters
+        self.buffer = np.empty(0)
+        self.base = 0  # stream index of buffer[0]
+        self.count = 0  # samples consumed so far
+        self.next_start = 0  # earliest candidate start not yet extracted
+        self.shed = False
+        self.saturated = False
+        self.finalized = False
+        self.evicted = False
+
+    @property
+    def live(self) -> bool:
+        """Whether queued candidates of this stream should still be served."""
+        return not (self.shed or self.evicted or self.saturated or self.finalized)
+
+    def append(self, chunk: np.ndarray) -> None:
+        """Ingest a chunk, keeping only the tail future windows need."""
+        keep = self.next_start - self.base
+        self.buffer = np.concatenate([self.buffer[keep:], chunk])
+        self.base = self.next_start
+        self.count += chunk.shape[0]
+
+    def extract_windows(self) -> list[tuple[int, np.ndarray]]:
+        """Pop every candidate window completed by the buffered samples."""
+        windows: list[tuple[int, np.ndarray]] = []
+        while self.next_start + self.window_length <= self.count:
+            offset = self.next_start - self.base
+            window = self.buffer[offset : offset + self.window_length].copy()
+            windows.append((self.next_start, window))
+            self.next_start += self.stride
+        return windows
+
+    def release(self) -> None:
+        """Drop the buffer (stream closed or saturated; no window can form)."""
+        self.buffer = np.empty(0)
+        self.base = self.next_start = self.count
+
+
+class ServingEngine:
+    """Shared ingestion, batching and alarm routing over a model registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.serving.registry.ModelRegistry` mapping tenants
+        to fitted models and detection configs.
+    max_pending:
+        Admission bound on the pending-candidate queue; chunks that would
+        overflow it are shed (see the module docstring).
+    batch_size:
+        Exemplars per kernel invocation inside ``predict_early_batch``.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        max_pending: int = 100_000,
+        batch_size: int = 256,
+    ) -> None:
+        self.registry = registry
+        self._scheduler = BatchScheduler(max_pending=max_pending, batch_size=batch_size)
+        self._streams: dict[tuple[str, object], _StreamLedger] = {}
+        self._retired: set[tuple[str, object]] = set()
+        self._counters: dict[str, TenantCounters] = {}
+        self.n_flushes = 0
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def queue_depth(self) -> int:
+        """Candidates currently awaiting batched evaluation."""
+        return self._scheduler.depth
+
+    @property
+    def max_pending(self) -> int:
+        """The admission bound on the pending-candidate queue."""
+        return self._scheduler.max_pending
+
+    def streams(self, tenant: str | None = None) -> list[tuple[str, object]]:
+        """Open ``(tenant, stream_id)`` keys, optionally for one tenant."""
+        return [
+            key
+            for key in self._streams
+            if tenant is None or key[0] == tenant
+        ]
+
+    def stream_state(self, tenant: str, stream_id: object) -> SessionState:
+        """Session-equivalent snapshot of one open stream.
+
+        ``open_candidate_starts`` lists the *incomplete* candidate windows
+        (born but not yet fully buffered) -- the ones a standalone session
+        would be advancing incrementally right now; completed-but-unflushed
+        candidates live in the batching queue, not here.
+        """
+        ledger = self._ledger(tenant, stream_id)
+        if ledger.saturated or ledger.shed:
+            starts: tuple[int, ...] = ()
+        else:
+            starts = tuple(range(ledger.next_start, ledger.count, ledger.stride))
+        return SessionState(
+            n_samples=ledger.count,
+            open_candidate_starts=starts,
+            n_alarms=len(ledger.gate.alarms),
+            saturated=ledger.saturated,
+            finalized=ledger.finalized,
+        )
+
+    def alarms(self, tenant: str, stream_id: object) -> list[Alarm]:
+        """Alarms confirmed so far on one open stream (copy)."""
+        return list(self._ledger(tenant, stream_id).gate.alarms)
+
+    # ------------------------------------------------------------ ingestion
+    def push(self, tenant: str, stream_id: object, values: np.ndarray) -> int:
+        """Ingest one chunk for one stream; returns the samples admitted.
+
+        A first push under an unseen ``(tenant, stream_id)`` opens the
+        stream.  Returns ``0`` when the chunk was shed (or the stream
+        already was); admitted chunks return their sample count.  Alarms are
+        *not* returned here -- candidate evaluation is deferred and batched;
+        call :meth:`flush` to drain.
+
+        Raises
+        ------
+        KeyError
+            Unknown tenant.
+        ValueError
+            Malformed chunk, or a stream id reused after the stream was
+            finalized or evicted -- reuse would let two distinct physical
+            streams alias one alarm history, the double-counting hazard the
+            evaluation helpers also guard against.
+        """
+        entry = self.registry.get(tenant)
+        counters = self._tenant_counters(tenant)
+        key = (tenant, stream_id)
+        ledger = self._streams.get(key)
+        if ledger is None:
+            if key in self._retired:
+                raise ValueError(
+                    f"stream id {stream_id!r} for tenant {tenant!r} was already "
+                    "finalized or evicted; stream ids must not be reused"
+                )
+            ledger = _StreamLedger(tenant, stream_id, entry, counters)
+            self._streams[key] = ledger
+            counters.streams_open += 1
+
+        chunk = np.asarray(values, dtype=float)
+        if chunk.ndim != 1:
+            raise ValueError("stream values must be 1-D")
+        if chunk.size and not np.all(np.isfinite(chunk)):
+            raise ValueError("stream contains non-finite values")
+        if chunk.size == 0:
+            return 0
+        if ledger.shed:
+            # The producer has not yet reacted to backpressure; keep
+            # dropping, one shed count per chunk.
+            counters.chunks_shed += 1
+            return 0
+        if ledger.saturated:
+            # A saturated stream accepts (and counts) samples but can never
+            # alarm again, exactly like a saturated session's ``extend``.
+            ledger.count += chunk.shape[0]
+            ledger.next_start = ledger.base = ledger.count
+            counters.chunks_ingested += 1
+            counters.samples_ingested += chunk.shape[0]
+            return int(chunk.shape[0])
+
+        # Admission: how many windows would this chunk complete?
+        new_count = ledger.count + chunk.shape[0]
+        room = new_count - ledger.window_length - ledger.next_start
+        n_new = room // ledger.stride + 1 if room >= 0 else 0
+        if n_new and self._scheduler.depth + n_new > self._scheduler.max_pending:
+            counters.chunks_shed += 1
+            counters.streams_shed += 1
+            counters.streams_open -= 1
+            ledger.shed = True
+            ledger.release()
+            return 0
+
+        ledger.append(chunk)
+        counters.chunks_ingested += 1
+        counters.samples_ingested += chunk.shape[0]
+        for start, window in ledger.extract_windows():
+            admitted = self._scheduler.admit(PendingCandidate(ledger, start, window))
+            assert admitted  # guaranteed by the admission check above
+            counters.candidates_enqueued += 1
+            counters.candidates_pending += 1
+        return int(chunk.shape[0])
+
+    # ------------------------------------------------------------ evaluation
+    def flush(self) -> list[ServedAlarm]:
+        """Drain the queue: evaluate in coalesced batches, confirm in order.
+
+        Candidates whose stream has been shed, evicted or saturated since
+        they were enqueued are discarded unevaluated.  The rest are
+        classified by the scheduler (grouped across tenants sharing a model
+        and normalisation mode) and confirmed through each stream's
+        :class:`~repro.streaming.online.AlarmGate` in FIFO order -- which
+        per stream is candidate-start order, the order the gate's refractory
+        and saturation rules require.
+        """
+        items = self._scheduler.take_all()
+        live: list[PendingCandidate] = []
+        for item in items:
+            ledger = item.ledger
+            ledger.counters.candidates_pending -= 1
+            if ledger.shed or ledger.evicted or ledger.saturated or ledger.finalized:
+                ledger.counters.candidates_discarded += 1
+            else:
+                live.append(item)
+        outcomes = self._scheduler.evaluate(live)
+        emitted: list[ServedAlarm] = []
+        for item, outcome in zip(live, outcomes):
+            ledger = item.ledger
+            ledger.counters.candidates_evaluated += 1
+            if ledger.saturated:
+                # Saturation discovered earlier in this same flush; the
+                # gate would refuse anyway, but skip the bookkeeping.
+                continue
+            alarm = ledger.gate.confirm(item.start, outcome)
+            if alarm is not None:
+                ledger.counters.alarms_emitted += 1
+                ledger.counters.alarm_latency_total += (
+                    item.start + ledger.window_length - 1 - alarm.position
+                )
+                emitted.append(ServedAlarm(ledger.tenant, ledger.stream_id, alarm))
+            if ledger.gate.saturated and not ledger.saturated:
+                ledger.saturated = True
+                ledger.release()
+        self.n_flushes += 1
+        return emitted
+
+    def peek(self, tenant: str) -> dict[object, PartialPrediction]:
+        """Force-evaluate every open prefix of one tenant, without committing.
+
+        The monitoring counterpart of ``predict_partial``: for each of the
+        tenant's open streams with an in-progress candidate, classify the
+        oldest incomplete candidate's prefix as it stands.  All prefixes are
+        answered in one :meth:`~repro.classifiers.base.BaseEarlyClassifier.predict_partial_batch`
+        call riding the ragged prefix-distance kernel.  Peeking changes no
+        stream state and emits no alarms.
+
+        In ``"causal"`` mode prefixes are causally normalised (the batched
+        kernel is causal, so right-padding cannot influence the prefix); in
+        ``"window"`` mode whole-window statistics do not exist yet, so each
+        prefix is z-normalised with its own statistics -- the honest
+        mid-flight approximation.
+        """
+        self.registry.get(tenant)
+        ledgers = [
+            ledger
+            for (owner, _), ledger in self._streams.items()
+            if owner == tenant
+            and not (ledger.shed or ledger.saturated)
+            and ledger.count > ledger.next_start
+        ]
+        if not ledgers:
+            return {}
+        length = ledgers[0].window_length
+        lengths = np.asarray(
+            [min(ledger.count - ledger.next_start, length) for ledger in ledgers],
+            dtype=np.intp,
+        )
+        padded = np.zeros((len(ledgers), length))
+        for row, (ledger, n) in enumerate(zip(ledgers, lengths)):
+            offset = ledger.next_start - ledger.base
+            prefix = ledger.buffer[offset : offset + n]
+            if ledger.normalization == "window":
+                prefix = znormalize(prefix)
+            padded[row, :n] = prefix
+        if ledgers[0].normalization == "causal":
+            padded = causal_znormalize_batch(padded)
+        partials = ledgers[0].classifier.predict_partial_batch(padded, lengths)
+        return {
+            ledger.stream_id: partial for ledger, partial in zip(ledgers, partials)
+        }
+
+    # ------------------------------------------------------------ teardown
+    def finalize_stream(self, tenant: str, stream_id: object) -> list[Alarm]:
+        """End one stream cleanly and return its full alarm list.
+
+        Flushes first so every completed candidate of the stream is
+        confirmed; incomplete candidates (window never filled) are
+        discarded, matching session/offline eligibility.  The stream id is
+        retired -- reusing it raises.
+        """
+        self._ledger(tenant, stream_id)  # raise before flushing if unknown
+        self.flush()
+        ledger = self._streams.pop((tenant, stream_id))
+        self._retired.add((tenant, stream_id))
+        ledger.finalized = True
+        if not ledger.shed:
+            ledger.counters.streams_open -= 1
+            ledger.counters.streams_finalized += 1
+        ledger.release()
+        return list(ledger.gate.alarms)
+
+    def evict_tenant(self, tenant: str) -> int:
+        """Drop a tenant: forget its model, close its streams, discard work.
+
+        Eviction is abrupt by design (the clean path is finalizing each
+        stream first): queued candidates of the tenant are discarded at the
+        next flush, never evaluated.  Returns the number of streams closed.
+        The tenant's counters remain visible in :meth:`metrics` and its
+        stream ids stay retired.
+        """
+        self.registry.evict(tenant)
+        closed = 0
+        for key in [key for key in self._streams if key[0] == tenant]:
+            ledger = self._streams.pop(key)
+            self._retired.add(key)
+            ledger.evicted = True
+            if not ledger.shed:
+                ledger.counters.streams_open -= 1
+            ledger.release()
+            closed += 1
+        return closed
+
+    # ------------------------------------------------------------ metrics
+    def metrics(self) -> ServingMetrics:
+        """Consistent point-in-time snapshot of the backpressure counters."""
+        tenants = tuple(
+            counters.snapshot() for counters in self._counters.values()
+        )
+        return ServingMetrics(
+            queue_depth=self._scheduler.depth,
+            max_pending=self._scheduler.max_pending,
+            n_flushes=self.n_flushes,
+            n_batch_calls=self._scheduler.n_batch_calls,
+            n_tenants=len(self.registry),
+            streams_open=sum(t.streams_open for t in tenants),
+            streams_finalized=sum(t.streams_finalized for t in tenants),
+            streams_shed=sum(t.streams_shed for t in tenants),
+            chunks_ingested=sum(t.chunks_ingested for t in tenants),
+            samples_ingested=sum(t.samples_ingested for t in tenants),
+            chunks_shed=sum(t.chunks_shed for t in tenants),
+            candidates_enqueued=sum(t.candidates_enqueued for t in tenants),
+            candidates_pending=sum(t.candidates_pending for t in tenants),
+            candidates_evaluated=sum(t.candidates_evaluated for t in tenants),
+            candidates_discarded=sum(t.candidates_discarded for t in tenants),
+            alarms_emitted=sum(t.alarms_emitted for t in tenants),
+            tenants=tenants,
+        )
+
+    # ------------------------------------------------------------ internals
+    def _tenant_counters(self, tenant: str) -> TenantCounters:
+        counters = self._counters.get(tenant)
+        if counters is None:
+            counters = self._counters[tenant] = TenantCounters(tenant)
+        return counters
+
+    def _ledger(self, tenant: str, stream_id: object) -> _StreamLedger:
+        try:
+            return self._streams[(tenant, stream_id)]
+        except KeyError:
+            raise KeyError(
+                f"no open stream {stream_id!r} for tenant {tenant!r}"
+            ) from None

@@ -1,0 +1,271 @@
+"""Per-tenant model registry with fit-config fingerprinting and warm reload.
+
+A multi-tenant serving deployment holds one fitted early classifier per
+tenant, and tenants come and go across process restarts.  Refitting an
+ECTS/EDSC model on every restart is the dominant cold-start cost, so the
+registry content-addresses each fitted model by its *fit fingerprint* --
+a digest over the classifier type, its constructor parameters and the
+training data -- and round-trips models through the experiment runtime's
+:class:`~repro.runtime.cache.PrepareCache`: restart with the same fit config
+and the model is reloaded warm instead of refit.
+
+The fingerprint is also the registry's change detector: registering a tenant
+again with the same fingerprint is an idempotent no-op, while a different
+fingerprint replaces the tenant's model (a config rollout).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.classifiers.base import BaseEarlyClassifier
+from repro.runtime.cache import PrepareCache, _canonical
+from repro.streaming.online import NormalizationMode, StreamingSession
+
+__all__ = ["TenantConfig", "TenantEntry", "ModelRegistry", "fit_fingerprint"]
+
+# Cache namespace for fitted serving models (PrepareCache key prefix).
+_CACHE_EXPERIMENT = "serving-model"
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Per-tenant detection parameters, mirroring :class:`StreamingSession`.
+
+    ``stride`` and ``refractory`` default to ``None`` meaning "use the
+    session defaults for this classifier's window length"; :meth:`resolve`
+    fills them in by building a throwaway probe session, so the serving
+    layer inherits the session's defaults *and* its validation by
+    construction -- the two layers cannot drift.
+    """
+
+    stride: int | None = None
+    normalization: NormalizationMode = "none"
+    refractory: int | None = None
+    max_alarms: int = 100_000
+
+    def resolve(self, classifier: BaseEarlyClassifier) -> "TenantConfig":
+        """Fill defaults and validate against ``classifier``'s window length."""
+        probe = StreamingSession(
+            classifier,
+            stride=self.stride,
+            normalization=self.normalization,
+            refractory=self.refractory,
+            max_alarms=self.max_alarms,
+        )
+        return replace(
+            self,
+            stride=probe.stride,
+            refractory=probe.refractory,
+        )
+
+
+@dataclass(frozen=True)
+class TenantEntry:
+    """One registered tenant: its fitted model, config and fingerprint.
+
+    Attributes
+    ----------
+    tenant:
+        The tenant key.
+    classifier:
+        The fitted early classifier serving this tenant.
+    config:
+        Fully resolved :class:`TenantConfig` (no ``None`` fields).
+    fingerprint:
+        Fit-config digest (see :func:`fit_fingerprint`); empty string when
+        the model was registered directly without one.
+    warm:
+        Whether the model was reloaded from the prepare cache rather than
+        fitted in this process.
+    """
+
+    tenant: str
+    classifier: BaseEarlyClassifier
+    config: TenantConfig
+    fingerprint: str = ""
+    warm: bool = False
+
+
+def _data_digest(train: np.ndarray, labels) -> str:
+    """Digest of the training set, independent of memory layout."""
+    data = np.ascontiguousarray(np.asarray(train, dtype=float))
+    digest = hashlib.sha256()
+    digest.update(str(data.shape).encode())
+    digest.update(data.tobytes())
+    digest.update(repr([str(label) for label in labels]).encode())
+    return digest.hexdigest()
+
+
+def fit_fingerprint(
+    model_type: str,
+    params: Mapping[str, object],
+    train: np.ndarray,
+    labels,
+) -> str:
+    """Content digest of one fit configuration.
+
+    Two fits share a fingerprint exactly when they would produce the same
+    model: same classifier type, same constructor parameters (canonicalised
+    the same way the experiment cache canonicalises params, so key ordering
+    and container types don't matter) and byte-identical training data
+    (memory layout doesn't matter; values and shape do).
+
+    Raises
+    ------
+    repro.runtime.cache.UncacheableParams
+        When ``params`` contains a value with no canonical form; such a
+        config cannot be fingerprinted and must be fitted uncached.
+    """
+    payload = json.dumps(
+        {
+            "model_type": model_type,
+            "params": _canonical(dict(params)),
+            "data": _data_digest(train, labels),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ModelRegistry:
+    """Fitted classifiers keyed by tenant.
+
+    The registry is the serving engine's source of truth for "which model
+    and which detection config does this tenant get".  It does not touch
+    stream state -- evicting a tenant here only forgets the model; the
+    engine layers stream teardown on top (see
+    :meth:`~repro.serving.engine.ServingEngine.evict_tenant`).
+    """
+
+    def __init__(self, cache: PrepareCache | None = None) -> None:
+        self._entries: dict[str, TenantEntry] = {}
+        self.cache = cache
+        self.warm_loads = 0
+        self.cold_fits = 0
+
+    # ------------------------------------------------------------ inspection
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, tenant: str) -> bool:
+        return tenant in self._entries
+
+    def tenants(self) -> list[str]:
+        """Registered tenant keys, in registration order."""
+        return list(self._entries)
+
+    def get(self, tenant: str) -> TenantEntry:
+        """The tenant's entry; raises ``KeyError`` naming the tenant."""
+        try:
+            return self._entries[tenant]
+        except KeyError:
+            raise KeyError(
+                f"tenant {tenant!r} is not registered; known tenants: "
+                f"{sorted(self._entries)!r}"
+            ) from None
+
+    # ------------------------------------------------------------ mutation
+    def register(
+        self,
+        tenant: str,
+        classifier: BaseEarlyClassifier,
+        config: TenantConfig | None = None,
+        fingerprint: str = "",
+        warm: bool = False,
+    ) -> TenantEntry:
+        """Register (or replace) a tenant's fitted model.
+
+        Re-registering with the same non-empty fingerprint is an idempotent
+        no-op that keeps the existing entry; a different fingerprint (or an
+        empty one) replaces the entry.
+        """
+        if not isinstance(classifier, BaseEarlyClassifier):
+            raise TypeError("classifier must be a BaseEarlyClassifier")
+        if not classifier.is_fitted:
+            raise ValueError("classifier must be fitted before registration")
+        existing = self._entries.get(tenant)
+        if existing is not None and fingerprint and existing.fingerprint == fingerprint:
+            return existing
+        resolved = (config or TenantConfig()).resolve(classifier)
+        entry = TenantEntry(
+            tenant=tenant,
+            classifier=classifier,
+            config=resolved,
+            fingerprint=fingerprint,
+            warm=warm,
+        )
+        self._entries[tenant] = entry
+        return entry
+
+    def evict(self, tenant: str) -> TenantEntry:
+        """Forget a tenant's model; returns the evicted entry."""
+        entry = self.get(tenant)
+        del self._entries[tenant]
+        return entry
+
+    def load_or_fit(
+        self,
+        tenant: str,
+        factory: Callable[..., BaseEarlyClassifier],
+        params: Mapping[str, object],
+        train: np.ndarray,
+        labels,
+        config: TenantConfig | None = None,
+    ) -> TenantEntry:
+        """Register a tenant, reloading the fitted model warm when possible.
+
+        The fit config is fingerprinted (classifier type + params + training
+        data); when the registry has a :class:`PrepareCache`, a model with
+        the same fingerprint left by an earlier process is unpickled instead
+        of refit, and freshly fitted models are stored back for the next
+        restart.  Without a cache this is simply "fingerprint, fit,
+        register".
+
+        Parameters
+        ----------
+        tenant:
+            The tenant key to register under.
+        factory:
+            Callable producing an *unfitted* classifier from ``params``
+            (typically the classifier class itself).
+        params:
+            Constructor parameters, fingerprinted canonically.
+        train, labels:
+            Training set, fingerprinted by content.
+        config:
+            Optional per-tenant detection config.
+        """
+        model_type = getattr(factory, "__qualname__", repr(factory))
+        fingerprint = fit_fingerprint(model_type, params, train, labels)
+        existing = self._entries.get(tenant)
+        if existing is not None and existing.fingerprint == fingerprint:
+            return existing
+
+        classifier = None
+        warm = False
+        if self.cache is not None:
+            key = self.cache.key(_CACHE_EXPERIMENT, {"fingerprint": fingerprint})
+            value = self.cache.load(_CACHE_EXPERIMENT, key)
+            if not PrepareCache.is_miss(value) and isinstance(
+                value, BaseEarlyClassifier
+            ):
+                classifier = value
+                warm = True
+                self.warm_loads += 1
+        if classifier is None:
+            classifier = factory(**dict(params))
+            classifier.fit(np.asarray(train, dtype=float), labels)
+            self.cold_fits += 1
+            if self.cache is not None:
+                key = self.cache.key(_CACHE_EXPERIMENT, {"fingerprint": fingerprint})
+                self.cache.store(_CACHE_EXPERIMENT, key, classifier)
+        return self.register(
+            tenant, classifier, config=config, fingerprint=fingerprint, warm=warm
+        )

@@ -28,9 +28,12 @@ package provides the machinery to run that deployment honestly:
 
 from repro.streaming.online import (
     Alarm,
+    AlarmGate,
     MultiStreamDetector,
     RunningCausalStats,
+    SessionState,
     StreamingSession,
+    causal_znormalize_batch,
     incremental_causal_znormalize,
 )
 from repro.streaming.detector import StreamingEarlyDetector
@@ -40,10 +43,13 @@ from repro.streaming.costs import CostModel, CostOutcome
 
 __all__ = [
     "Alarm",
+    "AlarmGate",
+    "SessionState",
     "StreamingEarlyDetector",
     "StreamingSession",
     "MultiStreamDetector",
     "RunningCausalStats",
+    "causal_znormalize_batch",
     "incremental_causal_znormalize",
     "AlarmMatch",
     "match_alarms_to_events",

@@ -111,16 +111,39 @@ def evaluate_alarms(
     )
 
 
-def merge_evaluations(evaluations: Sequence[StreamingEvaluation]) -> StreamingEvaluation:
+def merge_evaluations(
+    evaluations: Sequence[StreamingEvaluation],
+    stream_ids: Sequence | None = None,
+) -> StreamingEvaluation:
     """Aggregate per-stream evaluations into one fleet-level evaluation.
 
     Counts (alarms, TP/FP/FN, stream length) add across streams; every rate
     is recomputed from the pooled counts, so the result is what
     :func:`evaluate_alarms` would report had the streams been one deployment.
-    Used by :meth:`repro.streaming.online.MultiStreamDetector.evaluate`.
+    Used by :meth:`repro.streaming.online.MultiStreamDetector.evaluate` and
+    by the serving layer's fleet evaluation.
+
+    Parameters
+    ----------
+    evaluations:
+        The per-stream evaluations to pool.
+    stream_ids:
+        Optional stream identities, one per evaluation.  When given they must
+        be unique -- merging the same stream twice silently double-counts its
+        alarms, events and length in every pooled rate, which is exactly the
+        bug the serving layer's per-stream bookkeeping guards against.
+        Duplicates raise ``ValueError`` naming the offending ids.
     """
     if not evaluations:
         raise ValueError("need at least one evaluation to merge")
+    if stream_ids is not None:
+        if len(stream_ids) != len(evaluations):
+            raise ValueError("stream_ids must have one entry per evaluation")
+        # Reuse the shared duplicate guard (same error shape as the
+        # exemplar-id check on evaluate_early_classifier).
+        from repro.evaluation.earliness import _require_unique_ids
+
+        _require_unique_ids(stream_ids, "stream ids")
     n_alarms = sum(e.n_alarms for e in evaluations)
     true_positives = sum(e.true_positives for e in evaluations)
     false_positives = sum(e.false_positives for e in evaluations)

@@ -53,8 +53,11 @@ from repro.distance.znorm import EPSILON, znormalize
 
 __all__ = [
     "Alarm",
+    "AlarmGate",
     "NormalizationMode",
     "RunningCausalStats",
+    "SessionState",
+    "causal_znormalize_batch",
     "incremental_causal_znormalize",
     "StreamingSession",
     "MultiStreamDetector",
@@ -87,6 +90,84 @@ class Alarm:
     label: object
     confidence: float
     prefix_length: int
+
+
+class AlarmGate:
+    """The per-stream alarm emission rule, factored out of the session.
+
+    A completed candidate window is *confirmed* through the gate, which owns
+    the three emission rules the offline detector defined: the ``max_alarms``
+    saturation cap (once the cap is reached no later candidate may alarm),
+    the refractory comparison against the last *emitted* alarm, and the alarm
+    field assembly.  Candidates must be confirmed in candidate-start order --
+    both :class:`StreamingSession` and the batched serving engine
+    (:mod:`repro.serving`) do so by construction, which is what makes their
+    alarm lists identical: the candidate *outcomes* depend only on each
+    candidate's own (normalised) window, and everything order-dependent lives
+    here.
+    """
+
+    __slots__ = ("refractory", "max_alarms", "alarms", "saturated", "_last_position")
+
+    def __init__(self, refractory: int, max_alarms: int) -> None:
+        if refractory < 0:
+            raise ValueError("refractory must be non-negative")
+        if max_alarms < 1:
+            raise ValueError("max_alarms must be >= 1")
+        self.refractory = refractory
+        self.max_alarms = max_alarms
+        self.alarms: list[Alarm] = []
+        self.saturated = False
+        self._last_position = -float("inf")
+
+    def confirm(self, candidate_start: int, outcome: EarlyPrediction) -> Alarm | None:
+        """Apply the emission rules to one completed candidate, in start order.
+
+        Returns the emitted :class:`Alarm`, or ``None`` when the candidate
+        did not trigger, fell inside the refractory period, or arrived at (or
+        after) the saturation point.  Confirming the candidate that *reaches*
+        the cap sets :attr:`saturated`; the caller should stop evaluating
+        further candidates on the stream (the offline loop stops entirely),
+        though confirming them through the gate anyway is harmless -- a
+        saturated gate never emits.
+        """
+        if self.saturated or not outcome.triggered:
+            return None
+        if len(self.alarms) >= self.max_alarms:
+            self.saturated = True
+            return None
+        position = candidate_start + outcome.trigger_length - 1
+        if position - self._last_position < self.refractory:
+            return None
+        alarm = Alarm(
+            position=int(position),
+            candidate_start=int(candidate_start),
+            label=outcome.label,
+            confidence=float(outcome.confidence),
+            prefix_length=int(outcome.trigger_length),
+        )
+        self.alarms.append(alarm)
+        self._last_position = position
+        return alarm
+
+
+@dataclass(frozen=True)
+class SessionState:
+    """Exported snapshot of one :class:`StreamingSession`'s coalescable state.
+
+    The serving layer's admission scheduler (and the monitoring surface) need
+    a stable, read-only view of where a stream stands without reaching into
+    session internals: how many samples have been consumed, which candidate
+    windows are still in flight, and whether the emission gate has saturated.
+    The snapshot is plain data -- safe to ship across threads or serialise
+    into a metrics pipeline.
+    """
+
+    n_samples: int
+    open_candidate_starts: tuple[int, ...]
+    n_alarms: int
+    saturated: bool
+    finalized: bool
 
 
 class RunningCausalStats:
@@ -211,7 +292,41 @@ def incremental_causal_znormalize(window: np.ndarray) -> np.ndarray:
         raise ValueError("window must be a 1-D series")
     if arr.shape[0] == 0:
         return arr.copy()
-    return RunningCausalStats(1).push_block(np.zeros(1, dtype=np.intp), arr)[0]
+    return causal_znormalize_batch(arr[None, :])[0]
+
+
+def causal_znormalize_batch(windows: np.ndarray) -> np.ndarray:
+    """Causally z-normalise a whole bank of candidate windows in one pass.
+
+    Row ``j`` of the result is :func:`incremental_causal_znormalize` of row
+    ``j`` of ``windows`` -- the same baseline-centred Welford recurrences as
+    :meth:`RunningCausalStats.push_block` on a fresh slot, applied to every
+    row at once (the element-wise operations are identical, so the two agree
+    bit for bit; the property tests pin this).  This is the normalisation
+    kernel of the serving layer's batching scheduler: candidate windows
+    completed by *different* streams are stacked into one ``(n_windows, L)``
+    matrix and normalised together, instead of one
+    :class:`RunningCausalStats` update per stream per segment.
+    """
+    arr = np.asarray(windows, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError("windows must be a 2-D (n_windows, length) array")
+    if arr.shape[1] == 0:
+        return arr.copy()
+    counts = np.arange(1.0, arr.shape[1] + 1.0)[None, :]
+    baseline = arr[:, :1]
+    shifted = arr - baseline
+    shifted_means = np.cumsum(shifted, axis=1) / counts
+    previous_shifted_means = np.concatenate(
+        [-baseline, shifted_means[:, :-1]], axis=1
+    )
+    m2 = np.cumsum(
+        (shifted - previous_shifted_means) * (shifted - shifted_means), axis=1
+    )
+    std = np.sqrt(np.maximum(m2, 0.0) / counts)
+    out = np.zeros_like(std)
+    np.divide(shifted - shifted_means, std, out=out, where=std >= EPSILON)
+    return out
 
 
 class _Candidate:
@@ -276,22 +391,21 @@ class StreamingSession:
             raise ValueError("classifier must be fitted before building a session")
         if normalization not in ("none", "window", "causal"):
             raise ValueError("normalization must be 'none', 'window' or 'causal'")
-        if max_alarms < 1:
-            raise ValueError("max_alarms must be >= 1")
         self.classifier = classifier
         self.window_length = classifier.train_length_
         self.stride = stride if stride is not None else max(1, self.window_length // 4)
         if self.stride < 1:
             raise ValueError("stride must be >= 1")
         self.normalization = normalization
-        self.refractory = refractory if refractory is not None else self.window_length // 2
-        if self.refractory < 0:
-            raise ValueError("refractory must be non-negative")
-        self.max_alarms = max_alarms
+        refractory = refractory if refractory is not None else self.window_length // 2
+        # The gate owns the emission rules (saturation cap, refractory,
+        # alarm assembly) and validates its parameters; the serving engine
+        # reuses the same class so the two layers cannot drift.
+        self._gate = AlarmGate(refractory, max_alarms)
+        self.refractory = self._gate.refractory
+        self.max_alarms = self._gate.max_alarms
 
         self._count = 0
-        self._alarms: list[Alarm] = []
-        self._last_alarm_position = -float("inf")
         self._active: deque[_Candidate] = deque()
         self._feeding: list[_Candidate] = []
         self._feed_slots = np.empty(0, dtype=np.intp)
@@ -320,12 +434,26 @@ class StreamingSession:
     @property
     def alarms(self) -> list[Alarm]:
         """All alarms confirmed so far (copy)."""
-        return list(self._alarms)
+        return list(self._gate.alarms)
 
     @property
     def finalized(self) -> bool:
         """Whether :meth:`finalize` has been called."""
         return self._finalized
+
+    def export_state(self) -> SessionState:
+        """Read-only snapshot of the session's coalescable state.
+
+        See :class:`SessionState`; this is the view the serving layer's
+        scheduler and the monitoring surface consume.
+        """
+        return SessionState(
+            n_samples=self._count,
+            open_candidate_starts=tuple(c.start for c in self._active),
+            n_alarms=len(self._gate.alarms),
+            saturated=self._saturated,
+            finalized=self._finalized,
+        )
 
     # ------------------------------------------------------------ ingestion
     def push(self, value: float) -> list[Alarm]:
@@ -353,7 +481,7 @@ class StreamingSession:
             raise ValueError("stream contains non-finite values")
         if self._values is not None:
             self._store(chunk)
-        emitted_from = len(self._alarms)
+        emitted_from = len(self._gate.alarms)
         offset = 0
         total = chunk.shape[0]
         while offset < total:
@@ -375,7 +503,7 @@ class StreamingSession:
             offset += end
             if self._active and self._active[0].start + self.window_length == self._count:
                 self._confirm(self._active.popleft())
-        return self._alarms[emitted_from:]
+        return self._gate.alarms[emitted_from:]
 
     def finalize(self) -> list[Alarm]:
         """Declare the stream over and return the full alarm list.
@@ -388,7 +516,7 @@ class StreamingSession:
             self._finalized = True
             self._active.clear()
             self._feeding = []
-        return list(self._alarms)
+        return list(self._gate.alarms)
 
     # ------------------------------------------------------------ internals
     def _store(self, chunk: np.ndarray) -> None:
@@ -437,10 +565,11 @@ class StreamingSession:
     def _confirm(self, candidate: _Candidate) -> None:
         """Finalize one completed candidate, applying the emission rules.
 
-        Candidates complete in start order (equal window lengths), so this
-        reproduces the offline detector's sequential walk: the saturation
-        check, the refractory comparison against the last *emitted* alarm,
-        and the alarm field values are all identical.
+        Candidates complete in start order (equal window lengths), so
+        confirming through the :class:`AlarmGate` reproduces the offline
+        detector's sequential walk: the saturation check, the refractory
+        comparison against the last *emitted* alarm, and the alarm field
+        values are all identical.
         """
         if candidate.walker is None:
             # Whole-window ("peeking") mode: normalise and walk only now that
@@ -450,28 +579,13 @@ class StreamingSession:
             candidate.outcome = self.classifier.predict_early(znormalize(window))
         outcome = candidate.outcome
         assert outcome is not None  # the walker decides by window completion
-        if not outcome.triggered:
-            return
-        if len(self._alarms) >= self.max_alarms:
+        self._gate.confirm(candidate.start, outcome)
+        if self._gate.saturated:
             # The offline loop stops evaluating candidates entirely once the
             # cap is reached; no later candidate may alarm.
             self._saturated = True
             self._active.clear()
             self._feeding = []
-            return
-        position = candidate.start + outcome.trigger_length - 1
-        if position - self._last_alarm_position < self.refractory:
-            return
-        self._alarms.append(
-            Alarm(
-                position=int(position),
-                candidate_start=int(candidate.start),
-                label=outcome.label,
-                confidence=float(outcome.confidence),
-                prefix_length=int(outcome.trigger_length),
-            )
-        )
-        self._last_alarm_position = position
 
 
 class MultiStreamDetector:
