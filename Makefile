@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench batch-check fit-check serve-check docs-check quickstart experiments results check-artifacts all
+.PHONY: test bench batch-check fit-check serve-check dist-check docs-check quickstart experiments results check-artifacts all
 
 ## tier-1 gate: unit/property/integration tests + benchmark harness
 test:
@@ -33,6 +33,14 @@ fit-check:
 ## sessions (run by CI on every push)
 serve-check:
 	$(PYTHON) -m pytest tests/test_serving.py benchmarks/test_bench_serving.py -q
+
+## distance-backend drift gate: the pruned UCR-suite cascade (LB_Kim ->
+## LB_Keogh -> early-abandoning banded DP) must stay bit-identical to the
+## dense reference wavefront across band specs, unequal lengths and k, and
+## keep its >= 5x win on the Table-1-scale DTW 1-NN benchmark (run by CI on
+## every push)
+dist-check:
+	$(PYTHON) -m pytest tests/test_distance_backends.py benchmarks/test_bench_dtw_prune.py -q
 
 ## fail if README/ARCHITECTURE reference modules or files that don't exist
 docs-check:

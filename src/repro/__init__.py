@@ -33,10 +33,12 @@ The package is organised in layers (see DESIGN.md for the full inventory):
 """
 
 from repro._version import __version__
+from repro.distance.backends import active_backend, set_backend, use_backend
 from repro.distance.engine import (
     PrefixDistanceEngine,
     PrefixDTWEngine,
     batch_prefix_distances,
+    dtw_nearest_neighbors,
     dtw_pairwise_distances,
     ragged_prefix_distances,
     pairwise_prefix_distances,
@@ -51,7 +53,11 @@ __all__ = [
     "PrefixDistanceEngine",
     "PrefixDTWEngine",
     "batch_prefix_distances",
+    "dtw_nearest_neighbors",
     "dtw_pairwise_distances",
     "ragged_prefix_distances",
     "pairwise_prefix_distances",
+    "active_backend",
+    "set_backend",
+    "use_backend",
 ]

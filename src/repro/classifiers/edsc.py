@@ -163,6 +163,19 @@ class EDSCClassifier(BaseEarlyClassifier):
         Smallest prefix length at which prediction is attempted.
     random_state:
         Seed of the candidate subsampler.
+    prune_candidates:
+        If ``True``, drop every candidate window that contains no local
+        extremum of its source exemplar before the (quadratic) best-match
+        GEMM runs -- flat windows carry no discriminative shape, so shapelet
+        miners routinely anchor candidates at local extrema.  Off by
+        default: pruning changes which candidates are mined (the golden
+        experiment summaries pin the unpruned behaviour), and the batched
+        and reference paths apply the identical mask *before* the per-class
+        subsample, so their equivalence holds with the flag either way.
+    prune_order:
+        Neighbourhood half-width (in samples) a point must dominate to count
+        as a local extremum for ``prune_candidates``
+        (:func:`scipy.signal.argrelmax` / ``argrelmin`` ``order``).
     """
 
     def __init__(
@@ -175,6 +188,8 @@ class EDSCClassifier(BaseEarlyClassifier):
         max_candidates_per_class: int = 300,
         min_length: int = 5,
         random_state: int = 13,
+        prune_candidates: bool = False,
+        prune_order: int = 3,
     ) -> None:
         super().__init__()
         method = threshold_method.lower()
@@ -192,6 +207,8 @@ class EDSCClassifier(BaseEarlyClassifier):
             raise ValueError("position_step must be >= 1")
         if max_candidates_per_class < 1:
             raise ValueError("max_candidates_per_class must be >= 1")
+        if prune_order < 1:
+            raise ValueError("prune_order must be >= 1")
         self.threshold_method = method
         self.chebyshev_k = chebyshev_k
         self.target_precision = target_precision
@@ -200,6 +217,8 @@ class EDSCClassifier(BaseEarlyClassifier):
         self.max_candidates_per_class = max_candidates_per_class
         self.min_length = min_length
         self.random_state = random_state
+        self.prune_candidates = prune_candidates
+        self.prune_order = prune_order
         self.shapelets_: list[Shapelet] = []
         self._fallback_label = None
 
@@ -244,6 +263,34 @@ class EDSCClassifier(BaseEarlyClassifier):
     def _candidate_positions(self, length: int, window: int) -> np.ndarray:
         return np.arange(0, length - window + 1, self.position_step)
 
+    def _extrema_keep_mask(
+        self,
+        data: np.ndarray,
+        source_index: np.ndarray,
+        source_position: np.ndarray,
+        window: int,
+    ) -> np.ndarray:
+        """Which candidate windows contain a local extremum of their exemplar.
+
+        One shared extrema pass per training matrix: mark every local
+        maximum/minimum (``order=prune_order``), cumulative-sum the marks
+        along time, and answer each window ``[p, p + window)`` with one
+        subtraction.  Used by both the batched and the reference extraction
+        paths so the flag cannot make them diverge.
+        """
+        from scipy.signal import argrelmax, argrelmin
+
+        extrema = np.zeros(data.shape, dtype=bool)
+        for finder in (argrelmax, argrelmin):
+            rows, cols = finder(data, axis=1, order=self.prune_order)
+            extrema[rows, cols] = True
+        counts = np.zeros((data.shape[0], data.shape[1] + 1), dtype=np.intp)
+        counts[:, 1:] = np.cumsum(extrema, axis=1)
+        return (
+            counts[source_index, source_position + window]
+            - counts[source_index, source_position]
+        ) > 0
+
     def _evaluate_candidates_of_length(
         self,
         data: np.ndarray,
@@ -268,6 +315,9 @@ class EDSCClassifier(BaseEarlyClassifier):
         matrix, cand_labels, src_index, src_position = self._extract_candidates(
             data, labels, window, rng
         )
+        if matrix.shape[0] == 0:
+            # Extrema pruning can empty a length's pool on featureless data.
+            return []
         distances, match_ends = _best_match_distances(matrix, data)
         thresholds = self._learn_thresholds_batch(
             distances, cand_labels, src_index, labels
@@ -308,6 +358,15 @@ class EDSCClassifier(BaseEarlyClassifier):
         src_position = np.tile(positions, n_series)
         cand_labels = labels[src_index]
 
+        if self.prune_candidates:
+            # Applied before the subsample so the RNG sees the same candidate
+            # pool as the reference loop with the flag on.
+            mask = self._extrema_keep_mask(data, src_index, src_position, window)
+            matrix = matrix[mask]
+            cand_labels = cand_labels[mask]
+            src_index = src_index[mask]
+            src_position = src_position[mask]
+
         # Subsample per class to keep the quadratic matching step bounded.
         keep: list[int] = []
         for cls in np.unique(labels):
@@ -315,7 +374,7 @@ class EDSCClassifier(BaseEarlyClassifier):
             if cls_idx.shape[0] > self.max_candidates_per_class:
                 cls_idx = rng.choice(cls_idx, size=self.max_candidates_per_class, replace=False)
             keep.extend(cls_idx.tolist())
-        keep_arr = np.asarray(sorted(keep))
+        keep_arr = np.asarray(sorted(keep), dtype=np.intp)
         return (
             matrix[keep_arr],
             cand_labels[keep_arr],
@@ -512,6 +571,19 @@ class EDSCClassifier(BaseEarlyClassifier):
         candidate_matrix = np.asarray(candidate_values)
         candidate_labels = np.asarray([labels[i] for i, _ in candidate_sources])
 
+        if self.prune_candidates:
+            mask = self._extrema_keep_mask(
+                data,
+                np.asarray([i for i, _ in candidate_sources]),
+                np.asarray([p for _, p in candidate_sources]),
+                window,
+            )
+            candidate_matrix = candidate_matrix[mask]
+            candidate_sources = [
+                source for source, kept in zip(candidate_sources, mask) if kept
+            ]
+            candidate_labels = candidate_labels[mask]
+
         # Subsample per class to keep the quadratic matching step bounded.
         keep: list[int] = []
         for cls in np.unique(labels):
@@ -519,11 +591,13 @@ class EDSCClassifier(BaseEarlyClassifier):
             if cls_idx.shape[0] > self.max_candidates_per_class:
                 cls_idx = rng.choice(cls_idx, size=self.max_candidates_per_class, replace=False)
             keep.extend(cls_idx.tolist())
-        keep_arr = np.asarray(sorted(keep))
+        keep_arr = np.asarray(sorted(keep), dtype=np.intp)
         candidate_matrix = candidate_matrix[keep_arr]
         candidate_sources = [candidate_sources[i] for i in keep_arr]
         candidate_labels = candidate_labels[keep_arr]
 
+        if candidate_matrix.shape[0] == 0:
+            return []
         distances, match_ends = _best_match_distances(candidate_matrix, data)
 
         shapelets: list[Shapelet] = []

@@ -19,12 +19,24 @@ Everything the ETSC algorithms and the meaningfulness analyses rest on:
   experiments rides on it.
 * :mod:`repro.distance.neighbors` -- 1-NN / k-NN classifiers over any of the
   above distances, including a batched prefix-sweep prediction path.
+* :mod:`repro.distance.backends` -- the pluggable backend layer: the
+  ``REPRO_BACKEND`` switch between the dense float64 reference path and the
+  UCR-suite-style pruned DTW search (LB_Kim -> LB_Keogh -> early-abandoning
+  DP), bit-identical in float64 mode.
 """
 
+from repro.distance.backends import (
+    DTWSearchStats,
+    active_backend,
+    pruned_dtw_nearest_neighbors,
+    set_backend,
+    use_backend,
+)
 from repro.distance.engine import (
     PrefixDistanceEngine,
     PrefixDTWEngine,
     batch_prefix_distances,
+    dtw_nearest_neighbors,
     dtw_pairwise_distances,
     ragged_prefix_distances,
     iter_prefix_distances,
@@ -35,7 +47,13 @@ from repro.distance.euclidean import (
     squared_euclidean_distance,
     znormalized_euclidean_distance,
 )
-from repro.distance.dtw import dtw_distance, znormalized_dtw_distance
+from repro.distance.dtw import (
+    dtw_band_envelopes,
+    dtw_distance,
+    lb_keogh,
+    lb_kim,
+    znormalized_dtw_distance,
+)
 from repro.distance.znorm import (
     causal_znormalize,
     is_znormalized,
@@ -56,6 +74,15 @@ __all__ = [
     "znormalized_euclidean_distance",
     "dtw_distance",
     "znormalized_dtw_distance",
+    "dtw_band_envelopes",
+    "lb_kim",
+    "lb_keogh",
+    "DTWSearchStats",
+    "active_backend",
+    "set_backend",
+    "use_backend",
+    "pruned_dtw_nearest_neighbors",
+    "dtw_nearest_neighbors",
     "znormalize",
     "znormalize_prefix",
     "causal_znormalize",

@@ -1,0 +1,423 @@
+"""Pluggable distance backends: the ``REPRO_BACKEND`` switch and pruned DTW 1-NN.
+
+The paper's yardstick for every ETSC method is 1-NN with Euclidean/DTW, and
+its related-work discussion leans on the UCR-suite line of work
+[Rakthanmanon et al., KDD 2013] for how such searches run at scale: cheap
+lower bounds answer most candidates before the quadratic dynamic program
+ever runs.  This module makes that a *backend choice* rather than a code
+change:
+
+* ``"reference"`` -- the dense float64 NumPy path (the default and the
+  semantic oracle): every (query, train) pair through the shared
+  anti-diagonal wavefront of :func:`repro.distance.engine.dtw_pairwise_distances`.
+* ``"pruned"`` -- the UCR-suite-style cascade implemented here:
+
+  1. **LB_Kim** (:func:`repro.distance.dtw.lb_kim`): constant-time endpoint
+     bound, one vectorised pass over all pairs.
+  2. **LB_Keogh** (:func:`repro.distance.dtw.lb_keogh`): envelope bound
+     against band envelopes precomputed once per training set
+     (:func:`repro.distance.dtw.dtw_band_envelopes`), evaluated only for the
+     pairs LB_Kim could not answer.
+  3. **Early-abandoning DP**: survivors run the *same* banded wavefront
+     recurrence, ordered by their lower bound and chunked, with the running
+     k-th-best distance abandoning a pair as soon as two consecutive
+     anti-diagonals prove its cost can no longer matter.
+
+The backend is selected by the ``REPRO_BACKEND`` environment variable (or
+programmatically via :func:`set_backend` / :func:`use_backend`); every entry
+point also takes an explicit ``backend=`` argument that wins over both.
+
+**Equivalence contract.**  In the default float64 mode the pruned backend
+returns neighbour indices and distances *bit-identical* to the reference:
+survivors are evaluated by the identical wavefront recurrence (identical
+per-cell rounding), ties resolve by the same lowest-training-index rule, and
+pruning thresholds carry a relative slack (:data:`PRUNE_SLACK`) far above
+any possible summation-rounding disagreement between a lower bound and the
+dynamic program, so a candidate that could tie the k-th neighbour is always
+computed, never pruned.  ``tests/test_distance_backends.py`` pins this
+across band specs, unequal lengths and ``k``; the optional float32
+accumulation mode (``dtype=np.float32``) trades bit-equality for speed and
+is held to ``<= 1e-5``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.distance.dtw import _resolve_band, dtw_band_envelopes, lb_keogh, lb_kim
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV_VAR",
+    "DTWSearchStats",
+    "active_backend",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
+    "pruned_dtw_nearest_neighbors",
+]
+
+#: Environment variable naming the active distance backend.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Recognised backend names.
+BACKENDS = ("reference", "pruned")
+
+#: Relative slack applied to pruning/abandoning thresholds in float64 mode.
+#: A lower bound and the dynamic program sum the same non-negative terms in
+#: different orders, so they can disagree by a few hundred ulps (~1e-13
+#: relative) on mathematically tied values; the slack keeps every candidate
+#: that could tie the k-th neighbour alive, preserving bit-identical results.
+PRUNE_SLACK = 1e-12
+
+#: Relative slack in float32 accumulation mode (matching its ~1e-6 relative
+#: rounding, with margin).
+PRUNE_SLACK_F32 = 1e-4
+
+#: Survivor pairs evaluated per early-abandoning wavefront call.  Small
+#: enough that the running k-th-best threshold refreshes between chunks
+#: (later chunks are usually pruned outright), large enough to amortise the
+#: per-diagonal Python step across pairs -- the rolling-diagonal kernel
+#: holds only O(pairs * n) state, so the chunk can be generous.
+_DP_CHUNK_PAIRS = 512
+
+#: Byte budget for the gathered ``(pairs, n)`` LB_Keogh temporaries.
+_LB_BLOCK_BYTES = 64 * 2**20
+
+_BACKEND_OVERRIDE: str | None = None
+
+
+def _validated_backend(name: object) -> str:
+    label = str(name).strip().lower()
+    if label not in BACKENDS:
+        raise ValueError(
+            f"unknown distance backend {name!r}; choose from {BACKENDS} "
+            f"(set via the {BACKEND_ENV_VAR} environment variable, "
+            "set_backend(), or an explicit backend= argument)"
+        )
+    return label
+
+
+def active_backend() -> str:
+    """The currently selected backend name.
+
+    Resolution order: a programmatic :func:`set_backend` override, then the
+    ``REPRO_BACKEND`` environment variable, then ``"reference"``.
+    """
+    if _BACKEND_OVERRIDE is not None:
+        return _BACKEND_OVERRIDE
+    raw = os.environ.get(BACKEND_ENV_VAR)
+    if raw is None or not raw.strip():
+        return "reference"
+    return _validated_backend(raw)
+
+
+def set_backend(name: str | None) -> None:
+    """Select the backend for the whole process (``None`` restores env control)."""
+    global _BACKEND_OVERRIDE
+    _BACKEND_OVERRIDE = None if name is None else _validated_backend(name)
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Context manager selecting a backend within a ``with`` block."""
+    global _BACKEND_OVERRIDE
+    previous = _BACKEND_OVERRIDE
+    set_backend(name)
+    try:
+        yield active_backend()
+    finally:
+        _BACKEND_OVERRIDE = previous
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """An explicit ``backend=`` argument if given, else :func:`active_backend`."""
+    if backend is None:
+        return active_backend()
+    return _validated_backend(backend)
+
+
+@dataclass(frozen=True)
+class DTWSearchStats:
+    """Where the candidate pairs of one pruned 1-NN/k-NN search were answered.
+
+    ``lb_kim_pruned + lb_keogh_pruned + dp_computed == n_pairs`` always
+    holds: every pair is either killed by a lower bound or enters the
+    dynamic program (``dp_abandoned`` counts the subset of ``dp_computed``
+    stopped early by the running-best threshold).
+    """
+
+    n_pairs: int
+    lb_kim_pruned: int
+    lb_keogh_pruned: int
+    dp_abandoned: int
+    dp_computed: int
+
+    @property
+    def pruning_rate(self) -> float:
+        """Fraction of candidate pairs that never entered the dynamic program."""
+        if self.n_pairs == 0:
+            return 0.0
+        return 1.0 - self.dp_computed / self.n_pairs
+
+
+def _as_batch(arr: np.ndarray, what: str) -> np.ndarray:
+    out = np.asarray(arr, dtype=float)
+    if out.ndim == 1:
+        out = out[None, :]
+    if out.ndim != 2 or out.shape[0] < 1 or out.shape[1] < 1:
+        raise ValueError(f"{what} must be a non-empty 1-D series or 2-D batch")
+    return out
+
+
+#: A chunk is compacted (abandoned pairs dropped from the working set) once
+#: at least this fraction of it is dead -- compaction is a gather over the
+#: rolling diagonals, so doing it for every lone dead pair would cost more
+#: than carrying the pair.
+_COMPACT_FRACTION = 0.125
+
+
+def _banded_costs_with_abandon(
+    q_rows: np.ndarray,
+    t_rows: np.ndarray,
+    band: int,
+    thresholds_sq: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Banded squared DTW costs of a batch of pairs, abandoning hopeless ones.
+
+    ``q_rows``/``t_rows`` are the already-gathered per-pair series (shapes
+    ``(p, n)`` and ``(p, m)``, any float dtype -- float32 selects float32
+    accumulation).  Per cell the recurrence is exactly the one of
+    :func:`repro.distance.dtw._wavefront_accumulated_cost` (same elementwise
+    operations in the same order, so surviving costs are bit-identical to the
+    dense reference), but only the rolling last two anti-diagonals are kept
+    -- each indexed by ``i`` so every per-diagonal operand is a contiguous
+    slice, never a fancy gather, and no ``(p, n, m)`` tensor is ever
+    materialised.
+
+    Abandoning is exact: a warping path advances ``i + j`` by 1 or 2 per
+    step, so it crosses every pair of consecutive anti-diagonals at least
+    once, with non-decreasing accumulated cost; a pair whose two-diagonal
+    in-band minimum exceeds its threshold therefore can never finish below
+    it.  Dead pairs are compacted out of the working set (their result is
+    ``inf``); a dead pair carried to the end of the recurrence instead (below
+    the compaction threshold) still reports its exact cost.
+
+    Returns ``(squared_costs, abandoned)``; abandoned pairs carry ``inf``.
+    """
+    p, n = q_rows.shape
+    m = t_rows.shape[1]
+    dt = q_rows.dtype
+    out = np.full(p, np.inf)
+    ids = np.arange(p)
+    thr = np.asarray(thresholds_sq, dtype=float)
+    # Diagonal d holds cost(i, d - i) at column i; d-2 then d-1, rolled.
+    prev2 = np.full((p, n + 1), np.inf, dtype=dt)
+    prev = np.full((p, n + 1), np.inf, dtype=dt)
+    prev2[:, 0] = 0.0
+    prev_min = np.full(p, np.inf)
+    for d in range(2, n + m + 1):
+        i_lo = max(1, d - m, (d - band + 1) // 2)
+        i_hi = min(n, d - 1, (d + band) // 2)
+        if i_lo > i_hi:
+            continue
+        cur = np.full((ids.shape[0], n + 1), np.inf, dtype=dt)
+        # cost(i-1, j) and cost(i, j-1) live on diagonal d-1 at columns
+        # i-1 and i; cost(i-1, j-1) on d-2 at i-1.  All contiguous slices.
+        best = np.minimum(prev[:, i_lo - 1 : i_hi], prev[:, i_lo : i_hi + 1])
+        np.minimum(best, prev2[:, i_lo - 1 : i_hi], out=best)
+        diff = q_rows[:, i_lo - 1 : i_hi] - t_rows[:, d - i_hi - 1 : d - i_lo][:, ::-1]
+        cur[:, i_lo : i_hi + 1] = diff * diff + best
+        cur_min = cur[:, i_lo : i_hi + 1].min(axis=1)
+        dead = np.minimum(prev_min, cur_min) > thr
+        prev2, prev, prev_min = prev, cur, cur_min
+        n_dead = int(dead.sum())
+        if n_dead == ids.shape[0]:
+            return out, np.isinf(out)
+        if n_dead >= max(8, int(_COMPACT_FRACTION * ids.shape[0])):
+            alive = ~dead
+            q_rows, t_rows = q_rows[alive], t_rows[alive]
+            prev2, prev, prev_min = prev2[alive], prev[alive], prev_min[alive]
+            thr, ids = thr[alive], ids[alive]
+    out[ids] = prev[:, n]
+    return out, np.isinf(out)
+
+
+def _insert_neighbor(
+    best_d: np.ndarray, best_i: np.ndarray, row: int, dist: float, index: int
+) -> None:
+    """Insert a computed candidate into a query's running top-k.
+
+    Ordering is lexicographic on ``(distance, training index)`` -- exactly
+    the stable-sort tie-break of the dense reference selection.
+    """
+    k = best_d.shape[1]
+    last_d = best_d[row, k - 1]
+    if dist > last_d or (dist == last_d and index > best_i[row, k - 1]):
+        return
+    d_row = np.append(best_d[row], dist)
+    i_row = np.append(best_i[row], index)
+    order = np.lexsort((i_row, d_row))[:k]
+    best_d[row] = d_row[order]
+    best_i[row] = i_row[order]
+
+
+def pruned_dtw_nearest_neighbors(
+    queries: np.ndarray,
+    train: np.ndarray,
+    window: int | float | None = None,
+    n_neighbors: int = 1,
+    dtype: np.dtype | type = np.float64,
+    return_stats: bool = False,
+    chunk_pairs: int = _DP_CHUNK_PAIRS,
+    max_block_bytes: int = _LB_BLOCK_BYTES,
+) -> (
+    tuple[np.ndarray, np.ndarray]
+    | tuple[np.ndarray, np.ndarray, DTWSearchStats]
+):
+    """DTW k nearest neighbours through the cascading lower-bound pipeline.
+
+    See the module docstring for the cascade.  In float64 mode (default) the
+    returned indices and distances are bit-identical to the dense reference
+    (:func:`repro.distance.engine.dtw_nearest_neighbors` with
+    ``backend="reference"``); ``dtype=np.float32`` selects float32
+    accumulation in the dynamic program (distances within ~1e-5 relative on
+    realistic data).
+
+    Parameters
+    ----------
+    queries, train:
+        2-D arrays ``(n_queries, n)`` and ``(n_train, m)``; lengths may
+        differ (DTW aligns them).  A 1-D query is promoted to a batch of one.
+    window:
+        Sakoe-Chiba band spec with the semantics of
+        :func:`repro.distance.dtw.dtw_distance`.
+    n_neighbors:
+        Number of neighbours per query (``k``), each sorted by
+        ``(distance, training index)``.
+    dtype:
+        ``np.float64`` (bit-exact) or ``np.float32`` (fast accumulation).
+    return_stats:
+        Also return a :class:`DTWSearchStats` with the per-stage pruning
+        counts (the benchmark's pruning-rate metric).
+    chunk_pairs:
+        Survivor pairs per early-abandoning wavefront call.
+    max_block_bytes:
+        Byte budget for the gathered LB_Keogh temporaries.
+
+    Returns
+    -------
+    (indices, distances[, stats]):
+        ``(n_queries, k)`` neighbour indices (closest first) and their DTW
+        distances.
+    """
+    q = _as_batch(queries, "queries")
+    t = _as_batch(train, "train")
+    n_q, n = q.shape
+    n_train, m = t.shape
+    k = int(n_neighbors)
+    if not 1 <= k <= n_train:
+        raise ValueError(f"n_neighbors must be in [1, {n_train}], got {n_neighbors}")
+    if chunk_pairs < 1:
+        raise ValueError("chunk_pairs must be >= 1")
+    if max_block_bytes < 1:
+        raise ValueError("max_block_bytes must be positive")
+    dt = np.dtype(dtype)
+    if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError("dtype must be float32 or float64")
+    slack = PRUNE_SLACK if dt == np.dtype(np.float64) else PRUNE_SLACK_F32
+    band = _resolve_band(n, m, window)
+    q_dp = q.astype(dt, copy=False)
+    t_dp = t.astype(dt, copy=False)
+
+    best_d = np.full((n_q, k), np.inf)
+    best_i = np.full((n_q, k), n_train, dtype=np.intp)
+    computed = np.zeros((n_q, n_train), dtype=bool)
+    n_pairs = n_q * n_train
+    dp_computed = 0
+    dp_abandoned = 0
+
+    def run_pairs(rows: np.ndarray, cols: np.ndarray, thresholds: np.ndarray) -> None:
+        nonlocal dp_computed, dp_abandoned
+        dp_computed += rows.shape[0]
+        sq, abandoned = _banded_costs_with_abandon(
+            q_dp[rows], t_dp[cols], band, thresholds
+        )
+        dp_abandoned += int(abandoned.sum())
+        dist = np.sqrt(sq)
+        computed[rows, cols] = True
+        for a in np.flatnonzero(np.isfinite(dist)):
+            _insert_neighbor(best_d, best_i, int(rows[a]), float(dist[a]), int(cols[a]))
+
+    def thresholds_for(rows: np.ndarray) -> np.ndarray:
+        kth = best_d[rows, k - 1]
+        with np.errstate(invalid="ignore"):
+            return np.where(np.isfinite(kth), kth * kth * (1.0 + slack), np.inf)
+
+    # --- stage 0: LB_Kim over all pairs, and k seed DPs per query ----------
+    kim = lb_kim(q, t)
+    seed_cols = np.argsort(kim, axis=1, kind="stable")[:, :k]
+    seed_rows = np.repeat(np.arange(n_q), k)
+    seed_flat = seed_cols.ravel()
+    for start in range(0, seed_rows.shape[0], chunk_pairs):
+        stop = min(start + chunk_pairs, seed_rows.shape[0])
+        run_pairs(
+            seed_rows[start:stop],
+            seed_flat[start:stop],
+            np.full(stop - start, np.inf),
+        )
+
+    # --- stage 1: prune by LB_Kim against the seeded running best ----------
+    thr = thresholds_for(np.arange(n_q))
+    alive = (kim <= thr[:, None]) & ~computed
+    lb_kim_pruned = n_pairs - int(alive.sum()) - int(computed.sum())
+
+    # --- stage 2: LB_Keogh, only for the pairs LB_Kim could not answer -----
+    rows, cols = np.nonzero(alive)
+    lb = np.empty(rows.shape[0])
+    if rows.shape[0]:
+        lower, upper = dtw_band_envelopes(t, band, query_length=n)
+        chunk = max(1, int(max_block_bytes // (max(n, 1) * 8 * 2)))
+        for start in range(0, rows.shape[0], chunk):
+            stop = min(start + chunk, rows.shape[0])
+            qs = q[rows[start:stop]]
+            over = np.maximum(qs - upper[cols[start:stop]], 0.0)
+            under = np.maximum(lower[cols[start:stop]] - qs, 0.0)
+            lb[start:stop] = np.einsum("pn,pn->p", over, over) + np.einsum(
+                "pn,pn->p", under, under
+            )
+        np.maximum(lb, kim[rows, cols], out=lb)
+    keep = lb <= thr[rows]
+    lb_keogh_pruned = int((~keep).sum())
+    rows, cols, lb = rows[keep], cols[keep], lb[keep]
+
+    # --- stage 3: early-abandoning DP for survivors, best-bound first ------
+    order = np.argsort(lb, kind="stable")
+    rows, cols, lb = rows[order], cols[order], lb[order]
+    for start in range(0, rows.shape[0], chunk_pairs):
+        stop = min(start + chunk_pairs, rows.shape[0])
+        chunk_rows = rows[start:stop]
+        thr_now = thresholds_for(chunk_rows)
+        still = lb[start:stop] <= thr_now
+        lb_keogh_pruned += int((~still).sum())
+        if not still.any():
+            continue
+        run_pairs(chunk_rows[still], cols[start:stop][still], thr_now[still])
+
+    distances = best_d.copy()
+    indices = best_i.copy()
+    if not return_stats:
+        return indices, distances
+    stats = DTWSearchStats(
+        n_pairs=n_pairs,
+        lb_kim_pruned=lb_kim_pruned,
+        lb_keogh_pruned=lb_keogh_pruned,
+        dp_abandoned=dp_abandoned,
+        dp_computed=dp_computed,
+    )
+    return indices, distances, stats

@@ -21,7 +21,14 @@ import numpy as np
 
 from repro.distance.znorm import znormalize
 
-__all__ = ["dtw_distance", "znormalized_dtw_distance", "dtw_path"]
+__all__ = [
+    "dtw_distance",
+    "znormalized_dtw_distance",
+    "dtw_path",
+    "dtw_band_envelopes",
+    "lb_kim",
+    "lb_keogh",
+]
 
 
 def _validate(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -35,17 +42,36 @@ def _validate(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 
 def _resolve_band(n: int, m: int, window: int | float | None) -> int:
-    """Convert a window spec (absolute int, fraction, or None) to a band width."""
+    """Convert a window spec (absolute int, fraction, or None) to a band width.
+
+    Integers are absolute band widths, floats are fractions of the longer
+    length -- which makes the *type* of the argument load-bearing (``1`` is a
+    one-sample band, ``1.0`` is the full band).  Bools are rejected outright:
+    ``bool`` is an ``int`` subclass, so ``window=True`` used to slip through
+    as a band of 1, which is never what a caller meant.  NumPy integer and
+    floating scalars are accepted explicitly and follow the same int/float
+    split (``np.float32(0.1)`` is a fraction, not ``int(0.1) == 0``).
+    """
     if window is None:
         return max(n, m)
-    if isinstance(window, float):
+    if isinstance(window, (bool, np.bool_)):
+        raise TypeError(
+            "window must be an int (absolute band), a float in [0, 1] "
+            "(fraction) or None, not a bool"
+        )
+    if isinstance(window, (float, np.floating)):
         if not 0.0 <= window <= 1.0:
             raise ValueError("fractional window must be in [0, 1]")
-        band = int(np.ceil(window * max(n, m)))
-    else:
+        band = int(np.ceil(float(window) * max(n, m)))
+    elif isinstance(window, (int, np.integer)):
         band = int(window)
         if band < 0:
             raise ValueError("window must be >= 0")
+    else:
+        raise TypeError(
+            "window must be an int (absolute band), a float in [0, 1] "
+            f"(fraction) or None, got {type(window).__name__}"
+        )
     # The band must at least cover the length difference or no path exists.
     return max(band, abs(n - m))
 
@@ -66,7 +92,7 @@ def _wavefront_accumulated_cost(sq_cost: np.ndarray, band: int) -> np.ndarray:
     border infinite); out-of-band cells stay infinite.
     """
     n, m = sq_cost.shape[-2], sq_cost.shape[-1]
-    cost = np.full(sq_cost.shape[:-2] + (n + 1, m + 1), np.inf)
+    cost = np.full(sq_cost.shape[:-2] + (n + 1, m + 1), np.inf, dtype=sq_cost.dtype)
     cost[..., 0, 0] = 0.0
     for d in range(2, n + m + 1):
         # In-band cells of the diagonal: 1 <= i <= n, 1 <= j = d - i <= m,
@@ -122,6 +148,14 @@ def dtw_distance(a: np.ndarray, b: np.ndarray, window: int | float | None = None
         Sakoe-Chiba band constraint.  ``None`` means unconstrained; an ``int``
         is an absolute band width in points; a ``float`` in [0, 1] is a
         fraction of the longer series' length.
+
+        .. warning::
+           The *type* decides the meaning: ``window=1`` is a one-sample band,
+           while the integral float ``window=1.0`` is the fraction "100%",
+           i.e. the full (unconstrained) band -- and ``window=0.0`` is the
+           zero band, same as ``window=0``.  Bools are rejected (``True`` is
+           an ``int`` subclass and would silently mean a band of 1); NumPy
+           integer/floating scalars follow the same int/float split.
     """
     a, b = _validate(a, b)
     band = _resolve_band(a.shape[0], b.shape[0], window)
@@ -135,6 +169,126 @@ def znormalized_dtw_distance(
     """DTW distance after independently z-normalising both series."""
     a, b = _validate(a, b)
     return dtw_distance(znormalize(a), znormalize(b), window=window)
+
+
+def dtw_band_envelopes(
+    train: np.ndarray, band: int, query_length: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sakoe-Chiba band envelopes of every training series, for :func:`lb_keogh`.
+
+    For a query index ``i`` the banded DTW recurrence only ever aligns
+    ``q[i]`` with training samples ``t[j]``, ``|i - j| <= band``; the
+    envelopes are the running extrema over exactly that window,
+
+    ``lower[s, i] = min(train[s, max(i - band, 0) : min(i + band, m - 1) + 1])``
+
+    (and ``upper`` the max), so they can be precomputed once per training set
+    and shared by every query of a 1-NN search.
+
+    Parameters
+    ----------
+    train:
+        2-D array ``(n_train, m)`` (a 1-D series is promoted).
+    band:
+        Resolved band half-width (see :func:`_resolve_band`); must be
+        ``>= |query_length - m|`` so every query index has a non-empty
+        window.
+    query_length:
+        Length ``n`` of the queries the envelopes will be held against
+        (defaults to ``m``); the returned arrays have shape ``(n_train, n)``.
+
+    Returns
+    -------
+    (lower, upper):
+        Two ``(n_train, query_length)`` float64 arrays.
+    """
+    arr = np.asarray(train, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2 or arr.shape[1] < 1:
+        raise ValueError("train must be a non-empty 1-D series or 2-D batch")
+    n_train, m = arr.shape
+    n = m if query_length is None else int(query_length)
+    if n < 1:
+        raise ValueError("query_length must be >= 1")
+    if band < abs(n - m):
+        raise ValueError(
+            f"band {band} cannot cover the length difference |{n} - {m}|"
+        )
+    if band >= m:
+        lower = np.broadcast_to(arr.min(axis=1)[:, None], (n_train, n)).copy()
+        upper = np.broadcast_to(arr.max(axis=1)[:, None], (n_train, n)).copy()
+        return lower, upper
+    # Window ``i`` of the padded array covers train indices [i - band, i + band]
+    # clipped to [0, m - 1]: sentinels (+inf for the min, -inf for the max) are
+    # transparent to the extrema, so one sliding_window_view answers all
+    # positions including the clipped edges.
+    width = 2 * band + 1
+    right = band + max(0, n - m)
+    lo_pad = np.concatenate(
+        [np.full((n_train, band), np.inf), arr, np.full((n_train, right), np.inf)],
+        axis=1,
+    )
+    hi_pad = np.concatenate(
+        [np.full((n_train, band), -np.inf), arr, np.full((n_train, right), -np.inf)],
+        axis=1,
+    )
+    windows_lo = np.lib.stride_tricks.sliding_window_view(lo_pad, width, axis=1)
+    windows_hi = np.lib.stride_tricks.sliding_window_view(hi_pad, width, axis=1)
+    return windows_lo.min(axis=2)[:, :n], windows_hi.max(axis=2)[:, :n]
+
+
+def lb_kim(queries: np.ndarray, train: np.ndarray) -> np.ndarray:
+    """Constant-time endpoint lower bound on the *squared* DTW cost (LB_Kim).
+
+    Every warping path aligns the first samples with each other and the last
+    samples with each other, so those two squared differences are part of any
+    accumulated cost regardless of the band:
+
+    ``lb_kim[q, t] = (queries[q, 0] - train[t, 0])^2
+                   + (queries[q, -1] - train[t, -1])^2``
+
+    Returns the ``(n_queries, n_train)`` bound on the squared cost (compare
+    against ``dtw_distance(...) ** 2``).
+    """
+    q = np.asarray(queries, dtype=float)
+    t = np.asarray(train, dtype=float)
+    if q.ndim == 1:
+        q = q[None, :]
+    if t.ndim == 1:
+        t = t[None, :]
+    first = q[:, 0, None] - t[None, :, 0]
+    last = q[:, -1, None] - t[None, :, -1]
+    return first * first + last * last
+
+
+def lb_keogh(
+    queries: np.ndarray, lower: np.ndarray, upper: np.ndarray
+) -> np.ndarray:
+    """Envelope lower bound on the *squared* banded DTW cost (LB_Keogh).
+
+    Each query sample is aligned with at least one training sample inside its
+    band window, and that sample lies between the window's extrema, so
+
+    ``lb[q, t] = sum_i max(queries[q, i] - upper[t, i], 0)^2
+                      + max(lower[t, i] - queries[q, i], 0)^2``
+
+    never exceeds the squared accumulated cost of the banded dynamic
+    program.  ``lower``/``upper`` come from :func:`dtw_band_envelopes`
+    computed with the same resolved band and ``query_length``.
+
+    Returns the ``(n_queries, n_train)`` bound on the squared cost.
+    """
+    q = np.asarray(queries, dtype=float)
+    if q.ndim == 1:
+        q = q[None, :]
+    if q.shape[1] != lower.shape[1] or lower.shape != upper.shape:
+        raise ValueError("envelopes must match the query length (and each other)")
+    over = np.maximum(q[:, None, :] - upper[None, :, :], 0.0)
+    under = np.maximum(lower[None, :, :] - q[:, None, :], 0.0)
+    return np.einsum("qtn,qtn->qt", over, over) + np.einsum(
+        "qtn,qtn->qt", under, under
+    )
 
 
 def dtw_path(

@@ -58,6 +58,11 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.distance.backends import (
+    DTWSearchStats,
+    pruned_dtw_nearest_neighbors,
+    resolve_backend,
+)
 from repro.distance.dtw import _resolve_band, _wavefront_accumulated_cost
 
 __all__ = [
@@ -65,6 +70,7 @@ __all__ = [
     "PrefixSweep",
     "PrefixDTWEngine",
     "batch_prefix_distances",
+    "dtw_nearest_neighbors",
     "dtw_pairwise_distances",
     "iter_prefix_distances",
     "pairwise_prefix_distances",
@@ -550,6 +556,7 @@ def dtw_pairwise_distances(
     train: np.ndarray,
     window: int | float | None = None,
     max_block_bytes: int = _BATCH_BYTES,
+    dtype: np.dtype | type = np.float64,
 ) -> np.ndarray:
     """Banded DTW distance of every query to every training series in one pass.
 
@@ -578,12 +585,24 @@ def dtw_pairwise_distances(
     max_block_bytes:
         Upper bound on the per-chunk cost tensors; queries are chunked so
         arbitrarily large batches run in bounded memory.
+    dtype:
+        Accumulation dtype of the dynamic program: ``np.float64`` (default,
+        bit-identical to the scalar reference) or ``np.float32`` (halves the
+        working set; distances within ~1e-5 relative on realistic data).
 
     Returns
     -------
     numpy.ndarray
-        ``(n_queries, n_train)`` DTW distances (square roots of accumulated
-        squared costs).
+        ``(n_queries, n_train)`` float64 DTW distances (square roots of
+        accumulated squared costs).
+
+    Notes
+    -----
+    A *pairwise matrix* is dense by definition -- every entry is demanded --
+    so there is nothing here for a lower bound to prune and this kernel is
+    the same under every ``REPRO_BACKEND``.  The backend switch governs
+    :func:`dtw_nearest_neighbors`, where only the k smallest entries per row
+    survive and most pairs can be answered without the dynamic program.
     """
     train = _as_train_matrix(train)
     arr = np.asarray(queries, dtype=float)
@@ -595,22 +614,128 @@ def dtw_pairwise_distances(
         raise ValueError("queries must contain at least one sample")
     if max_block_bytes < 1:
         raise ValueError("max_block_bytes must be positive")
+    dt = np.dtype(dtype)
+    if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError("dtype must be float32 or float64")
     n, m = arr.shape[1], train.shape[1]
     band = _resolve_band(n, m, window)
     n_queries, n_train = arr.shape[0], train.shape[0]
+    arr_dp = arr.astype(dt, copy=False)
+    train_dp = train.astype(dt, copy=False)
 
     out = np.empty((n_queries, n_train))
     # Working set per query: the (n_train, n, m) squared-cost tensor plus the
     # (n_train, n + 1, m + 1) accumulated-cost tensor.
-    per_query = n_train * (n * m + (n + 1) * (m + 1)) * 8
+    per_query = n_train * (n * m + (n + 1) * (m + 1)) * dt.itemsize
     chunk = max(1, int(max_block_bytes // per_query))
     for start in range(0, n_queries, chunk):
         stop = min(start + chunk, n_queries)
-        diff = arr[start:stop, None, :, None] - train[None, :, None, :]
+        diff = arr_dp[start:stop, None, :, None] - train_dp[None, :, None, :]
         np.square(diff, out=diff)
         cost = _wavefront_accumulated_cost(diff, band)
-        out[start:stop] = np.sqrt(cost[..., n, m])
+        np.sqrt(cost[..., n, m], out=out[start:stop], casting="unsafe")
     return out
+
+
+def _stable_k_smallest(
+    distances: np.ndarray, k: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row indices and values of the ``k`` smallest entries, ties by index.
+
+    The repo-wide neighbour convention: candidates are ordered
+    lexicographically by ``(distance, column index)``, so an exact tie always
+    resolves to the lowest training index -- ``np.argmin`` for ``k == 1``, a
+    stable argsort otherwise.
+    """
+    if k == 1:
+        idx = np.argmin(distances, axis=1)[:, None]
+    else:
+        idx = np.argsort(distances, axis=1, kind="stable")[:, :k]
+    return idx, np.take_along_axis(distances, idx, axis=1)
+
+
+def dtw_nearest_neighbors(
+    queries: np.ndarray,
+    train: np.ndarray,
+    window: int | float | None = None,
+    n_neighbors: int = 1,
+    backend: str | None = None,
+    dtype: np.dtype | type = np.float64,
+    return_stats: bool = False,
+    max_block_bytes: int = _BATCH_BYTES,
+) -> (
+    tuple[np.ndarray, np.ndarray]
+    | tuple[np.ndarray, np.ndarray, DTWSearchStats]
+):
+    """DTW k nearest neighbours of every query, routed through the backend layer.
+
+    The single entry point every DTW 1-NN consumer should call: the
+    ``"reference"`` backend evaluates the dense
+    :func:`dtw_pairwise_distances` matrix and stable-selects per row, while
+    the ``"pruned"`` backend answers most pairs with the
+    LB_Kim -> LB_Keogh -> early-abandoning-DP cascade of
+    :func:`repro.distance.backends.pruned_dtw_nearest_neighbors`.  In float64
+    mode the two return bit-identical indices and distances (the equivalence
+    suite pins this), so the backend is purely a throughput choice.
+
+    Parameters
+    ----------
+    queries, train:
+        2-D arrays ``(n_queries, n)`` and ``(n_train, m)``; lengths may
+        differ.  A 1-D query is promoted to a batch of one.
+    window:
+        Sakoe-Chiba band spec with the semantics of
+        :func:`repro.distance.dtw.dtw_distance`.
+    n_neighbors:
+        Neighbours per query, each row sorted by ``(distance, index)``.
+    backend:
+        Explicit backend name, overriding ``REPRO_BACKEND`` /
+        :func:`repro.distance.backends.set_backend`; ``None`` defers to them.
+    dtype:
+        ``np.float64`` (bit-exact) or ``np.float32`` (fast accumulation).
+    return_stats:
+        Also return a :class:`repro.distance.backends.DTWSearchStats`.  The
+        reference backend reports a fully dense search (pruning rate 0).
+    max_block_bytes:
+        Byte budget forwarded to the underlying kernels.
+
+    Returns
+    -------
+    (indices, distances[, stats]):
+        ``(n_queries, k)`` neighbour indices (closest first) and their
+        float64 DTW distances.
+    """
+    name = resolve_backend(backend)
+    if name == "pruned":
+        return pruned_dtw_nearest_neighbors(
+            queries,
+            train,
+            window=window,
+            n_neighbors=n_neighbors,
+            dtype=dtype,
+            return_stats=return_stats,
+            max_block_bytes=max_block_bytes,
+        )
+    distances = dtw_pairwise_distances(
+        queries, train, window=window, max_block_bytes=max_block_bytes, dtype=dtype
+    )
+    k = int(n_neighbors)
+    if not 1 <= k <= distances.shape[1]:
+        raise ValueError(
+            f"n_neighbors must be in [1, {distances.shape[1]}], got {n_neighbors}"
+        )
+    idx, vals = _stable_k_smallest(distances, k)
+    if not return_stats:
+        return idx, vals
+    n_pairs = distances.size
+    stats = DTWSearchStats(
+        n_pairs=n_pairs,
+        lb_kim_pruned=0,
+        lb_keogh_pruned=0,
+        dp_abandoned=0,
+        dp_computed=n_pairs,
+    )
+    return idx, vals, stats
 
 
 class PrefixDTWEngine:

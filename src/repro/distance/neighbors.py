@@ -13,7 +13,12 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.distance.engine import batch_prefix_distances, iter_prefix_distances
+from repro.distance.engine import (
+    _stable_k_smallest,
+    batch_prefix_distances,
+    dtw_nearest_neighbors,
+    iter_prefix_distances,
+)
 from repro.distance.euclidean import pairwise_euclidean
 from repro.distance.znorm import EPSILON, znormalize
 
@@ -55,12 +60,25 @@ class KNeighborsTimeSeriesClassifier:
         Number of neighbours used for the vote (default 1, the community
         standard for UCR-style evaluation).
     metric:
-        Either the string ``"euclidean"`` (the default; uses a vectorised
-        pairwise computation) or any callable ``f(a, b) -> float``.
+        The string ``"euclidean"`` (the default; uses a vectorised pairwise
+        computation), the string ``"dtw"`` (banded DTW routed through
+        :func:`repro.distance.engine.dtw_nearest_neighbors`, so it rides the
+        pruned lower-bound cascade whenever ``REPRO_BACKEND=pruned`` is
+        active), or any callable ``f(a, b) -> float``.
     znormalize_inputs:
         If ``True``, every training and query series is z-normalised before
         distances are computed.  Set to ``False`` to reproduce the "peeking"
         behaviour of models that assume their inputs arrive pre-normalised.
+    metric_params:
+        Optional mapping of extra parameters for a string metric.  The
+        ``"dtw"`` metric reads ``"window"`` (Sakoe-Chiba band spec with the
+        semantics of :func:`repro.distance.dtw.dtw_distance`); unknown keys
+        are rejected so a typo cannot silently fall back to defaults.
+    max_prefix_sweep_bytes:
+        Per-instance byte budget for :meth:`predict_prefixes`' stacked
+        distance array (``None`` keeps the class default).  Before this was
+        an ``__init__`` parameter, tuning it meant assigning to the bare
+        class attribute -- mutating every other instance's budget.
 
     Notes
     -----
@@ -95,12 +113,28 @@ class KNeighborsTimeSeriesClassifier:
         n_neighbors: int = 1,
         metric: str | DistanceFunction = "euclidean",
         znormalize_inputs: bool = False,
+        metric_params: dict | None = None,
+        max_prefix_sweep_bytes: int | None = None,
     ) -> None:
         if n_neighbors < 1:
             raise ValueError("n_neighbors must be >= 1")
         self.n_neighbors = n_neighbors
         self.metric = metric
         self.znormalize_inputs = znormalize_inputs
+        self.metric_params = dict(metric_params) if metric_params else {}
+        if self.metric_params:
+            allowed = {"window"} if metric == "dtw" else set()
+            unknown = set(self.metric_params) - allowed
+            if unknown:
+                raise ValueError(
+                    f"metric {metric!r} does not accept metric_params "
+                    f"{sorted(unknown)}"
+                )
+        if max_prefix_sweep_bytes is not None:
+            if int(max_prefix_sweep_bytes) < 1:
+                raise ValueError("max_prefix_sweep_bytes must be positive")
+            # An instance attribute: shadows (never mutates) the class default.
+            self.max_prefix_sweep_bytes = int(max_prefix_sweep_bytes)
         self._train: np.ndarray | None = None
         self._labels: np.ndarray | None = None
         self._classes: tuple = ()
@@ -167,15 +201,36 @@ class KNeighborsTimeSeriesClassifier:
     def _k_nearest_stable(self, distances: np.ndarray) -> np.ndarray:
         """Indices of the ``k`` smallest entries per row, lowest index on ties.
 
-        ``distances`` has shape ``(n_queries, n_train)``.  For ``k == 1`` the
-        stable order reduces to :func:`numpy.argmin` (which is documented to
-        return the *first* occurrence of the minimum), avoiding a full sort on
-        the 1-NN hot path; both therefore implement the same lowest-index
+        ``distances`` has shape ``(n_queries, n_train)``.  Delegates to
+        :func:`repro.distance.engine._stable_k_smallest`: ``np.argmin`` for
+        ``k == 1`` (documented to return the *first* occurrence of the
+        minimum), a stable argsort otherwise -- both the same lowest-index
         tie-break.
         """
-        if self.n_neighbors == 1:
-            return np.argmin(distances, axis=1)[:, None]
-        return np.argsort(distances, axis=1, kind="stable")[:, : self.n_neighbors]
+        return _stable_k_smallest(distances, self.n_neighbors)[0]
+
+    def _neighbors_for(self, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(indices, distances)`` of each query row's k nearest training series.
+
+        The single neighbour-finding path every prediction entry point sits
+        on.  The ``"dtw"`` metric goes straight to
+        :func:`repro.distance.engine.dtw_nearest_neighbors` (and thereby the
+        active ``REPRO_BACKEND`` -- the pruned cascade never materialises the
+        dense matrix); everything else computes its ``(n_queries, n_train)``
+        matrix once and stable-selects per row.  Both rows come back sorted
+        by ``(distance, training index)``.
+        """
+        train, _ = self._require_fitted()
+        if self.metric == "dtw":
+            return dtw_nearest_neighbors(
+                queries,
+                train,
+                window=self.metric_params.get("window"),
+                n_neighbors=self.n_neighbors,
+            )
+        distances = self._distances_to_train(queries)
+        idx = self._k_nearest_stable(distances)
+        return idx, np.take_along_axis(distances, idx, axis=1)
 
     def query(self, series: np.ndarray) -> NearestNeighborResult:
         """Full nearest-neighbour query for a single series."""
@@ -189,10 +244,9 @@ class KNeighborsTimeSeriesClassifier:
     def _query_prepared(self, q: np.ndarray) -> NearestNeighborResult:
         """:meth:`query` on a series that has already been normalised (if any)."""
         _, labels = self._require_fitted()
-        distances = self._distances_to_train(q[None, :])[0]
-        order = self._k_nearest_stable(distances[None, :])[0]
+        idx, dists = self._neighbors_for(q[None, :])
+        order, neighbor_distances = idx[0], dists[0]
         neighbor_labels = labels[order]
-        neighbor_distances = distances[order]
 
         probabilities = self._soft_vote(neighbor_labels, neighbor_distances)
         label = max(probabilities.items(), key=lambda item: item[1])[0]
@@ -234,39 +288,46 @@ class KNeighborsTimeSeriesClassifier:
             return {cls: uniform for cls in scores}
         return {cls: score / total for cls, score in scores.items()}
 
-    def _vote_from_distances(self, distances: np.ndarray) -> np.ndarray:
-        """Labels for a precomputed ``(n_queries, n_train)`` distance matrix.
+    def _labels_from_neighbors(
+        self, neighbours: np.ndarray, distances: np.ndarray
+    ) -> np.ndarray:
+        """Voted labels for already-selected ``(n_queries, k)`` neighbours.
 
-        One stable k-smallest selection on the whole matrix; only the
-        (cheap) per-row soft vote remains in Python, and only for ``k > 1``.
+        Only the (cheap) per-row soft vote remains in Python, and only for
+        ``k > 1``.
         """
         _, labels = self._require_fitted()
-        neighbours = self._k_nearest_stable(distances)
         if self.n_neighbors == 1:
             return labels[neighbours[:, 0]]
         predicted = []
-        for i in range(distances.shape[0]):
-            votes = self._soft_vote(labels[neighbours[i]], distances[i, neighbours[i]])
+        for i in range(neighbours.shape[0]):
+            votes = self._soft_vote(labels[neighbours[i]], distances[i])
             predicted.append(max(votes.items(), key=lambda item: item[1])[0])
         return np.asarray(predicted)
+
+    def _vote_from_distances(self, distances: np.ndarray) -> np.ndarray:
+        """Labels for a precomputed ``(n_queries, n_train)`` distance matrix."""
+        neighbours = self._k_nearest_stable(distances)
+        return self._labels_from_neighbors(
+            neighbours, np.take_along_axis(distances, neighbours, axis=1)
+        )
 
     def predict(self, series: np.ndarray) -> np.ndarray:
         """Predict labels for a 2-D array of query series.
 
-        With the Euclidean metric the whole test set is answered from one
-        pairwise distance matrix for any ``n_neighbors`` -- the matrix is
-        computed once and both the k-smallest selection and the vote consume
-        it directly (no per-query recomputation, no re-normalisation of
-        already-normalised queries).
+        The whole test set is answered from one :meth:`_neighbors_for` call:
+        with the Euclidean metric that is one pairwise distance matrix for
+        any ``n_neighbors``; with the ``"dtw"`` metric it is one
+        :func:`repro.distance.engine.dtw_nearest_neighbors` search riding
+        the active backend.  No per-query recomputation, no
+        re-normalisation of already-normalised queries.
         """
         queries = np.asarray(series, dtype=float)
         if queries.ndim == 1:
             queries = queries[None, :]
         if self.znormalize_inputs:
             queries = znormalize(queries)
-        if self.metric == "euclidean":
-            return self._vote_from_distances(self._distances_to_train(queries))
-        return np.asarray([self._query_prepared(q).label for q in queries])
+        return self._labels_from_neighbors(*self._neighbors_for(queries))
 
     def predict_prefixes(self, series: np.ndarray, lengths: Sequence[int]) -> np.ndarray:
         """Predict labels for raw prefixes of every query at several lengths.
@@ -347,17 +408,32 @@ class KNeighborsTimeSeriesClassifier:
         # Generic metric: no incremental structure to exploit, recompute.
         for k, length in enumerate(lengths):
             sub = KNeighborsTimeSeriesClassifier(
-                n_neighbors=self.n_neighbors, metric=self.metric
+                n_neighbors=self.n_neighbors,
+                metric=self.metric,
+                metric_params=self.metric_params or None,
             ).fit(train[:, :length], labels)
             out[k] = sub.predict(queries[:, :length])
         return out
 
     def predict_proba(self, series: np.ndarray) -> list[dict]:
-        """Per-class probability dictionaries for a 2-D array of queries."""
+        """Per-class probability dictionaries for a 2-D array of queries.
+
+        One batched :meth:`_neighbors_for` call answers the whole test set --
+        the same path, tie-break and zero-distance conventions as
+        :meth:`predict` *by construction*.  (This used to loop
+        :meth:`query` per row, recomputing a full pairwise distance row for
+        every query.)
+        """
         queries = np.asarray(series, dtype=float)
         if queries.ndim == 1:
             queries = queries[None, :]
-        return [self.query(q).probabilities for q in queries]
+        if self.znormalize_inputs:
+            queries = znormalize(queries)
+        _, labels = self._require_fitted()
+        idx, dists = self._neighbors_for(queries)
+        return [
+            self._soft_vote(labels[idx[i]], dists[i]) for i in range(idx.shape[0])
+        ]
 
     def score(self, series: np.ndarray, labels: Sequence) -> float:
         """Mean accuracy over the given test set."""

@@ -88,3 +88,52 @@ class TestDTWPath:
         series = np.arange(8.0)
         path = dtw_path(series, series)
         assert path == [(i, i) for i in range(8)]
+
+    def test_tied_cost_prefers_diagonal_move(self):
+        # All-zero series: every alignment has cost 0, so the traceback's
+        # move preference alone decides the path.  The pinned convention is
+        # diagonal-first: from (1, 2) the path steps to (0, 1) -- not to
+        # (0, 2) or (1, 1) -- and then left to (0, 0).
+        path = dtw_path(np.zeros(2), np.zeros(3))
+        assert path == [(0, 0), (0, 1), (1, 2)]
+
+    def test_tied_cost_square_grid_stays_diagonal(self):
+        path = dtw_path(np.zeros(3), np.zeros(3))
+        assert path == [(i, i) for i in range(3)]
+
+
+class TestBandResolution:
+    """The int-vs-fraction window contract of ``_resolve_band``."""
+
+    def test_bool_window_rejected(self):
+        a = np.arange(10.0)
+        for bad in (True, False, np.bool_(True)):
+            with pytest.raises(TypeError):
+                dtw_distance(a, a, window=bad)
+
+    def test_numpy_integer_window_is_absolute(self):
+        rng = np.random.default_rng(7)
+        a, b = rng.standard_normal(20), rng.standard_normal(20)
+        assert dtw_distance(a, b, window=np.int64(3)) == dtw_distance(a, b, window=3)
+
+    def test_numpy_float_window_is_fractional(self):
+        rng = np.random.default_rng(8)
+        a, b = rng.standard_normal(20), rng.standard_normal(20)
+        for spec in (np.float64(0.25), np.float32(0.25)):
+            assert dtw_distance(a, b, window=spec) == dtw_distance(a, b, window=0.25)
+
+    def test_float_one_is_full_band_not_band_one(self):
+        # The footgun the docstring warns about: window=1 is a band of one
+        # sample, window=1.0 is the full (unconstrained) band.
+        rng = np.random.default_rng(9)
+        a, b = rng.standard_normal(20), rng.standard_normal(20)
+        assert dtw_distance(a, b, window=1.0) == dtw_distance(a, b, window=None)
+        assert dtw_distance(a, b, window=1) >= dtw_distance(a, b, window=1.0)
+
+    def test_string_window_rejected(self):
+        with pytest.raises(TypeError):
+            dtw_distance(np.arange(5.0), np.arange(5.0), window="wide")
+
+    def test_negative_int_window_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.arange(5.0), np.arange(5.0), window=-1)

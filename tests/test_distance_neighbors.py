@@ -234,3 +234,122 @@ class TestGunPointAccuracy:
         # the low 90s like the real GunPoint; on this reduced split we only
         # require that the problem is clearly learnable but not trivial.
         assert 0.75 <= accuracy <= 1.0
+
+
+class TestPredictProbaBatched:
+    """predict_proba rides the same batched path as predict, by construction."""
+
+    @pytest.mark.parametrize("k", [1, 3, 5])
+    @pytest.mark.parametrize("znorm", [False, True])
+    def test_matches_per_query_probabilities(self, tiny_two_class, k, znorm):
+        series, labels = tiny_two_class
+        model = KNeighborsTimeSeriesClassifier(n_neighbors=k, znormalize_inputs=znorm).fit(
+            series[::2], labels[::2]
+        )
+        queries = series[1::2]
+        batched = model.predict_proba(queries)
+        looped = [model.query(q).probabilities for q in np.asarray(queries, dtype=float)]
+        for fast, reference in zip(batched, looped):
+            assert fast.keys() == reference.keys()
+            for cls in fast:
+                # The batched path shares predict's BLAS matrix; the old
+                # per-query loop could differ from it in the last ulp.
+                assert fast[cls] == pytest.approx(reference[cls], abs=1e-9)
+
+    def test_argmax_agrees_with_predict(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = KNeighborsTimeSeriesClassifier(n_neighbors=3).fit(series[::2], labels[::2])
+        queries = series[1::2]
+        predicted = model.predict(queries)
+        probas = model.predict_proba(queries)
+        for label, proba in zip(predicted, probas):
+            assert max(proba.items(), key=lambda item: item[1])[0] == label
+
+    def test_single_1d_query_promoted(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = KNeighborsTimeSeriesClassifier().fit(series, labels)
+        probas = model.predict_proba(series[0])
+        assert len(probas) == 1
+        assert probas[0] == model.query(series[0]).probabilities
+
+    def test_exact_ties_on_duplicated_training_rows(self):
+        series = np.asarray(
+            [[0.0, 1.0, 2.0, 3.0], [3.0, 2.0, 1.0, 0.0],
+             [0.0, 1.0, 2.0, 3.0], [3.0, 2.0, 1.0, 0.0]]
+        )
+        labels = np.asarray(["a", "b", "a", "b"])
+        model = KNeighborsTimeSeriesClassifier(n_neighbors=2).fit(series, labels)
+        probas = model.predict_proba(series[:2])
+        assert probas[0]["a"] == pytest.approx(1.0)
+        assert probas[1]["b"] == pytest.approx(1.0)
+
+
+class TestMaxPrefixSweepBytesParameter:
+    def test_init_parameter_shadows_class_default(self, tiny_two_class):
+        default = KNeighborsTimeSeriesClassifier.max_prefix_sweep_bytes
+        model = KNeighborsTimeSeriesClassifier(max_prefix_sweep_bytes=4096)
+        assert model.max_prefix_sweep_bytes == 4096
+        # The class default -- and therefore every other instance -- is
+        # untouched: the budget used to be a bare class attribute, so tuning
+        # one model silently retuned all of them.
+        assert KNeighborsTimeSeriesClassifier.max_prefix_sweep_bytes == default
+        assert KNeighborsTimeSeriesClassifier().max_prefix_sweep_bytes == default
+
+    def test_default_none_keeps_class_attribute(self):
+        model = KNeighborsTimeSeriesClassifier()
+        assert "max_prefix_sweep_bytes" not in vars(model)
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            KNeighborsTimeSeriesClassifier(max_prefix_sweep_bytes=0)
+
+    def test_budget_parameter_forces_streaming_fallback(self, tiny_two_class):
+        series, labels = tiny_two_class
+        train, queries = series[::2], series[1::2]
+        lengths = list(range(1, series.shape[1] + 1))
+        stacked = KNeighborsTimeSeriesClassifier().fit(train, labels[::2])
+        tiny = KNeighborsTimeSeriesClassifier(
+            max_prefix_sweep_bytes=queries.shape[0] * train.shape[0] * 8
+        ).fit(train, labels[::2])
+        assert np.array_equal(
+            stacked.predict_prefixes(queries, lengths),
+            tiny.predict_prefixes(queries, lengths),
+        )
+
+
+class TestDTWMetricString:
+    def test_dtw_metric_matches_callable_dtw(self, tiny_two_class):
+        series, labels = tiny_two_class
+        fast = KNeighborsTimeSeriesClassifier(metric="dtw").fit(series[::2], labels[::2])
+        slow = KNeighborsTimeSeriesClassifier(metric=dtw_distance).fit(
+            series[::2], labels[::2]
+        )
+        queries = series[1::2]
+        assert np.array_equal(fast.predict(queries), slow.predict(queries))
+
+    def test_dtw_metric_window_parameter_is_used(self, tiny_two_class):
+        series, labels = tiny_two_class
+        banded = KNeighborsTimeSeriesClassifier(
+            metric="dtw", metric_params={"window": 0}
+        ).fit(series[::2], labels[::2])
+        constrained = KNeighborsTimeSeriesClassifier(
+            metric=lambda a, b: dtw_distance(a, b, window=0)
+        ).fit(series[::2], labels[::2])
+        queries = series[1::2]
+        assert np.array_equal(banded.predict(queries), constrained.predict(queries))
+
+    def test_dtw_metric_allows_shorter_queries(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = KNeighborsTimeSeriesClassifier(
+            metric="dtw", metric_params={"window": None}
+        ).fit(series, labels)
+        short = series[:3, :-2]
+        assert model.predict(short).shape == (3,)
+
+    def test_dtw_metric_predict_prefixes(self, tiny_two_class):
+        series, labels = tiny_two_class
+        model = KNeighborsTimeSeriesClassifier(
+            metric="dtw", metric_params={"window": 2}
+        ).fit(series[::2], labels[::2])
+        out = model.predict_prefixes(series[1::2], [3, series.shape[1]])
+        assert out.shape == (2, series[1::2].shape[0])
