@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench batch-check fit-check serve-check dist-check docs-check quickstart experiments results check-artifacts all
+.PHONY: test bench batch-check fit-check serve-check dist-check sweep-check docs-check quickstart experiments results check-artifacts all
 
 ## tier-1 gate: unit/property/integration tests + benchmark harness
 test:
@@ -41,6 +41,14 @@ serve-check:
 ## every push)
 dist-check:
 	$(PYTHON) -m pytest tests/test_distance_backends.py benchmarks/test_bench_dtw_prune.py -q
+
+## out-of-core/resume drift gate: memory-budget chunking must stay
+## bit-identical, the sharded format must round-trip + verify, the work-queue
+## scheduler must survive worker death, and the 104-dataset sweep benchmark
+## must hold its peak-RSS cap and >= 5x warm-resume speedup (run by CI on
+## every push)
+sweep-check:
+	$(PYTHON) -m pytest tests/test_memory.py tests/test_data_shards.py tests/test_runtime_sweep.py benchmarks/test_bench_sweep.py -q
 
 ## fail if README/ARCHITECTURE reference modules or files that don't exist
 docs-check:

@@ -36,6 +36,13 @@ from repro.data.ucr_like import (
     make_cbf_dataset,
     make_trace_dataset,
 )
+from repro.data.shards import (
+    ShardedDataset,
+    ShardedSeriesView,
+    ShardIntegrityError,
+    synthesize_sharded_archive,
+    write_shards,
+)
 
 __all__ = [
     "UCRDataset",
@@ -62,4 +69,9 @@ __all__ = [
     "TraceLikeGenerator",
     "make_cbf_dataset",
     "make_trace_dataset",
+    "ShardedDataset",
+    "ShardedSeriesView",
+    "ShardIntegrityError",
+    "synthesize_sharded_archive",
+    "write_shards",
 ]

@@ -1,0 +1,559 @@
+"""Out-of-core sharded datasets: npy/memmap shards behind the UCR API.
+
+The in-memory :class:`~repro.data.ucr_format.UCRDataset` holds every
+exemplar as one dense float64 array -- fine for GunPoint, fatal for
+archive-scale sweeps where hundreds of datasets must be resident at once.
+This module is the on-disk counterpart:
+
+* :func:`write_shards` converts any in-memory dataset, ``(series, labels)``
+  pair, or *streaming generator of chunks* into a shard directory: fixed-row
+  ``shard-NNNN.series.npy`` files plus per-shard label arrays and a
+  per-shard z-normalisation stats header (per-exemplar mean/std, computed
+  once at write time so readers can normalise lazily without rescanning).
+* ``manifest.json`` records the layout and a SHA-256 content hash of every
+  file, so a resumable sweep can trust (and :meth:`ShardedDataset.verify`
+  can re-check) what is on disk.
+* :class:`ShardedDataset` presents the familiar dataset surface --
+  ``n_exemplars`` / ``series_length`` / ``labels`` / ``classes`` /
+  ``class_counts`` / ``series`` -- **lazily**: every shard is opened as a
+  read-only :func:`numpy.load` memmap, and nothing materialises the whole
+  dataset unless the caller explicitly asks (:meth:`materialize`, or
+  ``np.asarray`` on the :class:`ShardedSeriesView`).  Shard views are
+  handed out as ordinary :class:`UCRDataset` objects built with
+  ``validate=False`` (the write-time hash already vouches for the bytes),
+  so the entire classifier/distance stack runs on out-of-core data
+  unchanged, paging in only what a kernel actually touches.
+* :func:`synthesize_sharded_archive` mass-produces CBF-style synthetic
+  datasets straight to shards -- the substrate of the 100+-dataset sweep
+  benchmark -- holding at most one dataset in memory at a time.
+
+Labels are deliberately *eager*: one small 1-D array per shard, concatenated
+on first access.  They are metadata-scale (bytes per exemplar), and every
+scheduler decision (class counts, stratified splits) needs them, so mapping
+them lazily would buy nothing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.data.ucr_format import UCRDataset
+from repro.memory import resolve_block_bytes
+
+__all__ = [
+    "SHARD_SCHEMA_VERSION",
+    "ShardIntegrityError",
+    "ShardedDataset",
+    "ShardedSeriesView",
+    "synthesize_sharded_archive",
+    "write_shards",
+]
+
+#: Bump when the on-disk layout changes incompatibly.
+SHARD_SCHEMA_VERSION = 1
+
+#: Default number of exemplars per shard when the caller does not choose.
+DEFAULT_SHARD_EXEMPLARS = 256
+
+_MANIFEST = "manifest.json"
+
+
+class ShardIntegrityError(RuntimeError):
+    """A shard file is missing or its bytes no longer match the manifest."""
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def _as_chunks(source) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Normalise every accepted source into an iterator of (series, labels)."""
+    if isinstance(source, UCRDataset):
+        yield source.series, source.labels
+        return
+    if isinstance(source, tuple) and len(source) == 2:
+        yield np.asarray(source[0]), np.asarray(source[1])
+        return
+    for chunk in source:
+        if not (isinstance(chunk, tuple) and len(chunk) == 2):
+            raise TypeError(
+                "a streaming source must yield (series, labels) tuples, got "
+                f"{type(chunk).__name__}"
+            )
+        yield np.asarray(chunk[0]), np.asarray(chunk[1])
+
+
+def write_shards(
+    source,
+    root: str | Path,
+    *,
+    shard_exemplars: int = DEFAULT_SHARD_EXEMPLARS,
+    name: str | None = None,
+    znormalized: bool | None = None,
+    metadata: dict | None = None,
+    overwrite: bool = False,
+) -> "ShardedDataset":
+    """Convert a dataset (or a streaming generator) into an on-disk shard dir.
+
+    Parameters
+    ----------
+    source:
+        A :class:`UCRDataset`, a ``(series, labels)`` pair, or any iterable
+        yielding ``(series, labels)`` chunks of consistent series length.
+        Chunks are re-blocked into fixed-size shards, so a generator can
+        stream a dataset far larger than RAM: at most one input chunk plus
+        one output shard is ever held in memory.
+    root:
+        Directory to create (``manifest.json`` + shard files).
+    shard_exemplars:
+        Rows per shard (the last shard may be smaller).
+    name / znormalized / metadata:
+        Dataset header fields; default from the source when it is a
+        :class:`UCRDataset`, else ``"dataset"`` / ``False`` / ``{}``.
+    overwrite:
+        Allow writing into a directory that already holds a manifest.
+
+    Returns
+    -------
+    ShardedDataset
+        The freshly written dataset, opened for reading.
+    """
+    if shard_exemplars < 1:
+        raise ValueError("shard_exemplars must be >= 1")
+    root = Path(root)
+    if (root / _MANIFEST).exists() and not overwrite:
+        raise FileExistsError(
+            f"{root} already contains a shard manifest (pass overwrite=True)"
+        )
+    if isinstance(source, UCRDataset):
+        name = name if name is not None else source.name
+        znormalized = source.znormalized if znormalized is None else znormalized
+        metadata = dict(source.metadata) if metadata is None else dict(metadata)
+    else:
+        name = name if name is not None else "dataset"
+        znormalized = bool(znormalized)
+        metadata = dict(metadata or {})
+    root.mkdir(parents=True, exist_ok=True)
+
+    shards: list[dict] = []
+    length: int | None = None
+    labels_dtype: np.dtype | None = None
+    pending_series: list[np.ndarray] = []
+    pending_labels: list[np.ndarray] = []
+    pending_rows = 0
+    total_rows = 0
+
+    def _flush(final: bool) -> None:
+        nonlocal pending_rows, pending_series, pending_labels, total_rows
+        while pending_rows >= shard_exemplars or (final and pending_rows > 0):
+            series = np.concatenate(pending_series, axis=0)
+            labels = np.concatenate(pending_labels, axis=0)
+            take = min(shard_exemplars, series.shape[0])
+            shard_series, rest_series = series[:take], series[take:]
+            shard_labels, rest_labels = labels[:take], labels[take:]
+            pending_series = [rest_series] if rest_series.shape[0] else []
+            pending_labels = [rest_labels] if rest_labels.shape[0] else []
+            pending_rows = rest_series.shape[0]
+
+            index = len(shards)
+            stem = f"shard-{index:04d}"
+            series_file = f"{stem}.series.npy"
+            labels_file = f"{stem}.labels.npy"
+            stats_file = f"{stem}.stats.npy"
+            np.save(root / series_file, np.ascontiguousarray(shard_series))
+            np.save(root / labels_file, shard_labels)
+            # The z-norm stats header: per-exemplar mean and (population) std,
+            # so a reader can normalise a shard without a second full scan.
+            stats = np.stack([shard_series.mean(axis=1), shard_series.std(axis=1)])
+            np.save(root / stats_file, stats)
+            shards.append(
+                {
+                    "index": index,
+                    "n_exemplars": int(take),
+                    "series": series_file,
+                    "series_sha256": _sha256_file(root / series_file),
+                    "labels": labels_file,
+                    "labels_sha256": _sha256_file(root / labels_file),
+                    "stats": stats_file,
+                    "stats_sha256": _sha256_file(root / stats_file),
+                }
+            )
+            total_rows += take
+
+    for chunk_series, chunk_labels in _as_chunks(source):
+        chunk_series = np.asarray(chunk_series, dtype=np.float64)
+        if chunk_series.ndim != 2 or chunk_series.shape[1] < 1:
+            raise ValueError("every chunk must be a 2-D (n, length) array")
+        if chunk_labels.ndim != 1 or chunk_labels.shape[0] != chunk_series.shape[0]:
+            raise ValueError("labels must be 1-D with one entry per exemplar")
+        if length is None:
+            length = int(chunk_series.shape[1])
+            labels_dtype = chunk_labels.dtype
+        elif chunk_series.shape[1] != length:
+            raise ValueError(
+                f"chunk series length {chunk_series.shape[1]} != {length}"
+            )
+        if not np.all(np.isfinite(chunk_series)):
+            raise ValueError("series contains non-finite values")
+        pending_series.append(chunk_series)
+        pending_labels.append(chunk_labels.astype(labels_dtype, copy=False))
+        pending_rows += chunk_series.shape[0]
+        _flush(final=False)
+    _flush(final=True)
+    if not shards or length is None:
+        raise ValueError("source produced no exemplars")
+
+    manifest = {
+        "schema_version": SHARD_SCHEMA_VERSION,
+        "format": "repro-shards",
+        "name": name,
+        "n_exemplars": total_rows,
+        "series_length": length,
+        "dtype": "float64",
+        "labels_dtype": str(labels_dtype),
+        "znormalized": bool(znormalized),
+        "metadata": metadata,
+        "shards": shards,
+    }
+    tmp = root / f".{_MANIFEST}.tmp"
+    tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    tmp.replace(root / _MANIFEST)
+    return ShardedDataset.open(root)
+
+
+class ShardedSeriesView:
+    """Lazy row-addressable stand-in for a dense ``(n, L)`` series array.
+
+    Supports ``shape`` / ``dtype`` / ``len`` / integer and slice / fancy row
+    indexing (each access loads only the shards the requested rows live in)
+    and explicit materialisation via ``np.asarray``.  It deliberately does
+    *not* pretend to be a full ndarray: whole-array arithmetic should go
+    through :meth:`ShardedDataset.iter_batches` so the working set stays
+    budget-bounded.
+    """
+
+    def __init__(self, dataset: "ShardedDataset") -> None:
+        self._dataset = dataset
+        starts = np.cumsum([0] + [s["n_exemplars"] for s in dataset._shards])
+        self._starts = starts  # shard i holds rows [starts[i], starts[i+1])
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self._dataset.n_exemplars, self._dataset.series_length)
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(np.float64)
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def _rows(self, rows: np.ndarray) -> np.ndarray:
+        if rows.size and (rows.min() < 0 or rows.max() >= self.shape[0]):
+            raise IndexError(f"row index out of range [0, {self.shape[0]})")
+        out = np.empty((rows.size, self.shape[1]))
+        shard_of = np.searchsorted(self._starts, rows, side="right") - 1
+        for shard in np.unique(shard_of):
+            mask = shard_of == shard
+            local = rows[mask] - self._starts[shard]
+            out[mask] = self._dataset.shard_series(int(shard))[local]
+        return out
+
+    def __getitem__(self, item):
+        if isinstance(item, (int, np.integer)):
+            index = int(item)
+            if index < 0:
+                index += self.shape[0]
+            return self._rows(np.asarray([index]))[0]
+        if isinstance(item, slice):
+            return self._rows(np.arange(*item.indices(self.shape[0])))
+        rows = np.asarray(item)
+        if rows.dtype == bool:
+            rows = np.flatnonzero(rows)
+        if rows.ndim != 1:
+            raise IndexError("only 1-D row indexing is supported")
+        rows = np.where(rows < 0, rows + self.shape[0], rows)
+        return self._rows(rows.astype(np.intp))
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for series, _ in self._dataset.iter_batches():
+            yield from series
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        # Explicit materialisation (np.asarray(view)); lazy access everywhere
+        # else.  Kept working because "load it all" is sometimes the right
+        # call -- but it is always a *visible* one in the caller's code.
+        dense = self._rows(np.arange(self.shape[0]))
+        return dense.astype(dtype) if dtype is not None else dense
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSeriesView(shape={self.shape}, "
+            f"shards={self._dataset.n_shards}, lazy)"
+        )
+
+
+class ShardedDataset:
+    """Read-side handle on a :func:`write_shards` directory.
+
+    Everything scalar (name, shapes, classes) comes from the manifest;
+    everything bulky is memory-mapped per shard on demand and dropped when
+    the caller releases it, so peak RSS tracks the working set of one shard
+    -- not the dataset, and certainly not the archive.
+    """
+
+    def __init__(self, root: str | Path, manifest: dict) -> None:
+        self.root = Path(root)
+        self._manifest = manifest
+        self._shards: list[dict] = list(manifest["shards"])
+        self._labels: np.ndarray | None = None
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def open(cls, root: str | Path) -> "ShardedDataset":
+        """Open a shard directory (reads only the manifest)."""
+        root = Path(root)
+        path = root / _MANIFEST
+        try:
+            manifest = json.loads(path.read_text())
+        except FileNotFoundError as error:
+            raise FileNotFoundError(f"{root} does not contain {_MANIFEST}") from error
+        if manifest.get("format") != "repro-shards":
+            raise ValueError(f"{path} is not a repro shard manifest")
+        if manifest.get("schema_version") != SHARD_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported shard schema {manifest.get('schema_version')!r} "
+                f"(this build reads {SHARD_SCHEMA_VERSION})"
+            )
+        return cls(root, manifest)
+
+    # ------------------------------------------------------------ header facts
+    @property
+    def name(self) -> str:
+        return self._manifest["name"]
+
+    @property
+    def n_exemplars(self) -> int:
+        return int(self._manifest["n_exemplars"])
+
+    @property
+    def series_length(self) -> int:
+        return int(self._manifest["series_length"])
+
+    @property
+    def znormalized(self) -> bool:
+        return bool(self._manifest["znormalized"])
+
+    @property
+    def metadata(self) -> dict:
+        return dict(self._manifest["metadata"])
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def __len__(self) -> int:
+        return self.n_exemplars
+
+    @property
+    def labels(self) -> np.ndarray:
+        """All labels, concatenated across shards (cached; metadata-scale)."""
+        if self._labels is None:
+            self._labels = np.concatenate(
+                [self.shard_labels(i) for i in range(self.n_shards)]
+            )
+        return self._labels
+
+    @property
+    def classes(self) -> tuple:
+        return tuple(np.unique(self.labels).tolist())
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    def class_counts(self) -> dict:
+        values, counts = np.unique(self.labels, return_counts=True)
+        return {v.item() if hasattr(v, "item") else v: int(c) for v, c in zip(values, counts)}
+
+    @property
+    def series(self) -> ShardedSeriesView:
+        """Lazy 2-D view over every exemplar (see :class:`ShardedSeriesView`)."""
+        return ShardedSeriesView(self)
+
+    # ------------------------------------------------------------ shard access
+    def _entry(self, index: int) -> dict:
+        if not 0 <= index < self.n_shards:
+            raise IndexError(f"shard index must be in [0, {self.n_shards})")
+        return self._shards[index]
+
+    def shard_series(self, index: int) -> np.ndarray:
+        """The shard's ``(n, L)`` series as a read-only memmap."""
+        return np.load(self.root / self._entry(index)["series"], mmap_mode="r")
+
+    def shard_labels(self, index: int) -> np.ndarray:
+        return np.load(self.root / self._entry(index)["labels"], allow_pickle=False)
+
+    def shard_stats(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Write-time per-exemplar ``(means, stds)`` of one shard."""
+        stats = np.load(self.root / self._entry(index)["stats"], allow_pickle=False)
+        return stats[0], stats[1]
+
+    def shard_dataset(self, index: int) -> UCRDataset:
+        """One shard as a memmap-backed :class:`UCRDataset` view.
+
+        Built with ``validate=False``: the finiteness of the bytes was
+        checked (and hashed) at write time, so re-scanning here would page
+        the whole shard in just to construct the view.
+        """
+        entry = self._entry(index)
+        return UCRDataset(
+            name=f"{self.name}[shard {index}]",
+            series=self.shard_series(index),
+            labels=self.shard_labels(index),
+            znormalized=self.znormalized,
+            metadata={**self.metadata, "shard_index": index, "shard_of": self.name},
+            validate=False,
+        )
+
+    def iter_shards(self) -> Iterator[UCRDataset]:
+        """Yield every shard as a memmap-backed :class:`UCRDataset` view."""
+        for index in range(self.n_shards):
+            yield self.shard_dataset(index)
+
+    def iter_batches(
+        self, max_rows: int | None = None
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(series, labels)`` blocks bounded by the memory budget.
+
+        ``max_rows`` caps rows per block explicitly; by default the cap is
+        derived from :func:`repro.memory.resolve_block_bytes` so a sweep
+        under ``REPRO_MAX_BLOCK_BYTES`` never stages more than one budget's
+        worth of exemplars at a time.  Blocks never span shards, so each
+        yield touches exactly one memmap.
+        """
+        if max_rows is None:
+            max_rows = max(1, resolve_block_bytes() // (self.series_length * 8))
+        if max_rows < 1:
+            raise ValueError("max_rows must be >= 1")
+        for index in range(self.n_shards):
+            series = self.shard_series(index)
+            labels = self.shard_labels(index)
+            for start in range(0, series.shape[0], max_rows):
+                stop = min(start + max_rows, series.shape[0])
+                yield series[start:stop], labels[start:stop]
+
+    # ------------------------------------------------------------ conversions
+    def materialize(self, validate: bool = False) -> UCRDataset:
+        """Load *everything* into one dense in-memory :class:`UCRDataset`.
+
+        The explicit opt-out of out-of-core operation -- the dense path the
+        sweep benchmark uses to demonstrate the RSS cliff.
+        """
+        series = np.concatenate(
+            [np.asarray(self.shard_series(i)) for i in range(self.n_shards)], axis=0
+        )
+        return UCRDataset(
+            name=self.name,
+            series=series,
+            labels=self.labels.copy(),
+            znormalized=self.znormalized,
+            metadata=self.metadata,
+            validate=validate,
+        )
+
+    # ------------------------------------------------------------ integrity
+    def verify(self) -> None:
+        """Re-hash every shard file against the manifest.
+
+        Raises
+        ------
+        ShardIntegrityError
+            Naming the first missing or modified file.
+        """
+        for entry in self._shards:
+            for kind in ("series", "labels", "stats"):
+                path = self.root / entry[kind]
+                if not path.is_file():
+                    raise ShardIntegrityError(f"missing shard file: {path}")
+                digest = _sha256_file(path)
+                if digest != entry[f"{kind}_sha256"]:
+                    raise ShardIntegrityError(
+                        f"content hash mismatch for {path}: manifest "
+                        f"{entry[f'{kind}_sha256'][:12]}..., file {digest[:12]}..."
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedDataset(name={self.name!r}, n_exemplars={self.n_exemplars}, "
+            f"series_length={self.series_length}, n_shards={self.n_shards})"
+        )
+
+
+def synthesize_sharded_archive(
+    root: str | Path,
+    n_datasets: int,
+    *,
+    n_exemplars_per_class: int = 40,
+    length: int = 256,
+    shard_exemplars: int | None = None,
+    seed: int = 0,
+    znormalize: bool = True,
+) -> list[Path]:
+    """Write ``n_datasets`` CBF-style synthetic datasets straight to shards.
+
+    The substrate of the fleet-scale sweep benchmark: each dataset is
+    generated (seeded deterministically from ``seed`` + its index),
+    sharded to disk, and released before the next one is touched, so
+    building an archive much larger than RAM holds one dataset's worth of
+    memory at a time.  Returns the dataset directories, sorted.
+    """
+    from repro.data.ucr_like import CBFGenerator
+
+    if n_datasets < 1:
+        raise ValueError("n_datasets must be >= 1")
+    root = Path(root)
+    if shard_exemplars is None:
+        # A handful of shards per dataset regardless of scale.
+        shard_exemplars = max(1, math.ceil(3 * n_exemplars_per_class / 4))
+    directories: list[Path] = []
+    for index in range(n_datasets):
+        generator = CBFGenerator(length=length, seed=seed + index)
+        dataset = generator.generate(n_exemplars_per_class, seed=seed + index)
+        if znormalize:
+            dataset = dataset.z_normalized()
+        # Generators emit exemplars class-blocked; shuffle so any row range
+        # (in particular shard 0, a sweep's training split) is class-mixed.
+        order = np.random.default_rng(seed + index).permutation(len(dataset))
+        dataset = UCRDataset(
+            name=dataset.name,
+            series=dataset.series[order],
+            labels=dataset.labels[order],
+            znormalized=dataset.znormalized,
+            metadata=dataset.metadata,
+            validate=False,
+        )
+        directory = root / f"dataset-{index:04d}"
+        write_shards(
+            dataset,
+            directory,
+            shard_exemplars=shard_exemplars,
+            name=f"synthetic-{index:04d}",
+            metadata={**dataset.metadata, "archive_index": index},
+        )
+        directories.append(directory)
+    return sorted(directories)

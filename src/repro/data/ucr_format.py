@@ -17,8 +17,28 @@ from typing import Sequence
 import numpy as np
 
 from repro.distance.znorm import is_znormalized, znormalize
+from repro.memory import resolve_block_bytes
 
 __all__ = ["UCRDataset", "train_test_split"]
+
+
+def _require_finite(series: np.ndarray) -> None:
+    """Raise if ``series`` contains NaN/inf, scanning in budget-bounded chunks.
+
+    A single ``np.isfinite(series)`` call allocates a full-size boolean array
+    -- for a memory-mapped shard that is an extra ``n * L`` bytes of
+    anonymous memory on top of paging the whole file in at construction
+    time.  Scanning row blocks sized against the global
+    :mod:`repro.memory` budget keeps the validation temporary bounded no
+    matter how large the dataset is.
+    """
+    # isfinite emits one bool per float64 element; 9 bytes per element keeps
+    # the chunk (values read + bool temporary) inside the budget.
+    row_bytes = max(1, series.shape[1]) * 9
+    rows = max(1, resolve_block_bytes() // row_bytes)
+    for start in range(0, series.shape[0], rows):
+        if not np.all(np.isfinite(series[start : start + rows])):
+            raise ValueError("series contains non-finite values")
 
 
 @dataclass(frozen=True)
@@ -40,6 +60,13 @@ class UCRDataset:
         wrongly assumed to be ``True``.
     metadata:
         Free-form dictionary (generator parameters, provenance, ...).
+    validate:
+        Run the (chunked) finiteness scan at construction time.  ``True``
+        for every in-memory dataset; :mod:`repro.data.shards` passes
+        ``False`` for memory-mapped shard views whose contents were already
+        validated and content-hashed at write time -- scanning them again
+        would page the whole shard in just to construct the view.  Excluded
+        from equality and ``repr``.
     """
 
     name: str
@@ -47,9 +74,16 @@ class UCRDataset:
     labels: np.ndarray
     znormalized: bool = False
     metadata: dict = field(default_factory=dict)
+    validate: bool = field(default=True, compare=False, repr=False)
 
     def __post_init__(self) -> None:
-        series = np.asarray(self.series, dtype=float)
+        series = self.series
+        if not (isinstance(series, np.ndarray) and series.dtype == np.float64):
+            # Only coerce when the input is not already a float64 ndarray.
+            # An eager np.asarray(..., dtype=float) here would downcast a
+            # memory-mapped shard view to a plain ndarray (and copy anything
+            # non-float64), silently materialising out-of-core data.
+            series = np.asarray(series, dtype=float)
         labels = np.asarray(self.labels)
         if series.ndim != 2:
             raise ValueError("series must be a 2-D array (n_exemplars, length)")
@@ -57,8 +91,8 @@ class UCRDataset:
             raise ValueError("dataset must contain at least one non-empty exemplar")
         if labels.ndim != 1 or labels.shape[0] != series.shape[0]:
             raise ValueError("labels must be 1-D with one entry per exemplar")
-        if not np.all(np.isfinite(series)):
-            raise ValueError("series contains non-finite values")
+        if self.validate:
+            _require_finite(series)
         object.__setattr__(self, "series", series)
         object.__setattr__(self, "labels", labels)
 

@@ -50,6 +50,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.distance.dtw import _resolve_band, dtw_band_envelopes, lb_keogh, lb_kim
+from repro.memory import resolve_block_bytes
 
 __all__ = [
     "BACKENDS",
@@ -86,8 +87,6 @@ PRUNE_SLACK_F32 = 1e-4
 #: holds only O(pairs * n) state, so the chunk can be generous.
 _DP_CHUNK_PAIRS = 512
 
-#: Byte budget for the gathered ``(pairs, n)`` LB_Keogh temporaries.
-_LB_BLOCK_BYTES = 64 * 2**20
 
 _BACKEND_OVERRIDE: str | None = None
 
@@ -275,7 +274,7 @@ def pruned_dtw_nearest_neighbors(
     dtype: np.dtype | type = np.float64,
     return_stats: bool = False,
     chunk_pairs: int = _DP_CHUNK_PAIRS,
-    max_block_bytes: int = _LB_BLOCK_BYTES,
+    max_block_bytes: int | None = None,
 ) -> (
     tuple[np.ndarray, np.ndarray]
     | tuple[np.ndarray, np.ndarray, DTWSearchStats]
@@ -308,7 +307,10 @@ def pruned_dtw_nearest_neighbors(
     chunk_pairs:
         Survivor pairs per early-abandoning wavefront call.
     max_block_bytes:
-        Byte budget for the gathered LB_Keogh temporaries.
+        Byte budget for the gathered LB_Keogh temporaries; ``None``
+        (default) resolves the unified :mod:`repro.memory` budget
+        (``set_memory_budget`` > ``REPRO_MAX_BLOCK_BYTES`` > 64 MiB), an
+        explicit value is a deprecated per-call override that still wins.
 
     Returns
     -------
@@ -325,8 +327,7 @@ def pruned_dtw_nearest_neighbors(
         raise ValueError(f"n_neighbors must be in [1, {n_train}], got {n_neighbors}")
     if chunk_pairs < 1:
         raise ValueError("chunk_pairs must be >= 1")
-    if max_block_bytes < 1:
-        raise ValueError("max_block_bytes must be positive")
+    block_bytes = resolve_block_bytes(max_block_bytes, deprecated_knob="max_block_bytes")
     dt = np.dtype(dtype)
     if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
         raise ValueError("dtype must be float32 or float64")
@@ -382,7 +383,7 @@ def pruned_dtw_nearest_neighbors(
     lb = np.empty(rows.shape[0])
     if rows.shape[0]:
         lower, upper = dtw_band_envelopes(t, band, query_length=n)
-        chunk = max(1, int(max_block_bytes // (max(n, 1) * 8 * 2)))
+        chunk = max(1, int(block_bytes // (max(n, 1) * 8 * 2)))
         for start in range(0, rows.shape[0], chunk):
             stop = min(start + chunk, rows.shape[0])
             qs = q[rows[start:stop]]

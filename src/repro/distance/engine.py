@@ -64,6 +64,7 @@ from repro.distance.backends import (
     resolve_backend,
 )
 from repro.distance.dtw import _resolve_band, _wavefront_accumulated_cost
+from repro.memory import resolve_block_bytes
 
 __all__ = [
     "PrefixDistanceEngine",
@@ -383,18 +384,12 @@ def pairwise_prefix_distances(
     return out
 
 
-#: Default byte budget for the ``(chunk, n_train, L)`` temporary of
-#: :func:`batch_prefix_distances` (the chunk size over queries is derived
-#: from it).
-_BATCH_BYTES = 64 * 2**20
-
-
 def batch_prefix_distances(
     queries: np.ndarray,
     train: np.ndarray,
     lengths: Sequence[int],
     squared: bool = False,
-    max_block_bytes: int = _BATCH_BYTES,
+    max_block_bytes: int | None = None,
 ) -> np.ndarray:
     """All (query, train, prefix-length) Euclidean distances in one shot.
 
@@ -422,7 +417,10 @@ def batch_prefix_distances(
     max_block_bytes:
         Upper bound on the ``(chunk, n_train, max(lengths))`` float64
         temporary; queries are processed in chunks sized to respect it, so
-        arbitrarily large test sets run in bounded memory.
+        arbitrarily large test sets run in bounded memory.  ``None``
+        (default) resolves the unified :mod:`repro.memory` budget
+        (``set_memory_budget`` > ``REPRO_MAX_BLOCK_BYTES`` > 64 MiB); an
+        explicit value is a deprecated per-call override that still wins.
 
     Returns
     -------
@@ -443,15 +441,14 @@ def batch_prefix_distances(
         )
     if arr.shape[1] < 1:
         raise ValueError("queries must contain at least one sample")
-    if max_block_bytes < 1:
-        raise ValueError("max_block_bytes must be positive")
+    block_bytes = resolve_block_bytes(max_block_bytes, deprecated_knob="max_block_bytes")
     lengths = _validated_lengths(lengths, arr.shape[1])
     full = lengths[-1]
     n_queries, n_train = arr.shape[0], train.shape[0]
     columns = np.asarray(lengths) - 1
 
     out = np.empty((len(lengths), n_queries, n_train))
-    chunk = max(1, int(max_block_bytes // (n_train * full * 8)))
+    chunk = max(1, int(block_bytes // (n_train * full * 8)))
     train_prefix = train[None, :, :full]
     for start in range(0, n_queries, chunk):
         stop = min(start + chunk, n_queries)
@@ -470,7 +467,7 @@ def ragged_prefix_distances(
     train: np.ndarray,
     lengths: Sequence[int],
     squared: bool = False,
-    max_block_bytes: int = _BATCH_BYTES,
+    max_block_bytes: int | None = None,
 ) -> np.ndarray:
     """Prefix distances of many queries, each at its *own* prefix length.
 
@@ -504,7 +501,8 @@ def ragged_prefix_distances(
     squared:
         Return squared distances (the neighbour ordering is the same).
     max_block_bytes:
-        Upper bound on the ``(chunk, n_train, L)`` float64 temporary.
+        Upper bound on the ``(chunk, n_train, L)`` float64 temporary;
+        ``None`` resolves the unified :mod:`repro.memory` budget.
 
     Returns
     -------
@@ -522,8 +520,7 @@ def ragged_prefix_distances(
         )
     if arr.shape[1] < 1:
         raise ValueError("queries must contain at least one sample")
-    if max_block_bytes < 1:
-        raise ValueError("max_block_bytes must be positive")
+    block_bytes = resolve_block_bytes(max_block_bytes, deprecated_knob="max_block_bytes")
     per_row = np.asarray([int(v) for v in lengths], dtype=np.intp)
     if per_row.shape[0] != arr.shape[0]:
         raise ValueError("need exactly one prefix length per query row")
@@ -535,7 +532,7 @@ def ragged_prefix_distances(
     if n_queries == 0:
         return out
     full = int(per_row.max())
-    chunk = max(1, int(max_block_bytes // (n_train * full * 8)))
+    chunk = max(1, int(block_bytes // (n_train * full * 8)))
     train_prefix = train[None, :, :full]
     rows = np.arange(n_queries)
     for start in range(0, n_queries, chunk):
@@ -555,7 +552,7 @@ def dtw_pairwise_distances(
     queries: np.ndarray,
     train: np.ndarray,
     window: int | float | None = None,
-    max_block_bytes: int = _BATCH_BYTES,
+    max_block_bytes: int | None = None,
     dtype: np.dtype | type = np.float64,
 ) -> np.ndarray:
     """Banded DTW distance of every query to every training series in one pass.
@@ -584,7 +581,8 @@ def dtw_pairwise_distances(
         length.  All pairs share one shape, hence one resolved band.
     max_block_bytes:
         Upper bound on the per-chunk cost tensors; queries are chunked so
-        arbitrarily large batches run in bounded memory.
+        arbitrarily large batches run in bounded memory.  ``None`` resolves
+        the unified :mod:`repro.memory` budget.
     dtype:
         Accumulation dtype of the dynamic program: ``np.float64`` (default,
         bit-identical to the scalar reference) or ``np.float32`` (halves the
@@ -612,8 +610,7 @@ def dtw_pairwise_distances(
         raise ValueError("queries must be a 1-D series or a 2-D batch")
     if arr.shape[1] < 1:
         raise ValueError("queries must contain at least one sample")
-    if max_block_bytes < 1:
-        raise ValueError("max_block_bytes must be positive")
+    block_bytes = resolve_block_bytes(max_block_bytes, deprecated_knob="max_block_bytes")
     dt = np.dtype(dtype)
     if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
         raise ValueError("dtype must be float32 or float64")
@@ -627,7 +624,7 @@ def dtw_pairwise_distances(
     # Working set per query: the (n_train, n, m) squared-cost tensor plus the
     # (n_train, n + 1, m + 1) accumulated-cost tensor.
     per_query = n_train * (n * m + (n + 1) * (m + 1)) * dt.itemsize
-    chunk = max(1, int(max_block_bytes // per_query))
+    chunk = max(1, int(block_bytes // per_query))
     for start in range(0, n_queries, chunk):
         stop = min(start + chunk, n_queries)
         diff = arr_dp[start:stop, None, :, None] - train_dp[None, :, None, :]
@@ -662,7 +659,7 @@ def dtw_nearest_neighbors(
     backend: str | None = None,
     dtype: np.dtype | type = np.float64,
     return_stats: bool = False,
-    max_block_bytes: int = _BATCH_BYTES,
+    max_block_bytes: int | None = None,
 ) -> (
     tuple[np.ndarray, np.ndarray]
     | tuple[np.ndarray, np.ndarray, DTWSearchStats]
@@ -697,7 +694,8 @@ def dtw_nearest_neighbors(
         Also return a :class:`repro.distance.backends.DTWSearchStats`.  The
         reference backend reports a fully dense search (pruning rate 0).
     max_block_bytes:
-        Byte budget forwarded to the underlying kernels.
+        Byte budget forwarded to the underlying kernels (``None`` resolves
+        the unified :mod:`repro.memory` budget there).
 
     Returns
     -------

@@ -8,11 +8,13 @@ and the classifier used for the prefix-accuracy curves of Fig. 9.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.memory import DEFAULT_MAX_BLOCK_BYTES, resolve_block_bytes
 from repro.distance.engine import (
     _stable_k_smallest,
     batch_prefix_distances,
@@ -75,10 +77,12 @@ class KNeighborsTimeSeriesClassifier:
         semantics of :func:`repro.distance.dtw.dtw_distance`); unknown keys
         are rejected so a typo cannot silently fall back to defaults.
     max_prefix_sweep_bytes:
-        Per-instance byte budget for :meth:`predict_prefixes`' stacked
-        distance array (``None`` keeps the class default).  Before this was
-        an ``__init__`` parameter, tuning it meant assigning to the bare
-        class attribute -- mutating every other instance's budget.
+        **Deprecated** per-instance byte budget for
+        :meth:`predict_prefixes`' stacked distance array.  ``None`` (the
+        default) resolves the unified :mod:`repro.memory` budget at call
+        time (``set_memory_budget`` > ``REPRO_MAX_BLOCK_BYTES`` > 64 MiB);
+        an explicit value still wins (the per-call precedence level) but
+        emits a :class:`DeprecationWarning`.
 
     Notes
     -----
@@ -103,10 +107,14 @@ class KNeighborsTimeSeriesClassifier:
     :meth:`_soft_vote`.
     """
 
-    #: Byte budget for :meth:`predict_prefixes`' stacked distance array;
-    #: sweeps that would exceed it stream one per-length matrix at a time
-    #: through the incremental engine instead (same labels, bounded memory).
-    max_prefix_sweep_bytes: int = 64 * 2**20
+    #: Legacy byte budget for :meth:`predict_prefixes`' stacked distance
+    #: array; sweeps that would exceed it stream one per-length matrix at a
+    #: time through the incremental engine instead (same labels, bounded
+    #: memory).  Kept (at the historical 64 MiB default) for backwards
+    #: compatibility: an instance- or class-level assignment still shadows
+    #: the unified budget, but untouched instances resolve
+    #: :func:`repro.memory.resolve_block_bytes` at call time.
+    max_prefix_sweep_bytes: int = DEFAULT_MAX_BLOCK_BYTES
 
     def __init__(
         self,
@@ -133,11 +141,32 @@ class KNeighborsTimeSeriesClassifier:
         if max_prefix_sweep_bytes is not None:
             if int(max_prefix_sweep_bytes) < 1:
                 raise ValueError("max_prefix_sweep_bytes must be positive")
+            warnings.warn(
+                "the max_prefix_sweep_bytes constructor knob is deprecated; "
+                "prefer the unified budget (repro.memory.set_memory_budget "
+                "or the REPRO_MAX_BLOCK_BYTES environment variable). The "
+                "explicit value still takes precedence.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             # An instance attribute: shadows (never mutates) the class default.
             self.max_prefix_sweep_bytes = int(max_prefix_sweep_bytes)
         self._train: np.ndarray | None = None
         self._labels: np.ndarray | None = None
         self._classes: tuple = ()
+
+    def _resolve_sweep_budget(self) -> int:
+        """The byte budget :meth:`predict_prefixes` caps its sweep against.
+
+        Precedence: an instance-level ``max_prefix_sweep_bytes`` (the
+        deprecated constructor knob or a direct attribute assignment), then
+        a class-level assignment that moved the attribute off its stock
+        default, then the unified :mod:`repro.memory` budget.
+        """
+        legacy = vars(self).get("max_prefix_sweep_bytes")
+        if legacy is None and type(self).max_prefix_sweep_bytes != DEFAULT_MAX_BLOCK_BYTES:
+            legacy = type(self).max_prefix_sweep_bytes
+        return resolve_block_bytes(legacy)
 
     # ------------------------------------------------------------------ fit
     def fit(self, series: np.ndarray, labels: Sequence) -> "KNeighborsTimeSeriesClassifier":
@@ -383,7 +412,7 @@ class KNeighborsTimeSeriesClassifier:
             stacked_bytes = (
                 len(sorted_lengths) * queries.shape[0] * train.shape[0] * 8
             )
-            if stacked_bytes <= self.max_prefix_sweep_bytes:
+            if stacked_bytes <= self._resolve_sweep_budget():
                 batched = batch_prefix_distances(
                     queries[:, : max(lengths)], train, sorted_lengths, squared=squared
                 )

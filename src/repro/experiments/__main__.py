@@ -14,6 +14,11 @@ On top of that the runtime offers:
 ``--json`` / ``--results-dir DIR``
     Write a machine-readable ``results/<name>.json`` artifact per
     experiment (parameters, metrics, summary, timings).
+``--run-dir DIR`` / ``--resume DIR`` / ``--retries N``
+    Crash-resumable mode: track per-experiment state in a run manifest,
+    retry failing tasks with exponential backoff, and on ``--resume`` re-run
+    only unfinished work (completed experiments are replayed from their
+    artifacts).
 ``--list`` / ``--tag TAG`` / ``--seed N``
     Inspect the registry, select experiments by tag, re-seed a run.
 """
@@ -87,6 +92,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"artifact directory used by --json (default: {DEFAULT_RESULTS_DIR})",
     )
     parser.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="crash-resumable mode: per-experiment state in DIR/run_manifest.json, "
+        "artifacts in DIR/results/",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="resume a killed --run-dir run, re-executing only unfinished work",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="per-task retry budget in --run-dir mode (default: 2)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         dest="list_experiments",
@@ -146,6 +171,9 @@ def main(argv: list[str] | None = None) -> int:
     cache = None if args.no_cache else PrepareCache(args.cache_dir)
     overrides = {} if args.seed is None else {"seed": args.seed}
     results_dir = args.results_dir if args.json else None
+    if args.resume is not None and args.run_dir is not None:
+        parser.error("--resume already names the run directory; drop --run-dir")
+    run_dir = args.resume if args.resume is not None else args.run_dir
 
     def printer(result: ExperimentResult) -> None:
         print("=" * 78)
@@ -161,9 +189,22 @@ def main(argv: list[str] | None = None) -> int:
         overrides=overrides,
         results_dir=results_dir,
         on_result=printer,
+        run_dir=run_dir,
+        resume=args.resume is not None,
+        retries=args.retries if run_dir is not None else 0,
     )
     if results_dir is not None:
         print(f"[wrote {len(results)} artifact(s) to {results_dir}/]")
+    if run_dir is not None:
+        from repro.runtime.manifest import RunManifest
+
+        counts = RunManifest.load(run_dir).counts()
+        print(
+            f"[run manifest: {counts['done']} done, {counts['failed']} failed "
+            f"({run_dir}/run_manifest.json)]"
+        )
+        if counts["failed"]:
+            return 1
     return 0
 
 

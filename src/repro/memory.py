@@ -1,0 +1,151 @@
+"""One global memory budget for every chunked kernel in the package.
+
+Before this module existed each blocked kernel carried its own ad-hoc byte
+knob with its own default: ``max_block_bytes`` on
+:func:`repro.distance.engine.batch_prefix_distances` /
+:func:`~repro.distance.engine.ragged_prefix_distances` /
+:func:`~repro.distance.engine.dtw_pairwise_distances`, another
+``max_block_bytes`` on the pruned backend's LB_Keogh stage, and
+``max_prefix_sweep_bytes`` on
+:class:`repro.distance.neighbors.KNeighborsTimeSeriesClassifier`.  Capping a
+sweep's working set meant finding and tuning three uncoordinated defaults.
+
+Now there is one budget, resolved by :func:`resolve_block_bytes` with a
+strict precedence order:
+
+1. **per-call** -- an explicit ``max_block_bytes=`` / ``max_prefix_sweep_bytes=``
+   argument always wins (the knobs remain as deprecated shims);
+2. **process-wide** -- :func:`set_memory_budget` (or the
+   :func:`memory_budget` context manager);
+3. **environment** -- the ``REPRO_MAX_BLOCK_BYTES`` variable, read at call
+   time so a scheduler can cap its worker processes without touching code;
+4. **default** -- :data:`DEFAULT_MAX_BLOCK_BYTES` (64 MiB), the historical
+   value of every knob this module replaces, so behaviour without any
+   configuration is unchanged bit for bit.
+
+The budget bounds the *temporary working set* of one kernel invocation (the
+blocked ``(chunk, n_train, L)`` tensors), not the total RSS of the process:
+inputs, outputs and the interpreter itself are on top.  Chunking never
+changes results -- the equivalence tests pin chunked output bit-identical
+to unchunked for every budgeted kernel.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import warnings
+from typing import Iterator
+
+__all__ = [
+    "DEFAULT_MAX_BLOCK_BYTES",
+    "MEMORY_BUDGET_ENV_VAR",
+    "get_memory_budget",
+    "memory_budget",
+    "resolve_block_bytes",
+    "set_memory_budget",
+]
+
+#: Fallback byte budget when nothing else is configured -- the historical
+#: default (64 MiB) shared by every knob this module unifies.
+DEFAULT_MAX_BLOCK_BYTES = 64 * 2**20
+
+#: Environment variable consulted (at call time) when no process-wide budget
+#: has been set.
+MEMORY_BUDGET_ENV_VAR = "REPRO_MAX_BLOCK_BYTES"
+
+#: Process-wide budget installed by :func:`set_memory_budget`; ``None`` means
+#: "defer to the environment variable / default".
+_BUDGET: int | None = None
+
+
+def _validated(value: object, source: str) -> int:
+    try:
+        budget = int(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError) as error:
+        raise ValueError(f"{source} must be an integer byte count, got {value!r}") from error
+    if budget < 1:
+        raise ValueError(f"{source} must be positive, got {budget}")
+    return budget
+
+
+def set_memory_budget(max_block_bytes: int | None) -> None:
+    """Install (or with ``None`` clear) the process-wide block-byte budget.
+
+    The budget caps the chunked temporaries of every budgeted kernel in the
+    process; per-call arguments still override it.  Raises ``ValueError``
+    for non-positive values.
+    """
+    global _BUDGET
+    if max_block_bytes is None:
+        _BUDGET = None
+        return
+    _BUDGET = _validated(max_block_bytes, "memory budget")
+
+
+def get_memory_budget() -> int:
+    """The budget a kernel called with no per-call override will use now.
+
+    Resolution order: :func:`set_memory_budget` value, then the
+    ``REPRO_MAX_BLOCK_BYTES`` environment variable, then
+    :data:`DEFAULT_MAX_BLOCK_BYTES`.  A malformed environment value raises
+    ``ValueError`` rather than being silently ignored.
+    """
+    if _BUDGET is not None:
+        return _BUDGET
+    raw = os.environ.get(MEMORY_BUDGET_ENV_VAR)
+    if raw is not None and raw.strip():
+        return _validated(raw.strip(), f"environment variable {MEMORY_BUDGET_ENV_VAR}")
+    return DEFAULT_MAX_BLOCK_BYTES
+
+
+@contextlib.contextmanager
+def memory_budget(max_block_bytes: int) -> Iterator[int]:
+    """Temporarily install a process-wide budget for the enclosed block.
+
+    >>> from repro.memory import memory_budget, get_memory_budget
+    >>> with memory_budget(2**20):
+    ...     assert get_memory_budget() == 2**20
+    """
+    global _BUDGET
+    previous = _BUDGET
+    set_memory_budget(max_block_bytes)
+    try:
+        yield get_memory_budget()
+    finally:
+        _BUDGET = previous
+
+
+def resolve_block_bytes(
+    per_call: int | None = None,
+    *,
+    deprecated_knob: str | None = None,
+) -> int:
+    """The byte budget one kernel invocation should chunk against.
+
+    Parameters
+    ----------
+    per_call:
+        An explicit per-call override (highest precedence), or ``None`` to
+        resolve through the process-wide budget, the environment variable
+        and the default, in that order.
+    deprecated_knob:
+        Name of the legacy per-call knob the override arrived through.  When
+        given and ``per_call`` is not ``None``, a :class:`DeprecationWarning`
+        is emitted pointing callers at :func:`set_memory_budget` /
+        ``REPRO_MAX_BLOCK_BYTES``; the override is honoured regardless (it
+        is the documented highest-precedence level).
+    """
+    if per_call is None:
+        return get_memory_budget()
+    value = _validated(per_call, deprecated_knob or "max_block_bytes")
+    if deprecated_knob is not None:
+        warnings.warn(
+            f"the per-call {deprecated_knob!r} knob is deprecated; prefer the "
+            f"unified budget (repro.memory.set_memory_budget or the "
+            f"{MEMORY_BUDGET_ENV_VAR} environment variable). The explicit "
+            f"value still takes precedence.",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return value

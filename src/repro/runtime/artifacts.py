@@ -18,7 +18,13 @@ from typing import Any, Mapping
 
 from repro.runtime.spec import ExperimentResult
 
-__all__ = ["ARTIFACT_SCHEMA_VERSION", "artifact_payload", "load_artifact", "write_artifact"]
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "artifact_payload",
+    "load_artifact",
+    "result_from_payload",
+    "write_artifact",
+]
 
 #: Version stamp embedded in every artifact so downstream consumers can
 #: detect layout changes.
@@ -82,3 +88,23 @@ def load_artifact(path: str | Path) -> dict[str, Any]:
     """Parse one artifact back into a dict (inverse of :func:`write_artifact`)."""
     with open(path, "r", encoding="utf-8") as handle:
         return json.load(handle)
+
+
+def result_from_payload(payload: Mapping[str, Any]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from an artifact payload.
+
+    The inverse of :func:`artifact_payload` up to JSON round-tripping (tuples
+    become lists, non-finite floats became ``null``); ``raw`` is ``None``,
+    exactly as for a result that crossed a process boundary.  This is what
+    lets a resumed run (``--resume``) report completed experiments without
+    re-executing them: the artifact on disk *is* the result.
+    """
+    return ExperimentResult(
+        name=payload["experiment"],
+        parameters=dict(payload["parameters"]),
+        seed=payload["seed"],
+        metrics=dict(payload["metrics"]),
+        summary=payload["summary"],
+        timings={stage: float(value) for stage, value in payload["timings"].items()},
+        cache_hit=bool(payload["cache_hit"]),
+    )

@@ -1,0 +1,191 @@
+"""Tests for the unified memory budget (:mod:`repro.memory`).
+
+Covers the resolution precedence (per-call > process-wide > environment >
+default), the deprecation shims on the legacy per-call byte knobs, and --
+the load-bearing property -- that chunking against *any* budget leaves every
+budgeted kernel's output bit-identical to the unchunked computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import memory
+from repro.distance.backends import pruned_dtw_nearest_neighbors
+from repro.distance.engine import (
+    batch_prefix_distances,
+    dtw_pairwise_distances,
+    ragged_prefix_distances,
+)
+from repro.memory import (
+    DEFAULT_MAX_BLOCK_BYTES,
+    MEMORY_BUDGET_ENV_VAR,
+    get_memory_budget,
+    memory_budget,
+    resolve_block_bytes,
+    set_memory_budget,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_budget(monkeypatch):
+    """Every test starts from the unconfigured state."""
+    monkeypatch.delenv(MEMORY_BUDGET_ENV_VAR, raising=False)
+    set_memory_budget(None)
+    yield
+    set_memory_budget(None)
+
+
+class TestPrecedence:
+    def test_default_is_the_historical_64_mib(self):
+        assert DEFAULT_MAX_BLOCK_BYTES == 64 * 2**20
+        assert get_memory_budget() == DEFAULT_MAX_BLOCK_BYTES
+
+    def test_environment_variable_overrides_the_default(self, monkeypatch):
+        monkeypatch.setenv(MEMORY_BUDGET_ENV_VAR, "12345")
+        assert get_memory_budget() == 12345
+
+    def test_set_memory_budget_overrides_the_environment(self, monkeypatch):
+        monkeypatch.setenv(MEMORY_BUDGET_ENV_VAR, "12345")
+        set_memory_budget(999)
+        assert get_memory_budget() == 999
+
+    def test_per_call_overrides_everything(self, monkeypatch):
+        monkeypatch.setenv(MEMORY_BUDGET_ENV_VAR, "12345")
+        set_memory_budget(999)
+        assert resolve_block_bytes(7) == 7
+
+    def test_clearing_restores_environment_resolution(self, monkeypatch):
+        monkeypatch.setenv(MEMORY_BUDGET_ENV_VAR, "4096")
+        set_memory_budget(1)
+        set_memory_budget(None)
+        assert get_memory_budget() == 4096
+
+    def test_environment_is_read_at_call_time(self, monkeypatch):
+        assert get_memory_budget() == DEFAULT_MAX_BLOCK_BYTES
+        monkeypatch.setenv(MEMORY_BUDGET_ENV_VAR, "2048")
+        assert get_memory_budget() == 2048
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -(2**30)])
+    def test_non_positive_budget_raises(self, bad):
+        with pytest.raises(ValueError, match="positive"):
+            set_memory_budget(bad)
+
+    def test_non_integer_budget_raises(self):
+        with pytest.raises(ValueError):
+            set_memory_budget("lots")  # type: ignore[arg-type]
+
+    def test_malformed_environment_value_raises_not_ignored(self, monkeypatch):
+        monkeypatch.setenv(MEMORY_BUDGET_ENV_VAR, "64MB")
+        with pytest.raises(ValueError, match=MEMORY_BUDGET_ENV_VAR):
+            get_memory_budget()
+
+    def test_non_positive_per_call_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            resolve_block_bytes(0)
+
+
+class TestContextManager:
+    def test_budget_applies_inside_and_restores_after(self):
+        with memory_budget(2**20) as active:
+            assert active == 2**20
+            assert get_memory_budget() == 2**20
+        assert get_memory_budget() == DEFAULT_MAX_BLOCK_BYTES
+
+    def test_nested_budgets_restore_outer(self):
+        with memory_budget(100):
+            with memory_budget(200):
+                assert get_memory_budget() == 200
+            assert get_memory_budget() == 100
+
+    def test_restores_even_on_exception(self):
+        set_memory_budget(50)
+        with pytest.raises(RuntimeError):
+            with memory_budget(60):
+                raise RuntimeError("boom")
+        assert get_memory_budget() == 50
+
+
+class TestDeprecationShims:
+    def test_explicit_knob_warns_but_is_honoured(self):
+        queries = np.random.default_rng(0).normal(size=(4, 16))
+        train = np.random.default_rng(1).normal(size=(3, 16))
+        with pytest.warns(DeprecationWarning, match="max_block_bytes"):
+            chunked = batch_prefix_distances(queries, train, [16], max_block_bytes=64)
+        reference = batch_prefix_distances(queries, train, [16])
+        np.testing.assert_array_equal(chunked, reference)
+
+    def test_default_call_does_not_warn(self, recwarn):
+        queries = np.random.default_rng(0).normal(size=(4, 16))
+        train = np.random.default_rng(1).normal(size=(3, 16))
+        batch_prefix_distances(queries, train, [16])
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_classifier_knob_warns_at_construction(self):
+        from repro.distance.neighbors import KNeighborsTimeSeriesClassifier
+
+        with pytest.warns(DeprecationWarning, match="max_prefix_sweep_bytes"):
+            KNeighborsTimeSeriesClassifier(max_prefix_sweep_bytes=1024)
+
+
+class TestChunkingEquivalence:
+    """A tight budget forces many chunks; output must stay bit-identical."""
+
+    rng = np.random.default_rng(42)
+    queries = rng.normal(size=(13, 40))
+    train = rng.normal(size=(7, 40))
+
+    def test_batch_prefix_distances(self):
+        reference = batch_prefix_distances(self.queries, self.train, [10, 25, 40])
+        with memory_budget(1024):  # a few rows per chunk
+            chunked = batch_prefix_distances(self.queries, self.train, [10, 25, 40])
+        np.testing.assert_array_equal(chunked, reference)
+
+    def test_ragged_prefix_distances(self):
+        lengths = [5 + (i % 30) for i in range(13)]
+        reference = ragged_prefix_distances(self.queries, self.train, lengths)
+        with memory_budget(1024):
+            chunked = ragged_prefix_distances(self.queries, self.train, lengths)
+        np.testing.assert_array_equal(chunked, reference)
+
+    def test_dtw_pairwise_distances(self):
+        reference = dtw_pairwise_distances(self.queries, self.train, window=5)
+        with memory_budget(1024):
+            chunked = dtw_pairwise_distances(self.queries, self.train, window=5)
+        np.testing.assert_array_equal(chunked, reference)
+
+    def test_pruned_backend_lb_stage(self):
+        ref_idx, ref_dist = pruned_dtw_nearest_neighbors(
+            self.queries, self.train, window=5
+        )
+        with memory_budget(1024):
+            idx, dist = pruned_dtw_nearest_neighbors(self.queries, self.train, window=5)
+        np.testing.assert_array_equal(idx, ref_idx)
+        np.testing.assert_array_equal(dist, ref_dist)
+
+    def test_environment_variable_reaches_the_kernels(self, monkeypatch):
+        reference = batch_prefix_distances(self.queries, self.train, [40])
+        monkeypatch.setenv(MEMORY_BUDGET_ENV_VAR, "512")
+        chunked = batch_prefix_distances(self.queries, self.train, [40])
+        np.testing.assert_array_equal(chunked, reference)
+
+    def test_chunked_finiteness_validation_matches(self):
+        from repro.data.ucr_format import UCRDataset
+
+        series = self.rng.normal(size=(9, 64))
+        with memory_budget(256):  # forces multi-chunk validation
+            dataset = UCRDataset(name="x", series=series, labels=np.zeros(9))
+        np.testing.assert_array_equal(dataset.series, series)
+        bad = series.copy()
+        bad[7, 60] = np.nan
+        with memory_budget(256), pytest.raises(ValueError, match="non-finite"):
+            UCRDataset(name="x", series=bad, labels=np.zeros(9))
+
+    def test_module_state_is_inspectable(self):
+        # Regression guard: the module-level budget must live in repro.memory
+        # (not be shadowed per-import elsewhere).
+        set_memory_budget(4321)
+        assert memory._BUDGET == 4321
