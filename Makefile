@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench batch-check fit-check serve-check dist-check sweep-check docs-check quickstart experiments results check-artifacts all
+.PHONY: test bench batch-check fit-check serve-check dist-check sweep-check mv-check docs-check quickstart experiments results check-artifacts all
 
 ## tier-1 gate: unit/property/integration tests + benchmark harness
 test:
@@ -49,6 +49,15 @@ dist-check:
 ## every push)
 sweep-check:
 	$(PYTHON) -m pytest tests/test_memory.py tests/test_data_shards.py tests/test_runtime_sweep.py benchmarks/test_bench_sweep.py -q
+
+## multichannel drift gate: (n, L, 1) tensors must stay bit-identical to the
+## legacy (n, L) layout (so every d=1 golden summary is byte-stable), every
+## d > 1 kernel must match its naive per-channel Python-loop reference to
+## <= 1e-10 under both DTW backends, and the vectorised channel-summed
+## kernel must keep its >= 5x win over the per-channel loop on the 6-axis
+## Table-1-scale fit/predict workload (run by CI on every push)
+mv-check:
+	$(PYTHON) -m pytest tests/test_multichannel.py tests/test_experiments_golden.py benchmarks/test_bench_multichannel.py -q
 
 ## fail if README/ARCHITECTURE reference modules or files that don't exist
 docs-check:

@@ -170,29 +170,74 @@ class BatchCheckpoint:
 
 
 class BaseEarlyClassifier(ABC):
-    """Abstract base class of all early classifiers in this package."""
+    """Abstract base class of all early classifiers in this package.
+
+    Multichannel training data uses the channel-last axis convention: a 3-D
+    array ``(n_exemplars, length, n_channels)`` with axis 0 = exemplar,
+    axis 1 = time, axis 2 = channel.  A 3-D array with a single channel is
+    squeezed to the exact 2-D univariate path, so d=1 behaviour is
+    bit-identical to the historical code.  Classifiers whose mathematics is
+    inherently univariate set :attr:`supports_multichannel` to ``False`` and
+    reject d>1 input with a named-axis error at fit time.
+    """
+
+    #: Whether :meth:`fit` accepts ``(n, L, d)`` input with ``d > 1``.
+    #: Classifiers built on the channel-summed distance engine leave this
+    #: ``True``; univariate-specific algorithms override it to ``False``.
+    supports_multichannel: bool = True
 
     def __init__(self) -> None:
         self._classes: tuple = ()
         self._train_length: int | None = None
+        self._train_channels: int = 1
+
+    def __setstate__(self, state: dict) -> None:
+        # Models pickled before the multichannel data model existed (the
+        # experiment prepare cache, the serving registry's warm reload)
+        # carry no channel attribute; they were fitted on 2-D data, so
+        # they are univariate by construction.
+        state.setdefault("_train_channels", 1)
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------ fitting
     @abstractmethod
     def fit(self, series: np.ndarray, labels: Sequence) -> "BaseEarlyClassifier":
-        """Train on a 2-D array of equal-length exemplars and their labels."""
+        """Train on a 2-D ``(n, L)`` or 3-D ``(n, L, d)`` array of exemplars."""
 
     def _store_training_shape(self, series: np.ndarray, labels: np.ndarray) -> None:
         self._classes = tuple(np.unique(labels).tolist())
         self._train_length = int(series.shape[1])
+        self._train_channels = int(series.shape[2]) if series.ndim == 3 else 1
 
-    @staticmethod
+    @classmethod
     def _validate_training_data(
-        series: np.ndarray, labels: Sequence
+        cls, series: np.ndarray, labels: Sequence
     ) -> tuple[np.ndarray, np.ndarray]:
         data = np.asarray(series, dtype=float)
         label_arr = np.asarray(labels)
-        if data.ndim != 2:
-            raise ValueError("series must be a 2-D array (n_exemplars, length)")
+        if data.ndim not in (2, 3):
+            raise ValueError(
+                "series must be a 2-D (n_exemplars, length) or 3-D "
+                "(n_exemplars, length, n_channels) array; got shape "
+                f"{data.shape}"
+            )
+        if data.ndim == 3:
+            if data.shape[2] < 1:
+                raise ValueError(
+                    "n_channels (axis 2) must be >= 1; got shape "
+                    f"{data.shape}"
+                )
+            if data.shape[2] == 1:
+                # Single-channel 3-D input runs the exact univariate path.
+                data = data[:, :, 0]
+            elif not cls.supports_multichannel:
+                raise ValueError(
+                    f"{cls.__name__} is univariate-only: it does not support "
+                    f"multichannel input with n_channels={data.shape[2]} "
+                    "(axis 0 = exemplar, axis 1 = time, axis 2 = channel); "
+                    "pass a 2-D (n_exemplars, length) array or a "
+                    "single-channel (n_exemplars, length, 1) array"
+                )
         if data.shape[0] < 2:
             raise ValueError("need at least two training exemplars")
         if label_arr.ndim != 1 or label_arr.shape[0] != data.shape[0]:
@@ -211,10 +256,22 @@ class BaseEarlyClassifier(ABC):
 
     @property
     def train_length_(self) -> int:
-        """Length of the training exemplars."""
+        """Length of the training exemplars, in time steps."""
         if self._train_length is None:
             raise RuntimeError("classifier must be fitted before use")
         return self._train_length
+
+    @property
+    def n_channels_(self) -> int:
+        """Number of channels of the training exemplars (1 for univariate).
+
+        Models unpickled from caches written before the multichannel data
+        model existed (the experiment prepare cache, the serving registry's
+        warm reload) carry no channel attribute; they were fitted on 2-D
+        data, so they are univariate by construction.
+        """
+        self._require_fitted()
+        return getattr(self, "_train_channels", 1)
 
     @property
     def is_fitted(self) -> bool:
@@ -228,8 +285,22 @@ class BaseEarlyClassifier(ABC):
     def _validate_prefix(self, prefix: np.ndarray) -> np.ndarray:
         self._require_fitted()
         arr = np.asarray(prefix, dtype=float)
-        if arr.ndim != 1:
-            raise ValueError("prefix must be a single 1-D series")
+        if self._train_channels == 1:
+            if arr.ndim == 2 and arr.shape[1] == 1:
+                # Single-channel (length, 1) prefixes run the univariate path.
+                arr = arr[:, 0]
+            if arr.ndim != 1:
+                raise ValueError(
+                    "prefix must be a single 1-D (length,) series for this "
+                    f"univariate classifier; got shape {arr.shape}"
+                )
+        else:
+            if arr.ndim != 2 or arr.shape[1] != self._train_channels:
+                raise ValueError(
+                    "prefix must be a single 2-D (length, n_channels) "
+                    f"exemplar with n_channels={self._train_channels} "
+                    f"(axis 0 = time, axis 1 = channel); got shape {arr.shape}"
+                )
         if arr.shape[0] < 1:
             raise ValueError("prefix must contain at least one sample")
         if arr.shape[0] > self.train_length_:
@@ -352,6 +423,58 @@ class BaseEarlyClassifier(ABC):
         )
 
     # ------------------------------------------------------------ batching
+    def _validate_batch(
+        self, series: np.ndarray, promote_single: bool
+    ) -> np.ndarray:
+        """Validate a batch of exemplars against the fitted shape.
+
+        Returns a 2-D ``(n, length)`` batch for univariate classifiers (a
+        single-channel 3-D batch is squeezed so d=1 runs the exact historical
+        path) or a 3-D ``(n, length, n_channels)`` batch for multichannel
+        ones.  ``promote_single`` additionally accepts a lone exemplar --
+        1-D ``(length,)`` for d=1, 2-D ``(length, n_channels)`` for d>1 --
+        and promotes it to a batch of one.
+        """
+        data = np.asarray(series, dtype=float)
+        if self._train_channels == 1:
+            if promote_single and data.ndim == 1:
+                data = data[None, :]
+            if data.ndim == 3 and data.shape[2] == 1:
+                # Single-channel 3-D input runs the exact univariate path.
+                data = data[:, :, 0]
+            if data.ndim != 2:
+                raise ValueError(
+                    "series must be a 2-D (n_exemplars, length) batch for "
+                    "this univariate classifier (axis 0 = exemplar, axis 1 = "
+                    f"time); got shape {data.shape}"
+                )
+        else:
+            if (
+                promote_single
+                and data.ndim == 2
+                and data.shape[1] == self._train_channels
+            ):
+                data = data[None, :, :]
+            if data.ndim != 3 or data.shape[2] != self._train_channels:
+                raise ValueError(
+                    "series must be a 3-D (n_exemplars, length, n_channels) "
+                    f"batch with n_channels={self._train_channels} (axis 0 = "
+                    "exemplar, axis 1 = time, axis 2 = channel); got shape "
+                    f"{data.shape}"
+                )
+        if data.shape[0] == 0:
+            return data
+        if data.shape[1] < 1:
+            raise ValueError("exemplars must contain at least one sample")
+        if data.shape[1] > self.train_length_:
+            raise ValueError(
+                f"exemplars of length {data.shape[1]} exceed the training "
+                f"length {self.train_length_}"
+            )
+        if not np.all(np.isfinite(data)):
+            raise ValueError("series contains non-finite values")
+        return data
+
     def _batch_partial_evaluators(
         self, data: np.ndarray
     ) -> list[BatchCheckpoint] | None:
@@ -410,22 +533,9 @@ class BaseEarlyClassifier(ABC):
         self._require_fitted()
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
-        data = np.asarray(series, dtype=float)
-        if data.ndim == 1:
-            data = data[None, :]
-        if data.ndim != 2:
-            raise ValueError("series must be a 2-D array (n_exemplars, length)")
+        data = self._validate_batch(series, promote_single=True)
         if data.shape[0] == 0:
             return []
-        if data.shape[1] < 1:
-            raise ValueError("exemplars must contain at least one sample")
-        if data.shape[1] > self.train_length_:
-            raise ValueError(
-                f"exemplars of length {data.shape[1]} exceed the training length "
-                f"{self.train_length_}"
-            )
-        if not np.all(np.isfinite(data)):
-            raise ValueError("series contains non-finite values")
 
         results: list[EarlyPrediction] = []
         for start in range(0, data.shape[0], batch_size):
@@ -458,7 +568,7 @@ class BaseEarlyClassifier(ABC):
         :meth:`_walk_batch` with the default rule, which in turn mirrors the
         per-row reference walk.
         """
-        n_rows, row_length = data.shape
+        n_rows, row_length = data.shape[0], data.shape[1]
         outcomes: list[EarlyPrediction | None] = [None] * n_rows
         active = np.ones(n_rows, dtype=bool)
         last: BatchCheckpoint | None = None
@@ -509,7 +619,7 @@ class BaseEarlyClassifier(ABC):
         checkpoints a row never reaches -- same work profile as the per-row
         reference).
         """
-        n_rows, row_length = data.shape
+        n_rows, row_length = data.shape[0], data.shape[1]
         rules = [self._trigger_rule() for _ in range(n_rows)]
         outcomes: list[EarlyPrediction | None] = [None] * n_rows
         lasts: list[PartialPrediction | None] = [None] * n_rows
@@ -590,20 +700,9 @@ class BaseEarlyClassifier(ABC):
             One per row of ``series``, in order.
         """
         self._require_fitted()
-        data = np.asarray(series, dtype=float)
-        if data.ndim != 2:
-            raise ValueError("series must be a 2-D array (n_rows, length)")
+        data = self._validate_batch(series, promote_single=False)
         if data.shape[0] == 0:
             return []
-        if data.shape[1] < 1:
-            raise ValueError("rows must contain at least one sample")
-        if data.shape[1] > self.train_length_:
-            raise ValueError(
-                f"rows of length {data.shape[1]} exceed the training length "
-                f"{self.train_length_}"
-            )
-        if not np.all(np.isfinite(data)):
-            raise ValueError("series contains non-finite values")
         if lengths is None:
             per_row = np.full(data.shape[0], data.shape[1], dtype=np.intp)
         else:
@@ -686,7 +785,12 @@ class ClassifierStream:
     def __init__(self, classifier: BaseEarlyClassifier) -> None:
         classifier._require_fitted()
         self._classifier = classifier
-        self._buffer = np.empty(classifier.train_length_, dtype=float)
+        if classifier.n_channels_ == 1:
+            self._buffer = np.empty(classifier.train_length_, dtype=float)
+        else:
+            self._buffer = np.empty(
+                (classifier.train_length_, classifier.n_channels_), dtype=float
+            )
         self._length = 0
         self._checkpoints = classifier.checkpoints()
         self._next_checkpoint = 0
@@ -698,8 +802,17 @@ class ClassifierStream:
     # ------------------------------------------------------------ properties
     @property
     def capacity(self) -> int:
-        """Maximum number of samples the stream accepts (the training length)."""
+        """Maximum number of samples the stream accepts (the training length).
+
+        Counted in time steps; a multichannel stream consumes one d-vector
+        per time step.
+        """
         return self._buffer.shape[0]
+
+    @property
+    def n_channels(self) -> int:
+        """Number of channels of each sample (1 for univariate streams)."""
+        return 1 if self._buffer.ndim == 1 else self._buffer.shape[1]
 
     @property
     def length(self) -> int:
@@ -724,8 +837,11 @@ class ClassifierStream:
         return self._outcome
 
     # ------------------------------------------------------------ streaming
-    def push(self, value: float) -> PartialPrediction | None:
+    def push(self, value) -> PartialPrediction | None:
         """Consume one sample; evaluate a checkpoint if one was reached.
+
+        ``value`` is a scalar on univariate streams and a length-``d`` vector
+        (one reading per channel) on multichannel streams.
 
         Returns
         -------
@@ -734,7 +850,17 @@ class ClassifierStream:
             ``None`` otherwise.
         """
         evaluated_before = self._next_checkpoint
-        self.feed(np.asarray([float(value)]))
+        if self._buffer.ndim == 1:
+            self.feed(np.asarray([float(value)]))
+        else:
+            sample = np.asarray(value, dtype=float)
+            if sample.shape != (self.n_channels,):
+                raise ValueError(
+                    "each sample of this multichannel stream must be a "
+                    f"length-{self.n_channels} vector (one reading per "
+                    f"channel); got shape {sample.shape}"
+                )
+            self.feed(sample[None, :])
         return self._last if self._next_checkpoint > evaluated_before else None
 
     def feed(self, values: np.ndarray) -> EarlyPrediction | None:
@@ -756,8 +882,15 @@ class ClassifierStream:
         if self._outcome is not None:
             raise RuntimeError("the stream has already reached an outcome")
         block = np.asarray(values, dtype=float)
-        if block.ndim != 1:
-            raise ValueError("values must be a 1-D block of samples")
+        if self._buffer.ndim == 1:
+            if block.ndim != 1:
+                raise ValueError("values must be a 1-D block of samples")
+        elif block.ndim != 2 or block.shape[1] != self.n_channels:
+            raise ValueError(
+                "values must be a 2-D (n_samples, n_channels) block with "
+                f"n_channels={self.n_channels} (axis 0 = time, axis 1 = "
+                f"channel); got shape {block.shape}"
+            )
         if block.shape[0] == 0:
             return None
         if self._length + block.shape[0] > self.capacity:

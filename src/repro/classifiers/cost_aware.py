@@ -54,6 +54,11 @@ class CostAwareEarlyClassifier(BaseEarlyClassifier):
         Neighbours per class used by the probabilistic base classifier.
     """
 
+    #: Univariate-only: the per-length statistics this algorithm is
+    #: built on are defined over scalar samples, so multichannel
+    #: (n, L, d>1) training data is rejected with a named-axis error.
+    supports_multichannel = False
+
     def __init__(
         self,
         misclassification_cost: float = 1.0,

@@ -157,10 +157,14 @@ class ECTSClassifier(BaseEarlyClassifier):
         out = np.empty((len(lengths), n), dtype=np.intp)
         diagonal = np.arange(n)
         if (
-            self.checkpoint_step == 1
+            data.ndim == 2
+            and self.checkpoint_step == 1
             and lengths[0] <= _BLOCK
             and full * n * n * 8 <= _FIT_BLOCK_BYTES
         ):
+            # The dense time-major pass is univariate-only; multichannel
+            # training data always runs the engine sweep below, which
+            # channel-sums inside the shared prefix kernels.
             # Time-major dense pass: every operation streams over contiguous
             # (n, n) planes, and the training axis argmin reduces over the
             # contiguous last axis.

@@ -90,15 +90,25 @@ class Shapelet:
 
 
 def _sliding_windows(series: np.ndarray, window: int) -> np.ndarray:
-    """All length-``window`` subsequences of each row of a 2-D array.
+    """All length-``window`` subsequences of each row of a series batch.
 
-    Returns an array of shape ``(n_series, n_windows, window)``.
+    Returns ``(n_series, n_windows, window)`` for a 2-D ``(n_series,
+    length)`` batch, or ``(n_series, n_windows, window, n_channels)`` for a
+    3-D ``(n_series, length, n_channels)`` multichannel batch (the window
+    slides along time; channels ride along).
     """
-    n_series, length = series.shape
+    n_series, length = series.shape[0], series.shape[1]
     n_windows = length - window + 1
-    strides = (series.strides[0], series.strides[1], series.strides[1])
+    strides = (
+        series.strides[0],
+        series.strides[1],
+        series.strides[1],
+    ) + series.strides[2:]
     return np.lib.stride_tricks.as_strided(
-        series, shape=(n_series, n_windows, window), strides=strides, writeable=False
+        series,
+        shape=(n_series, n_windows, window) + series.shape[2:],
+        strides=strides,
+        writeable=False,
     )
 
 
@@ -110,26 +120,33 @@ def _best_match_distances(
     Parameters
     ----------
     candidates:
-        Array of shape ``(n_candidates, window)``.
+        Array of shape ``(n_candidates, window)`` or, multichannel,
+        ``(n_candidates, window, n_channels)``.
     series:
-        Array of shape ``(n_series, length)`` with ``length >= window``.
+        Array of shape ``(n_series, length)`` (or ``(n_series, length,
+        n_channels)`` with matching channel count) with ``length >= window``.
 
     Returns
     -------
     (distances, positions):
-        ``distances[i, j]`` is the smallest Euclidean distance between
-        candidate ``i`` and any window of series ``j``; ``positions[i, j]`` is
-        the index at which that window *ends* (the earliest point at which the
-        match could have been observed on streaming data).
+        ``distances[i, j]`` is the smallest (channel-summed) Euclidean
+        distance between candidate ``i`` and any window of series ``j``;
+        ``positions[i, j]`` is the index at which that window *ends* (the
+        earliest point at which the match could have been observed on
+        streaming data).
     """
     window = candidates.shape[1]
     windows = _sliding_windows(series, window)
-    n_series, n_windows, _ = windows.shape
-    flat = windows.reshape(n_series * n_windows, window)
+    n_series, n_windows = windows.shape[0], windows.shape[1]
+    # The channel-summed window distance equals the flat distance over the
+    # time-major (window, channel) flattening, so multichannel candidates
+    # reuse the univariate GEMM path after a reshape (a no-op for 2-D).
+    cand_flat = candidates.reshape(candidates.shape[0], -1)
+    flat = np.ascontiguousarray(windows).reshape(n_series * n_windows, -1)
 
-    cand_sq = np.sum(candidates * candidates, axis=1)[:, None]
+    cand_sq = np.sum(cand_flat * cand_flat, axis=1)[:, None]
     win_sq = np.sum(flat * flat, axis=1)[None, :]
-    cross = candidates @ flat.T
+    cross = cand_flat @ flat.T
     squared = np.maximum(cand_sq + win_sq - 2.0 * cross, 0.0)
     distances = np.sqrt(squared).reshape(candidates.shape[0], n_series, n_windows)
 
@@ -276,14 +293,15 @@ class EDSCClassifier(BaseEarlyClassifier):
         maximum/minimum (``order=prune_order``), cumulative-sum the marks
         along time, and answer each window ``[p, p + window)`` with one
         subtraction.  Used by both the batched and the reference extraction
-        paths so the flag cannot make them diverge.
+        paths so the flag cannot make them diverge.  On multichannel data a
+        time step counts as an extremum when *any* channel has one there.
         """
         from scipy.signal import argrelmax, argrelmin
 
-        extrema = np.zeros(data.shape, dtype=bool)
+        extrema = np.zeros(data.shape[:2], dtype=bool)
         for finder in (argrelmax, argrelmin):
-            rows, cols = finder(data, axis=1, order=self.prune_order)
-            extrema[rows, cols] = True
+            where = finder(data, axis=1, order=self.prune_order)
+            extrema[where[0], where[1]] = True
         counts = np.zeros((data.shape[0], data.shape[1] + 1), dtype=np.intp)
         counts[:, 1:] = np.cumsum(extrema, axis=1)
         return (
@@ -348,11 +366,15 @@ class EDSCClassifier(BaseEarlyClassifier):
         inner over start positions) so the per-class subsample draws the same
         indices from the same generator state.
         """
-        n_series, length = data.shape
+        n_series, length = data.shape[0], data.shape[1]
         positions = self._candidate_positions(length, window)
         windows = np.lib.stride_tricks.sliding_window_view(data, window, axis=1)
-        matrix = windows[:, positions, :].reshape(
-            n_series * positions.shape[0], window
+        if data.ndim == 3:
+            # sliding_window_view appends the window axis last:
+            # (n, n_windows, d, window) -> (n, n_windows, window, d).
+            windows = np.moveaxis(windows, -1, -2)
+        matrix = windows[:, positions].reshape(
+            (n_series * positions.shape[0], window) + data.shape[2:]
         )
         src_index = np.repeat(np.arange(n_series), positions.shape[0])
         src_position = np.tile(positions, n_series)
@@ -559,7 +581,7 @@ class EDSCClassifier(BaseEarlyClassifier):
         :meth:`_score_candidate`) as the semantic reference the equivalence
         tests and the fit benchmark run against.
         """
-        n_series, length = data.shape
+        n_series, length = data.shape[0], data.shape[1]
         positions = self._candidate_positions(length, window)
 
         candidate_values = []
@@ -772,9 +794,13 @@ class EDSCClassifier(BaseEarlyClassifier):
 
     @staticmethod
     def _best_match_in_prefix(shapelet_values: np.ndarray, prefix: np.ndarray) -> float:
-        windows = _sliding_windows(prefix[None, :], shapelet_values.shape[0])[0]
-        diffs = windows - shapelet_values[None, :]
-        return float(np.sqrt(np.min(np.sum(diffs * diffs, axis=1))))
+        windows = _sliding_windows(prefix[None], shapelet_values.shape[0])[0]
+        diffs = windows - shapelet_values[None]
+        # Channel-summed on (n_windows, window, n_channels) windows; the
+        # univariate 2-D case reduces over the single trailing axis exactly
+        # as before.
+        sq = np.sum(diffs * diffs, axis=tuple(range(1, diffs.ndim)))
+        return float(np.sqrt(np.min(sq)))
 
     def checkpoints(self) -> list[int]:
         """Prefix lengths evaluated at prediction time."""

@@ -146,8 +146,14 @@ class PrefixProbabilisticClassifier:
         """Store the training exemplars and calibrate per-length temperatures."""
         data = np.asarray(series, dtype=float)
         label_arr = np.asarray(labels)
-        if data.ndim != 2:
-            raise ValueError("series must be 2-D (n_exemplars, length)")
+        if data.ndim not in (2, 3):
+            raise ValueError(
+                "series must be 2-D (n_exemplars, length) or 3-D "
+                f"(n_exemplars, length, n_channels); got shape {data.shape}"
+            )
+        if data.ndim == 3 and data.shape[2] == 1:
+            # Single-channel 3-D input runs the exact univariate path.
+            data = data[:, :, 0]
         if label_arr.shape[0] != data.shape[0]:
             raise ValueError("labels must have one entry per exemplar")
         self._train = data
@@ -185,10 +191,37 @@ class PrefixProbabilisticClassifier:
 
     @property
     def train_length_(self) -> int:
-        """Length of the training exemplars."""
+        """Length of the training exemplars, in time steps."""
         if self._train is None:
             raise RuntimeError("classifier must be fitted before use")
         return int(self._train.shape[1])
+
+    @property
+    def n_channels_(self) -> int:
+        """Number of channels of the training exemplars (1 for univariate)."""
+        if self._train is None:
+            raise RuntimeError("classifier must be fitted before use")
+        return int(self._train.shape[2]) if self._train.ndim == 3 else 1
+
+    def _validate_rows(self, rows: np.ndarray, name: str = "rows") -> np.ndarray:
+        """Validate a query batch against the fitted channel count."""
+        data = np.asarray(rows, dtype=float)
+        channels = self.n_channels_
+        if channels == 1:
+            if data.ndim == 3 and data.shape[2] == 1:
+                data = data[:, :, 0]
+            if data.ndim != 2:
+                raise ValueError(
+                    f"{name} must be a 2-D (n_rows, length) array for "
+                    f"this univariate model; got shape {data.shape}"
+                )
+        elif data.ndim != 3 or data.shape[2] != channels:
+            raise ValueError(
+                f"{name} must be a 3-D (n_rows, length, n_channels) array "
+                f"with n_channels={channels} (axis 0 = row, axis 1 = time, "
+                f"axis 2 = channel); got shape {data.shape}"
+            )
+        return data
 
     @property
     def calibrated_checkpoints(self) -> list[int]:
@@ -221,8 +254,16 @@ class PrefixProbabilisticClassifier:
         if self._train is None or self._labels is None:
             raise RuntimeError("classifier must be fitted before use")
         arr = np.asarray(prefix, dtype=float)
-        if arr.ndim != 1:
-            raise ValueError("prefix must be 1-D")
+        channels = self.n_channels_
+        if channels == 1:
+            if arr.ndim != 1:
+                raise ValueError("prefix must be 1-D")
+        elif arr.ndim != 2 or arr.shape[1] != channels:
+            raise ValueError(
+                "prefix must be a 2-D (length, n_channels) exemplar with "
+                f"n_channels={channels} (axis 0 = time, axis 1 = channel); "
+                f"got shape {arr.shape}"
+            )
         length = arr.shape[0]
         if length < self.min_length:
             raise ValueError(f"prefix must have at least {self.min_length} samples")
@@ -299,9 +340,7 @@ class PrefixProbabilisticClassifier:
         """
         if self._train is None or self._labels is None:
             raise RuntimeError("classifier must be fitted before use")
-        data = np.asarray(rows, dtype=float)
-        if data.ndim != 2:
-            raise ValueError("rows must be a 2-D array (n_rows, length)")
+        data = self._validate_rows(rows)
         lengths = [int(v) for v in lengths]
         if lengths and min(lengths) < self.min_length:
             raise ValueError(f"prefixes must have at least {self.min_length} samples")
@@ -366,9 +405,7 @@ class PrefixProbabilisticClassifier:
         """
         if self._train is None or self._labels is None:
             raise RuntimeError("classifier must be fitted before use")
-        data = np.asarray(rows, dtype=float)
-        if data.ndim != 2:
-            raise ValueError("rows must be a 2-D array (n_rows, length)")
+        data = self._validate_rows(rows)
         if exclude_self and data.shape != self._train.shape:
             raise ValueError(
                 "exclude_self requires rows to be the training set itself"

@@ -130,6 +130,11 @@ class ReliableEarlyClassifier(BaseEarlyClassifier):
         Seed for the Monte Carlo sampler.
     """
 
+    #: Univariate-only: the per-length statistics this algorithm is
+    #: built on are defined over scalar samples, so multichannel
+    #: (n, L, d>1) training data is rejected with a named-axis error.
+    supports_multichannel = False
+
     def __init__(
         self,
         tau: float = 0.1,

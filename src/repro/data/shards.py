@@ -55,8 +55,13 @@ __all__ = [
     "write_shards",
 ]
 
-#: Bump when the on-disk layout changes incompatibly.
-SHARD_SCHEMA_VERSION = 1
+#: Bump when the on-disk layout changes incompatibly.  Version 2 added the
+#: ``n_channels`` manifest field (multichannel ``(n, L, d)`` shards); version
+#: 1 manifests are still readable and imply ``n_channels = 1``.
+SHARD_SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`ShardedDataset.open` accepts.
+_READABLE_SCHEMA_VERSIONS = (1, 2)
 
 #: Default number of exemplars per shard when the caller does not choose.
 DEFAULT_SHARD_EXEMPLARS = 256
@@ -147,6 +152,7 @@ def write_shards(
 
     shards: list[dict] = []
     length: int | None = None
+    channels: int | None = None
     labels_dtype: np.dtype | None = None
     pending_series: list[np.ndarray] = []
     pending_labels: list[np.ndarray] = []
@@ -172,8 +178,9 @@ def write_shards(
             stats_file = f"{stem}.stats.npy"
             np.save(root / series_file, np.ascontiguousarray(shard_series))
             np.save(root / labels_file, shard_labels)
-            # The z-norm stats header: per-exemplar mean and (population) std,
-            # so a reader can normalise a shard without a second full scan.
+            # The z-norm stats header: per-exemplar mean and (population) std
+            # over the time axis (per channel for 3-D shards), so a reader
+            # can normalise a shard without a second full scan.
             stats = np.stack([shard_series.mean(axis=1), shard_series.std(axis=1)])
             np.save(root / stats_file, stats)
             shards.append(
@@ -192,16 +199,36 @@ def write_shards(
 
     for chunk_series, chunk_labels in _as_chunks(source):
         chunk_series = np.asarray(chunk_series, dtype=np.float64)
-        if chunk_series.ndim != 2 or chunk_series.shape[1] < 1:
-            raise ValueError("every chunk must be a 2-D (n, length) array")
+        if chunk_series.ndim == 3 and chunk_series.shape[2] == 1:
+            # Match UCRDataset: (n, L, 1) is univariate, store it as 2-D so
+            # the resulting shards are bit-identical to historical ones.
+            chunk_series = chunk_series[:, :, 0]
+        if chunk_series.ndim not in (2, 3) or chunk_series.shape[1] < 1:
+            raise ValueError(
+                "every chunk must be 2-D (n, length) or 3-D "
+                f"(n, length, n_channels); got shape {chunk_series.shape}"
+            )
+        chunk_channels = (
+            int(chunk_series.shape[2]) if chunk_series.ndim == 3 else 1
+        )
+        if chunk_channels < 1:
+            raise ValueError(
+                f"chunk has an empty channel axis (axis 2); got shape "
+                f"{chunk_series.shape}"
+            )
         if chunk_labels.ndim != 1 or chunk_labels.shape[0] != chunk_series.shape[0]:
             raise ValueError("labels must be 1-D with one entry per exemplar")
         if length is None:
             length = int(chunk_series.shape[1])
+            channels = chunk_channels
             labels_dtype = chunk_labels.dtype
         elif chunk_series.shape[1] != length:
             raise ValueError(
                 f"chunk series length {chunk_series.shape[1]} != {length}"
+            )
+        elif chunk_channels != channels:
+            raise ValueError(
+                f"chunk channel count {chunk_channels} != {channels}"
             )
         if not np.all(np.isfinite(chunk_series)):
             raise ValueError("series contains non-finite values")
@@ -219,6 +246,7 @@ def write_shards(
         "name": name,
         "n_exemplars": total_rows,
         "series_length": length,
+        "n_channels": channels,
         "dtype": "float64",
         "labels_dtype": str(labels_dtype),
         "znormalized": bool(znormalized),
@@ -248,12 +276,15 @@ class ShardedSeriesView:
         self._starts = starts  # shard i holds rows [starts[i], starts[i+1])
 
     @property
-    def shape(self) -> tuple[int, int]:
-        return (self._dataset.n_exemplars, self._dataset.series_length)
+    def shape(self) -> tuple[int, ...]:
+        base = (self._dataset.n_exemplars, self._dataset.series_length)
+        if self._dataset.n_channels > 1:
+            return base + (self._dataset.n_channels,)
+        return base
 
     @property
     def ndim(self) -> int:
-        return 2
+        return len(self.shape)
 
     @property
     def dtype(self) -> np.dtype:
@@ -265,7 +296,7 @@ class ShardedSeriesView:
     def _rows(self, rows: np.ndarray) -> np.ndarray:
         if rows.size and (rows.min() < 0 or rows.max() >= self.shape[0]):
             raise IndexError(f"row index out of range [0, {self.shape[0]})")
-        out = np.empty((rows.size, self.shape[1]))
+        out = np.empty((rows.size,) + self.shape[1:])
         shard_of = np.searchsorted(self._starts, rows, side="right") - 1
         for shard in np.unique(shard_of):
             mask = shard_of == shard
@@ -334,10 +365,10 @@ class ShardedDataset:
             raise FileNotFoundError(f"{root} does not contain {_MANIFEST}") from error
         if manifest.get("format") != "repro-shards":
             raise ValueError(f"{path} is not a repro shard manifest")
-        if manifest.get("schema_version") != SHARD_SCHEMA_VERSION:
+        if manifest.get("schema_version") not in _READABLE_SCHEMA_VERSIONS:
             raise ValueError(
                 f"unsupported shard schema {manifest.get('schema_version')!r} "
-                f"(this build reads {SHARD_SCHEMA_VERSION})"
+                f"(this build reads {_READABLE_SCHEMA_VERSIONS})"
             )
         return cls(root, manifest)
 
@@ -353,6 +384,11 @@ class ShardedDataset:
     @property
     def series_length(self) -> int:
         return int(self._manifest["series_length"])
+
+    @property
+    def n_channels(self) -> int:
+        """Channels per sample; version-1 manifests imply univariate data."""
+        return int(self._manifest.get("n_channels", 1))
 
     @property
     def znormalized(self) -> bool:
@@ -447,7 +483,9 @@ class ShardedDataset:
         yield touches exactly one memmap.
         """
         if max_rows is None:
-            max_rows = max(1, resolve_block_bytes() // (self.series_length * 8))
+            max_rows = max(
+                1, resolve_block_bytes() // (self.series_length * self.n_channels * 8)
+            )
         if max_rows < 1:
             raise ValueError("max_rows must be >= 1")
         for index in range(self.n_shards):

@@ -33,8 +33,9 @@ def _require_finite(series: np.ndarray) -> None:
     matter how large the dataset is.
     """
     # isfinite emits one bool per float64 element; 9 bytes per element keeps
-    # the chunk (values read + bool temporary) inside the budget.
-    row_bytes = max(1, series.shape[1]) * 9
+    # the chunk (values read + bool temporary) inside the budget.  A row is
+    # every element of one exemplar: L for univariate, L * d for multichannel.
+    row_bytes = max(1, int(np.prod(series.shape[1:]))) * 9
     rows = max(1, resolve_block_bytes() // row_bytes)
     for start in range(0, series.shape[0], rows):
         if not np.all(np.isfinite(series[start : start + rows])):
@@ -50,7 +51,12 @@ class UCRDataset:
     name:
         Human-readable dataset name (e.g. ``"SyntheticGunPoint"``).
     series:
-        2-D float array of shape ``(n_exemplars, length)``.
+        Float array of shape ``(n_exemplars, length)`` for univariate data
+        or ``(n_exemplars, length, n_channels)`` for multichannel data
+        (axis 0 = exemplar, axis 1 = time, axis 2 = channel).  A 3-D array
+        with a single trailing channel is squeezed to 2-D at construction,
+        so ``d = 1`` datasets are bit-identical to historical univariate
+        ones no matter which layout produced them.
     labels:
         1-D array of class labels, one per exemplar.
     znormalized:
@@ -85,8 +91,20 @@ class UCRDataset:
             # non-float64), silently materialising out-of-core data.
             series = np.asarray(series, dtype=float)
         labels = np.asarray(self.labels)
-        if series.ndim != 2:
-            raise ValueError("series must be a 2-D array (n_exemplars, length)")
+        if series.ndim == 3 and series.shape[2] == 1:
+            # (n, L, 1) is univariate in disguise: squeeze to the exact 2-D
+            # layout so every downstream kernel runs its historical path.
+            series = series[:, :, 0]
+        if series.ndim not in (2, 3):
+            raise ValueError(
+                "series must be 2-D (n_exemplars, length) or 3-D "
+                f"(n_exemplars, length, n_channels); got shape {series.shape}"
+            )
+        if series.ndim == 3 and series.shape[2] == 0:
+            raise ValueError(
+                "series has an empty channel axis (axis 2); got shape "
+                f"{series.shape}"
+            )
         if series.shape[0] == 0 or series.shape[1] == 0:
             raise ValueError("dataset must contain at least one non-empty exemplar")
         if labels.ndim != 1 or labels.shape[0] != series.shape[0]:
@@ -111,6 +129,11 @@ class UCRDataset:
         return int(self.series.shape[1])
 
     @property
+    def n_channels(self) -> int:
+        """Channels per sample: 1 for univariate (2-D) datasets."""
+        return int(self.series.shape[2]) if self.series.ndim == 3 else 1
+
+    @property
     def classes(self) -> tuple:
         """Sorted tuple of distinct class labels."""
         return tuple(np.unique(self.labels).tolist())
@@ -130,7 +153,16 @@ class UCRDataset:
         return replace(self, series=znormalize(self.series), znormalized=True)
 
     def verify_znormalized(self, atol: float = 1e-6) -> bool:
-        """Check that every exemplar really is z-normalised."""
+        """Check that every exemplar really is z-normalised.
+
+        Multichannel exemplars must be z-normalised per channel over the
+        time axis (statistics are never pooled across channels).
+        """
+        if self.series.ndim == 3:
+            return all(
+                is_znormalized(row, atol=atol, channel_axis=-1)
+                for row in self.series
+            )
         return all(is_znormalized(row, atol=atol) for row in self.series)
 
     def truncated(self, length: int, renormalize: bool = False) -> "UCRDataset":
@@ -183,6 +215,11 @@ class UCRDataset:
         """Stack two datasets with the same series length."""
         if other.series_length != self.series_length:
             raise ValueError("datasets must have the same series length")
+        if other.n_channels != self.n_channels:
+            raise ValueError(
+                "datasets must have the same channel count (axis 2); got "
+                f"{self.n_channels} and {other.n_channels}"
+            )
         return UCRDataset(
             name=name or f"{self.name}+{other.name}",
             series=np.vstack([self.series, other.series]),
@@ -200,7 +237,18 @@ class UCRDataset:
         return path
 
     def to_tsv_string(self) -> str:
-        """Serialise to the UCR TSV layout as a string."""
+        """Serialise to the UCR TSV layout as a string.
+
+        The archive's TSV layout is one scalar per time step, so only
+        univariate datasets can round-trip through it; multichannel data
+        belongs in :mod:`repro.data.shards`.
+        """
+        if self.series.ndim == 3:
+            raise ValueError(
+                "the UCR TSV layout is univariate (one value per time step); "
+                f"cannot serialise a dataset with n_channels={self.n_channels} "
+                "-- use repro.data.shards for multichannel persistence"
+            )
         buffer = io.StringIO()
         for label, row in zip(self.labels, self.series):
             values = "\t".join(f"{v:.10g}" for v in row)

@@ -26,7 +26,16 @@ import numpy as np
 
 from repro.data.ucr_format import UCRDataset
 
-__all__ = ["CBFGenerator", "TraceLikeGenerator", "make_cbf_dataset", "make_trace_dataset"]
+__all__ = [
+    "CBFGenerator",
+    "MelFrameSynthesizer",
+    "MultichannelCBFGenerator",
+    "TraceLikeGenerator",
+    "make_cbf_dataset",
+    "make_keyword_dataset",
+    "make_multichannel_cbf_dataset",
+    "make_trace_dataset",
+]
 
 
 def _noise(rng: np.random.Generator, length: int, scale: float) -> np.ndarray:
@@ -204,6 +213,209 @@ class TraceLikeGenerator:
         )
 
 
+@dataclass
+class MultichannelCBFGenerator:
+    """Multichannel (IMU-style) CBF problem: one event seen by ``d`` sensors.
+
+    Each exemplar is a ``(length, n_channels)`` array.  One CBF event
+    (cylinder / bell / funnel, as in :class:`CBFGenerator`) happens once,
+    and every channel records a lagged, gain-scaled copy of it under
+    independent noise -- the way a six-axis inertial unit sees one physical
+    motion.  No single channel is reliable on its own (per-channel gains
+    vary and some are weak), so classifiers benefit from pooling evidence
+    across the channel axis, which is exactly what the channel-summed
+    distance kernels do.
+
+    Parameters mirror :class:`CBFGenerator`, plus:
+
+    n_channels:
+        Number of recording channels (default 6, the classic accel+gyro
+        axis count).
+    channel_lag:
+        Per-channel onset delay in samples: channel ``c`` sees the event
+        ``c * channel_lag`` samples late (clipped to the exemplar).
+    """
+
+    length: int = 128
+    n_channels: int = 6
+    pad_fraction: float = 0.35
+    noise_scale: float = 0.15
+    amplitude: float = 2.0
+    channel_lag: int = 3
+    seed: int = 41
+
+    CLASSES = CBFGenerator.CLASSES
+
+    def __post_init__(self) -> None:
+        if self.length < 32:
+            raise ValueError("length must be at least 32")
+        if self.n_channels < 2:
+            raise ValueError("n_channels must be >= 2 (use CBFGenerator for d=1)")
+        if not 0.0 <= self.pad_fraction < 0.9:
+            raise ValueError("pad_fraction must be in [0, 0.9)")
+        if self.noise_scale < 0:
+            raise ValueError("noise_scale must be non-negative")
+        if self.channel_lag < 0:
+            raise ValueError("channel_lag must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def exemplar(self, label: str, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Generate one ``(length, n_channels)`` exemplar of the given class."""
+        if label not in self.CLASSES:
+            raise ValueError(f"label must be one of {self.CLASSES}, got {label!r}")
+        rng = rng or self._rng
+        n, d = self.length, self.n_channels
+        usable = int(round(n * (1.0 - self.pad_fraction)))
+
+        # One physical event, shared by every channel.
+        start = int(rng.integers(max(2, usable // 16), max(3, usable // 6)))
+        end = int(rng.integers(int(usable * 0.7), usable))
+        end = max(end, start + 8)
+        t = np.arange(n, dtype=float)
+        amplitude = self.amplitude * (1.0 + rng.normal(0.0, 0.1))
+        # Per-channel coupling: gains decay across the axis set and every
+        # other channel is inverted, so no single channel carries the class.
+        gains = (0.4 + 0.6 * np.linspace(1.0, 0.3, d)) * np.where(
+            np.arange(d) % 2 == 0, 1.0, -1.0
+        )
+        gains *= 1.0 + rng.normal(0.0, 0.05, size=d)
+
+        out = rng.normal(0.0, self.noise_scale, size=(n, d))
+        for channel in range(d):
+            lag = channel * self.channel_lag
+            lo, hi = min(start + lag, n), min(end + lag, n)
+            if hi <= lo:
+                continue
+            inside = t[lo:hi]
+            if label == "cylinder":
+                shape = np.ones(hi - lo)
+            elif label == "bell":
+                shape = (inside - (start + lag)) / max(end - start, 1)
+            else:  # funnel
+                shape = ((end + lag) - inside) / max(end - start, 1)
+            out[lo:hi, channel] += amplitude * gains[channel] * shape
+        return out
+
+    def generate(self, n_per_class: int, seed: int | None = None) -> UCRDataset:
+        """Generate a balanced ``(n, length, n_channels)`` dataset."""
+        if n_per_class < 1:
+            raise ValueError("n_per_class must be >= 1")
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        series = []
+        labels = []
+        for label in self.CLASSES:
+            for _ in range(n_per_class):
+                series.append(self.exemplar(label, rng=rng))
+                labels.append(label)
+        return UCRDataset(
+            name="SyntheticCBF-MV",
+            series=np.asarray(series),
+            labels=np.asarray(labels),
+            metadata={
+                "generator": "MultichannelCBFGenerator",
+                "pad_fraction": self.pad_fraction,
+                "length": self.length,
+                "n_channels": self.n_channels,
+            },
+        )
+
+
+@dataclass
+class MelFrameSynthesizer:
+    """Synthetic mel-frame keyword spotting data: ``(n_frames, n_mels)``.
+
+    Each exemplar mimics a log-mel spectrogram of one spoken keyword: a
+    voiced segment whose spectral peak follows a keyword-specific trajectory
+    across the mel axis (rising for ``"go"``, falling for ``"no"``, ...),
+    under an energy envelope, on a noise floor.  Time is the frame axis
+    (axis 0) and mel bands are channels (axis 1) -- the layout every
+    multichannel kernel in the stack expects, and the natural input of the
+    streaming keyword-spotting example.
+
+    Parameters
+    ----------
+    n_frames:
+        Frames per exemplar (the time axis length).
+    n_mels:
+        Mel bands per frame (the channel count).
+    noise_scale:
+        Standard deviation of the noise floor.
+    seed:
+        Seed of the internal generator.
+    """
+
+    n_frames: int = 48
+    n_mels: int = 12
+    noise_scale: float = 0.1
+    seed: int = 53
+
+    KEYWORDS = ("yes", "no", "stop", "go")
+
+    #: Spectral-peak trajectory per keyword as (start, end) fractions of the
+    #: mel axis over the voiced segment.
+    _TRAJECTORIES = {
+        "yes": (0.25, 0.65),
+        "no": (0.7, 0.3),
+        "stop": (0.5, 0.5),
+        "go": (0.15, 0.85),
+    }
+
+    def __post_init__(self) -> None:
+        if self.n_frames < 16:
+            raise ValueError("n_frames must be at least 16")
+        if self.n_mels < 4:
+            raise ValueError("n_mels must be at least 4")
+        if self.noise_scale < 0:
+            raise ValueError("noise_scale must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def exemplar(self, word: str, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Generate one ``(n_frames, n_mels)`` mel-frame exemplar."""
+        if word not in self.KEYWORDS:
+            raise ValueError(f"word must be one of {self.KEYWORDS}, got {word!r}")
+        rng = rng or self._rng
+        frames, mels = self.n_frames, self.n_mels
+        onset = int(rng.integers(2, max(3, frames // 6)))
+        duration = int(rng.integers(int(frames * 0.5), int(frames * 0.75)))
+        duration = min(duration, frames - onset - 1)
+
+        out = rng.normal(0.0, self.noise_scale, size=(frames, mels))
+        f0, f1 = self._TRAJECTORIES[word]
+        band = np.arange(mels, dtype=float)
+        width = max(mels * 0.12, 1.0) * (1.0 + rng.normal(0.0, 0.1))
+        loudness = 2.0 * (1.0 + rng.normal(0.0, 0.1))
+        for step in range(duration):
+            progress = step / max(duration - 1, 1)
+            centre = (f0 + (f1 - f0) * progress) * (mels - 1)
+            envelope = np.sin(np.pi * progress)  # fade in, fade out
+            out[onset + step] += (
+                loudness * envelope * np.exp(-0.5 * ((band - centre) / width) ** 2)
+            )
+        return out
+
+    def generate(self, n_per_class: int, seed: int | None = None) -> UCRDataset:
+        """Generate a balanced ``(n, n_frames, n_mels)`` keyword dataset."""
+        if n_per_class < 1:
+            raise ValueError("n_per_class must be >= 1")
+        rng = np.random.default_rng(self.seed if seed is None else seed)
+        series = []
+        labels = []
+        for word in self.KEYWORDS:
+            for _ in range(n_per_class):
+                series.append(self.exemplar(word, rng=rng))
+                labels.append(word)
+        return UCRDataset(
+            name="SyntheticKeywords",
+            series=np.asarray(series),
+            labels=np.asarray(labels),
+            metadata={
+                "generator": "MelFrameSynthesizer",
+                "n_frames": self.n_frames,
+                "n_mels": self.n_mels,
+            },
+        )
+
+
 def make_cbf_dataset(
     n_per_class: int = 30,
     length: int = 128,
@@ -229,4 +441,39 @@ def make_trace_dataset(
     dataset = TraceLikeGenerator(length=length, pad_fraction=pad_fraction, seed=seed).generate(
         n_per_class, seed=seed
     )
+    return dataset.z_normalized() if znormalize else dataset
+
+
+def make_multichannel_cbf_dataset(
+    n_per_class: int = 30,
+    length: int = 128,
+    n_channels: int = 6,
+    pad_fraction: float = 0.35,
+    seed: int = 41,
+    znormalize: bool = True,
+) -> UCRDataset:
+    """Convenience constructor for a 6-axis multichannel CBF-style dataset.
+
+    Z-normalisation is per exemplar per channel over the time axis.
+    """
+    dataset = MultichannelCBFGenerator(
+        length=length,
+        n_channels=n_channels,
+        pad_fraction=pad_fraction,
+        seed=seed,
+    ).generate(n_per_class, seed=seed)
+    return dataset.z_normalized() if znormalize else dataset
+
+
+def make_keyword_dataset(
+    n_per_class: int = 25,
+    n_frames: int = 48,
+    n_mels: int = 12,
+    seed: int = 53,
+    znormalize: bool = True,
+) -> UCRDataset:
+    """Convenience constructor for a mel-frame keyword spotting dataset."""
+    dataset = MelFrameSynthesizer(
+        n_frames=n_frames, n_mels=n_mels, seed=seed
+    ).generate(n_per_class, seed=seed)
     return dataset.z_normalized() if znormalize else dataset

@@ -169,8 +169,18 @@ def _as_batch(arr: np.ndarray, what: str) -> np.ndarray:
     out = np.asarray(arr, dtype=float)
     if out.ndim == 1:
         out = out[None, :]
-    if out.ndim != 2 or out.shape[0] < 1 or out.shape[1] < 1:
-        raise ValueError(f"{what} must be a non-empty 1-D series or 2-D batch")
+    if out.ndim not in (2, 3) or out.shape[0] < 1 or out.shape[1] < 1:
+        raise ValueError(
+            f"{what} must be a non-empty 1-D series, 2-D (n, length) batch, "
+            f"or 3-D (n, length, n_channels) multichannel batch; got shape "
+            f"{np.asarray(arr).shape}"
+        )
+    if out.ndim == 3 and out.shape[2] < 1:
+        raise ValueError(f"{what} must have at least one channel")
+    if out.ndim == 3 and out.shape[2] == 1:
+        # (n, L, 1) is univariate in disguise: squeeze so the legacy 2-D
+        # code paths (and their bit-exact guarantees) apply verbatim.
+        out = out[:, :, 0]
     return out
 
 
@@ -190,7 +200,10 @@ def _banded_costs_with_abandon(
     """Banded squared DTW costs of a batch of pairs, abandoning hopeless ones.
 
     ``q_rows``/``t_rows`` are the already-gathered per-pair series (shapes
-    ``(p, n)`` and ``(p, m)``, any float dtype -- float32 selects float32
+    ``(p, n)`` and ``(p, m)``, or ``(p, n, d)`` / ``(p, m, d)`` multichannel
+    -- cell costs are then channel-summed, accumulated in the same channel
+    order as the dense reference so surviving costs stay bit-identical; any
+    float dtype -- float32 selects float32
     accumulation).  Per cell the recurrence is exactly the one of
     :func:`repro.distance.dtw._wavefront_accumulated_cost` (same elementwise
     operations in the same order, so surviving costs are bit-identical to the
@@ -209,8 +222,9 @@ def _banded_costs_with_abandon(
 
     Returns ``(squared_costs, abandoned)``; abandoned pairs carry ``inf``.
     """
-    p, n = q_rows.shape
+    p, n = q_rows.shape[0], q_rows.shape[1]
     m = t_rows.shape[1]
+    channels = q_rows.shape[2] if q_rows.ndim == 3 else 1
     dt = q_rows.dtype
     out = np.full(p, np.inf)
     ids = np.arange(p)
@@ -230,8 +244,20 @@ def _banded_costs_with_abandon(
         # i-1 and i; cost(i-1, j-1) on d-2 at i-1.  All contiguous slices.
         best = np.minimum(prev[:, i_lo - 1 : i_hi], prev[:, i_lo : i_hi + 1])
         np.minimum(best, prev2[:, i_lo - 1 : i_hi], out=best)
-        diff = q_rows[:, i_lo - 1 : i_hi] - t_rows[:, d - i_hi - 1 : d - i_lo][:, ::-1]
-        cur[:, i_lo : i_hi + 1] = diff * diff + best
+        if channels == 1:
+            diff = q_rows[:, i_lo - 1 : i_hi] - t_rows[:, d - i_hi - 1 : d - i_lo][:, ::-1]
+            sq = diff * diff
+        else:
+            # Channel-summed cell cost, accumulated channel by channel in
+            # the same order as the dense reference (bit-identical costs).
+            diff = (
+                q_rows[:, i_lo - 1 : i_hi, :]
+                - t_rows[:, d - i_hi - 1 : d - i_lo, :][:, ::-1, :]
+            )
+            sq = diff[:, :, 0] * diff[:, :, 0]
+            for c in range(1, channels):
+                sq += diff[:, :, c] * diff[:, :, c]
+        cur[:, i_lo : i_hi + 1] = sq + best
         cur_min = cur[:, i_lo : i_hi + 1].min(axis=1)
         dead = np.minimum(prev_min, cur_min) > thr
         prev2, prev, prev_min = prev, cur, cur_min
@@ -291,8 +317,10 @@ def pruned_dtw_nearest_neighbors(
     Parameters
     ----------
     queries, train:
-        2-D arrays ``(n_queries, n)`` and ``(n_train, m)``; lengths may
-        differ (DTW aligns them).  A 1-D query is promoted to a batch of one.
+        2-D arrays ``(n_queries, n)`` and ``(n_train, m)``, or 3-D
+        multichannel batches with matching channel counts (dependent DTW
+        with channel-summed costs); lengths may differ (DTW aligns them).
+        A 1-D query is promoted to a batch of one.
     window:
         Sakoe-Chiba band spec with the semantics of
         :func:`repro.distance.dtw.dtw_distance`.
@@ -320,8 +348,15 @@ def pruned_dtw_nearest_neighbors(
     """
     q = _as_batch(queries, "queries")
     t = _as_batch(train, "train")
-    n_q, n = q.shape
-    n_train, m = t.shape
+    if q.ndim != t.ndim or q.shape[2:] != t.shape[2:]:
+        raise ValueError(
+            "queries and train must agree in rank and channel count "
+            "(trailing axis); got shapes "
+            f"{q.shape} and {t.shape}"
+        )
+    n_q, n = q.shape[0], q.shape[1]
+    n_train, m = t.shape[0], t.shape[1]
+    channels = q.shape[2] if q.ndim == 3 else 1
     k = int(n_neighbors)
     if not 1 <= k <= n_train:
         raise ValueError(f"n_neighbors must be in [1, {n_train}], got {n_neighbors}")
@@ -383,14 +418,15 @@ def pruned_dtw_nearest_neighbors(
     lb = np.empty(rows.shape[0])
     if rows.shape[0]:
         lower, upper = dtw_band_envelopes(t, band, query_length=n)
-        chunk = max(1, int(block_bytes // (max(n, 1) * 8 * 2)))
+        chunk = max(1, int(block_bytes // (max(n, 1) * channels * 8 * 2)))
+        reduce = "pn,pn->p" if channels == 1 else "pnc,pnc->p"
         for start in range(0, rows.shape[0], chunk):
             stop = min(start + chunk, rows.shape[0])
             qs = q[rows[start:stop]]
             over = np.maximum(qs - upper[cols[start:stop]], 0.0)
             under = np.maximum(lower[cols[start:stop]] - qs, 0.0)
-            lb[start:stop] = np.einsum("pn,pn->p", over, over) + np.einsum(
-                "pn,pn->p", under, under
+            lb[start:stop] = np.einsum(reduce, over, over) + np.einsum(
+                reduce, under, under
             )
         np.maximum(lb, kim[rows, cols], out=lb)
     keep = lb <= thr[rows]

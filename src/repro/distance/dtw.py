@@ -34,8 +34,17 @@ __all__ = [
 def _validate(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
-    if a.ndim != 1 or b.ndim != 1:
-        raise ValueError("DTW is defined here for 1-D series")
+    if a.ndim != b.ndim or a.ndim not in (1, 2):
+        raise ValueError(
+            "DTW is defined here for a pair of 1-D (length,) series or a "
+            "pair of 2-D (length, n_channels) multichannel exemplars; got "
+            f"shapes {a.shape} and {b.shape}"
+        )
+    if a.ndim == 2 and a.shape[1] != b.shape[1]:
+        raise ValueError(
+            "multichannel DTW needs matching channel counts "
+            f"(axis 1), got {a.shape[1]} and {b.shape[1]}"
+        )
     if a.shape[0] == 0 or b.shape[0] == 0:
         raise ValueError("series must not be empty")
     return a, b
@@ -110,9 +119,21 @@ def _wavefront_accumulated_cost(sq_cost: np.ndarray, band: int) -> np.ndarray:
 
 
 def _accumulated_cost(a: np.ndarray, b: np.ndarray, band: int) -> np.ndarray:
-    """Accumulated squared-cost matrix for DTW restricted to a Sakoe-Chiba band."""
-    diff = a[:, None] - b[None, :]
-    return _wavefront_accumulated_cost(diff * diff, band)
+    """Accumulated squared-cost matrix for DTW restricted to a Sakoe-Chiba band.
+
+    Univariate pairs keep the historical scalar-cost path; multichannel
+    ``(length, n_channels)`` pairs use the *dependent* DTW formulation, where
+    each cell cost is the channel-summed squared difference
+    ``sum_c (a[i, c] - b[j, c])^2`` and one shared warping path aligns all
+    channels.  Both feed the same wavefront kernel, so the d=1 result is
+    bit-identical to the old code.
+    """
+    if a.ndim == 1:
+        diff = a[:, None] - b[None, :]
+        return _wavefront_accumulated_cost(diff * diff, band)
+    diff = a[:, None, :] - b[None, :, :]
+    sq_cost = np.einsum("ijc,ijc->ij", diff, diff)
+    return _wavefront_accumulated_cost(sq_cost, band)
 
 
 def _accumulated_cost_reference(a: np.ndarray, b: np.ndarray, band: int) -> np.ndarray:
@@ -125,13 +146,28 @@ def _accumulated_cost_reference(a: np.ndarray, b: np.ndarray, band: int) -> np.n
     n, m = a.shape[0], b.shape[0]
     cost = np.full((n + 1, m + 1), np.inf)
     cost[0, 0] = 0.0
+    if a.ndim == 1:
+        for i in range(1, n + 1):
+            j_start = max(1, i - band)
+            j_end = min(m, i + band)
+            ai = a[i - 1]
+            for j in range(j_start, j_end + 1):
+                d = ai - b[j - 1]
+                d = d * d
+                prev = min(cost[i - 1, j], cost[i, j - 1], cost[i - 1, j - 1])
+                cost[i, j] = d + prev
+        return cost
+    # Dependent multichannel DTW: per-cell cost is the channel-summed
+    # squared difference, everything else is the same recurrence.
     for i in range(1, n + 1):
         j_start = max(1, i - band)
         j_end = min(m, i + band)
         ai = a[i - 1]
         for j in range(j_start, j_end + 1):
-            d = ai - b[j - 1]
-            d = d * d
+            d = 0.0
+            for c in range(a.shape[1]):
+                delta = ai[c] - b[j - 1, c]
+                d += delta * delta
             prev = min(cost[i - 1, j], cost[i, j - 1], cost[i - 1, j - 1])
             cost[i, j] = d + prev
     return cost
@@ -143,7 +179,9 @@ def dtw_distance(a: np.ndarray, b: np.ndarray, window: int | float | None = None
     Parameters
     ----------
     a, b:
-        1-D series (they may have different lengths).
+        1-D series, or 2-D ``(length, n_channels)`` multichannel exemplars
+        with matching channel counts (the *dependent* DTW: one shared path,
+        channel-summed cell costs).  Lengths may differ.
     window:
         Sakoe-Chiba band constraint.  ``None`` means unconstrained; an ``int``
         is an absolute band width in points; a ``float`` in [0, 1] is a
@@ -166,8 +204,18 @@ def dtw_distance(a: np.ndarray, b: np.ndarray, window: int | float | None = None
 def znormalized_dtw_distance(
     a: np.ndarray, b: np.ndarray, window: int | float | None = None
 ) -> float:
-    """DTW distance after independently z-normalising both series."""
+    """DTW distance after independently z-normalising both series.
+
+    Multichannel ``(length, n_channels)`` exemplars are z-normalised per
+    channel before the dependent (channel-summed) DTW.
+    """
     a, b = _validate(a, b)
+    if a.ndim == 2:
+        return dtw_distance(
+            znormalize(a, channel_axis=-1),
+            znormalize(b, channel_axis=-1),
+            window=window,
+        )
     return dtw_distance(znormalize(a), znormalize(b), window=window)
 
 
@@ -188,26 +236,32 @@ def dtw_band_envelopes(
     Parameters
     ----------
     train:
-        2-D array ``(n_train, m)`` (a 1-D series is promoted).
+        2-D array ``(n_train, m)`` (a 1-D series is promoted), or a 3-D
+        multichannel batch ``(n_train, m, d)`` -- the envelopes are then
+        per channel.
     band:
         Resolved band half-width (see :func:`_resolve_band`); must be
         ``>= |query_length - m|`` so every query index has a non-empty
         window.
     query_length:
         Length ``n`` of the queries the envelopes will be held against
-        (defaults to ``m``); the returned arrays have shape ``(n_train, n)``.
+        (defaults to ``m``); the returned arrays have shape ``(n_train, n)``
+        (univariate) or ``(n_train, n, d)`` (multichannel).
 
     Returns
     -------
     (lower, upper):
-        Two ``(n_train, query_length)`` float64 arrays.
+        Two ``(n_train, query_length[, d])`` float64 arrays.
     """
     arr = np.asarray(train, dtype=float)
     if arr.ndim == 1:
         arr = arr[None, :]
-    if arr.ndim != 2 or arr.shape[1] < 1:
-        raise ValueError("train must be a non-empty 1-D series or 2-D batch")
-    n_train, m = arr.shape
+    if arr.ndim not in (2, 3) or arr.shape[1] < 1:
+        raise ValueError(
+            "train must be a non-empty 1-D series, a 2-D (n_train, m) batch, "
+            f"or a 3-D (n_train, m, n_channels) batch; got shape {arr.shape}"
+        )
+    n_train, m = arr.shape[0], arr.shape[1]
     n = m if query_length is None else int(query_length)
     if n < 1:
         raise ValueError("query_length must be >= 1")
@@ -215,9 +269,11 @@ def dtw_band_envelopes(
         raise ValueError(
             f"band {band} cannot cover the length difference |{n} - {m}|"
         )
+    tail = arr.shape[2:]  # () univariate, (d,) multichannel
     if band >= m:
-        lower = np.broadcast_to(arr.min(axis=1)[:, None], (n_train, n)).copy()
-        upper = np.broadcast_to(arr.max(axis=1)[:, None], (n_train, n)).copy()
+        shape = (n_train, n) + tail
+        lower = np.broadcast_to(np.expand_dims(arr.min(axis=1), 1), shape).copy()
+        upper = np.broadcast_to(np.expand_dims(arr.max(axis=1), 1), shape).copy()
         return lower, upper
     # Window ``i`` of the padded array covers train indices [i - band, i + band]
     # clipped to [0, m - 1]: sentinels (+inf for the min, -inf for the max) are
@@ -226,16 +282,26 @@ def dtw_band_envelopes(
     width = 2 * band + 1
     right = band + max(0, n - m)
     lo_pad = np.concatenate(
-        [np.full((n_train, band), np.inf), arr, np.full((n_train, right), np.inf)],
+        [
+            np.full((n_train, band) + tail, np.inf),
+            arr,
+            np.full((n_train, right) + tail, np.inf),
+        ],
         axis=1,
     )
     hi_pad = np.concatenate(
-        [np.full((n_train, band), -np.inf), arr, np.full((n_train, right), -np.inf)],
+        [
+            np.full((n_train, band) + tail, -np.inf),
+            arr,
+            np.full((n_train, right) + tail, -np.inf),
+        ],
         axis=1,
     )
+    # sliding_window_view appends the window axis last, so extrema are always
+    # taken over axis -1 and the (optional) channel axis keeps its place.
     windows_lo = np.lib.stride_tricks.sliding_window_view(lo_pad, width, axis=1)
     windows_hi = np.lib.stride_tricks.sliding_window_view(hi_pad, width, axis=1)
-    return windows_lo.min(axis=2)[:, :n], windows_hi.max(axis=2)[:, :n]
+    return windows_lo.min(axis=-1)[:, :n], windows_hi.max(axis=-1)[:, :n]
 
 
 def lb_kim(queries: np.ndarray, train: np.ndarray) -> np.ndarray:
@@ -248,6 +314,9 @@ def lb_kim(queries: np.ndarray, train: np.ndarray) -> np.ndarray:
     ``lb_kim[q, t] = (queries[q, 0] - train[t, 0])^2
                    + (queries[q, -1] - train[t, -1])^2``
 
+    with multichannel endpoint differences channel-summed (admissible for
+    the dependent DTW, whose cell costs are channel-summed too).
+
     Returns the ``(n_queries, n_train)`` bound on the squared cost (compare
     against ``dtw_distance(...) ** 2``).
     """
@@ -257,6 +326,17 @@ def lb_kim(queries: np.ndarray, train: np.ndarray) -> np.ndarray:
         q = q[None, :]
     if t.ndim == 1:
         t = t[None, :]
+    if q.ndim != t.ndim:
+        raise ValueError(
+            "queries and train must have the same rank (both univariate "
+            f"batches or both (n, m, d) multichannel); got {q.shape} and {t.shape}"
+        )
+    if q.ndim == 3:
+        first = q[:, 0][:, None, :] - t[:, 0][None, :, :]
+        last = q[:, -1][:, None, :] - t[:, -1][None, :, :]
+        return np.einsum("qtc,qtc->qt", first, first) + np.einsum(
+            "qtc,qtc->qt", last, last
+        )
     first = q[:, 0, None] - t[None, :, 0]
     last = q[:, -1, None] - t[None, :, -1]
     return first * first + last * last
@@ -275,15 +355,28 @@ def lb_keogh(
 
     never exceeds the squared accumulated cost of the banded dynamic
     program.  ``lower``/``upper`` come from :func:`dtw_band_envelopes`
-    computed with the same resolved band and ``query_length``.
+    computed with the same resolved band and ``query_length``.  For
+    multichannel input (3-D queries against ``(n_train, n, d)`` envelopes)
+    the terms are summed over channels as well, which is admissible for the
+    dependent DTW because each per-channel term bounds that channel's
+    contribution to the channel-summed cell cost.
 
     Returns the ``(n_queries, n_train)`` bound on the squared cost.
     """
     q = np.asarray(queries, dtype=float)
     if q.ndim == 1:
         q = q[None, :]
-    if q.shape[1] != lower.shape[1] or lower.shape != upper.shape:
-        raise ValueError("envelopes must match the query length (and each other)")
+    if q.ndim != lower.ndim or q.shape[1:] != lower.shape[1:] or lower.shape != upper.shape:
+        raise ValueError(
+            "envelopes must match the query rank and (time, channel) shape "
+            f"(and each other); got queries {q.shape}, envelopes {lower.shape}"
+        )
+    if q.ndim == 3:
+        over = np.maximum(q[:, None] - upper[None, :], 0.0)
+        under = np.maximum(lower[None, :] - q[:, None], 0.0)
+        return np.einsum("qtnc,qtnc->qt", over, over) + np.einsum(
+            "qtnc,qtnc->qt", under, under
+        )
     over = np.maximum(q[:, None, :] - upper[None, :, :], 0.0)
     under = np.maximum(lower[None, :, :] - q[:, None, :], 0.0)
     return np.einsum("qtn,qtn->qt", over, over) + np.einsum(

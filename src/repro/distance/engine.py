@@ -50,6 +50,18 @@ training series so extending the query prefix by one sample costs
 :func:`dtw_pairwise_distances` is the batch entry point: every
 (query, train) pair of a test set rides one shared anti-diagonal wavefront
 DP, so DTW sits on the same engine surface as the Euclidean kernels.
+
+Multichannel series are first-class.  A training set may be 3-D
+``(n_train, L, d)`` (axis 0 = series, axis 1 = time, axis 2 = channel) and
+every kernel then returns *channel-summed* squared distances.  For the
+prefix-Euclidean kernels this costs no new numeric code: the channel-summed
+prefix distance at time ``t`` equals the flat prefix distance at flat index
+``t * d`` of the time-major flattening ``(L, d) -> (L * d,)``, and the
+cumulative sums accumulate exactly the same terms in the same order -- so
+the engines flatten internally and keep all public lengths in **time**
+units.  For ``d == 1`` the flattening is a no-op and every code path is the
+historical one, bit for bit.  DTW kernels instead build dependent
+(channel-summed) per-cell costs feeding the unchanged wavefront.
 """
 
 from __future__ import annotations
@@ -96,12 +108,86 @@ def _validated_lengths(lengths: Sequence[int], max_length: int) -> list[int]:
     return lengths
 
 
-def _as_train_matrix(train: np.ndarray) -> np.ndarray:
+def _as_train_tensor(train: np.ndarray) -> np.ndarray:
+    """Validate a training batch: 2-D ``(n, L)`` or 3-D ``(n, L, d)``.
+
+    A ``(n, L, 1)`` batch is univariate in disguise and squeezes to the
+    exact legacy 2-D layout, so every downstream kernel runs its historical
+    code path bit for bit regardless of which layout produced the data.
+    """
     arr = np.asarray(train, dtype=float)
-    if arr.ndim != 2:
-        raise ValueError("train must be a 2-D array (n_train, length)")
-    if arr.shape[0] < 1 or arr.shape[1] < 1:
+    if arr.ndim not in (2, 3):
+        raise ValueError(
+            "train must be a 2-D (n_train, length) batch of univariate series "
+            "or a 3-D (n_train, length, n_channels) multichannel batch; got "
+            f"shape {arr.shape}"
+        )
+    if arr.shape[0] < 1 or arr.shape[1] < 1 or (arr.ndim == 3 and arr.shape[2] < 1):
         raise ValueError("train must contain at least one non-empty series")
+    if arr.ndim == 3 and arr.shape[2] == 1:
+        arr = arr[:, :, 0]
+    return arr
+
+
+def _flatten_time_major(arr: np.ndarray) -> tuple[np.ndarray, int]:
+    """Time-major flattening ``(n, L, d) -> (n, L * d)``; 2-D passes through.
+
+    Channel-summed squared prefix distances over ``(L, d)`` series are
+    exactly the flat squared prefix distances over this flattening (time
+    prefix ``t`` <-> flat prefix ``t * d``), with the summands accumulated
+    in the identical (time-major, channel-minor) order.  Returns the 2-D
+    matrix and the channel count (1 for univariate input, where the array
+    is returned untouched).
+    """
+    if arr.ndim == 2:
+        return arr, 1
+    n, _, d = arr.shape
+    return np.ascontiguousarray(arr).reshape(n, -1), d
+
+
+def _as_query_tensor(
+    queries: np.ndarray, channels: int, name: str = "queries"
+) -> np.ndarray:
+    """Normalise queries to a batch matching the training channel count.
+
+    For univariate training (``channels == 1``): 1-D ``(t,)`` promotes to a
+    batch of one, 2-D ``(n, t)`` is a batch (the historical meaning), and a
+    3-D ``(n, t, 1)`` batch squeezes.  For multichannel training: 2-D
+    ``(t, d)`` is a *single exemplar* promoted to a batch of one, 3-D
+    ``(n, t, d)`` is a batch; channel counts must match on the trailing
+    axis.  Returns a 2-D ``(n, t)`` or 3-D ``(n, t, d)`` array.
+    """
+    arr = np.asarray(queries, dtype=float)
+    if channels == 1:
+        if arr.ndim == 1:
+            arr = arr[None, :]
+        elif arr.ndim == 3:
+            if arr.shape[2] != 1:
+                raise ValueError(
+                    f"{name} have {arr.shape[2]} channels (trailing axis) but "
+                    "the training series are univariate"
+                )
+            arr = arr[:, :, 0]
+        if arr.ndim != 2:
+            raise ValueError(
+                f"{name} must be a 1-D series or a 2-D (n, length) batch for "
+                f"univariate training data; got shape {arr.shape}"
+            )
+        return arr
+    if arr.ndim == 2:
+        if arr.shape[1] != channels:
+            raise ValueError(
+                f"{name} of shape {arr.shape} do not match the training "
+                f"channel count: expected a single (length, {channels}) "
+                f"exemplar or a (n, length, {channels}) batch (axis 0 = "
+                "series, axis 1 = time, trailing axis = channel)"
+            )
+        arr = arr[None, :, :]
+    if arr.ndim != 3 or arr.shape[2] != channels:
+        raise ValueError(
+            f"{name} must be a (length, {channels}) exemplar or a "
+            f"(n, length, {channels}) multichannel batch; got shape {arr.shape}"
+        )
     return arr
 
 
@@ -123,18 +209,24 @@ class PrefixSweep:
     :class:`repro.classifiers.base.ClassifierStream` uses it.
     """
 
-    __slots__ = ("_train_t", "_queries", "_sq", "_length")
+    __slots__ = ("_train_t", "_queries", "_sq", "_length", "_channels")
 
-    def __init__(self, train_t: np.ndarray, queries: np.ndarray) -> None:
+    def __init__(
+        self, train_t: np.ndarray, queries: np.ndarray, channels: int = 1
+    ) -> None:
+        # ``queries`` arrive time-major flattened (n_queries, t * channels),
+        # like the shared ``train_t`` (L * channels, n_train) transpose.  All
+        # public lengths stay in *time* units; the flat conversion is private.
         self._train_t = train_t
         self._queries = queries
+        self._channels = int(channels)
         self._sq = np.zeros((queries.shape[0], train_t.shape[1]))
         self._length = 0
 
     # ------------------------------------------------------------ properties
     @property
     def length(self) -> int:
-        """Prefix length the sweep has currently consumed."""
+        """Prefix length (in time steps) the sweep has currently consumed."""
         return self._length
 
     @property
@@ -144,37 +236,45 @@ class PrefixSweep:
 
     @property
     def query_length(self) -> int:
-        """Length of the query series (the maximum prefix length)."""
-        return self._queries.shape[1]
+        """Time length of the query series (the maximum prefix length)."""
+        return self._queries.shape[1] // self._channels
+
+    @property
+    def n_channels(self) -> int:
+        """Channels per time step (1 for univariate sweeps)."""
+        return self._channels
 
     # ------------------------------------------------------------ streaming
     def advance_to(self, length: int) -> np.ndarray:
-        """Consume query samples up to prefix ``length`` and return distances.
+        """Consume query samples up to time prefix ``length``; return distances.
 
-        Cost is ``O(n_queries * n_train)`` per newly consumed sample --
-        independent of the prefix length itself, which is the whole point.
+        Cost is ``O(n_queries * n_train * n_channels)`` per newly consumed
+        time step -- independent of the prefix length itself, which is the
+        whole point.
 
         Returns
         -------
         numpy.ndarray
-            The ``(n_queries, n_train)`` squared distances at ``length``
-            (a reference to internal state: copy before mutating).
+            The ``(n_queries, n_train)`` channel-summed squared distances at
+            ``length`` (a reference to internal state: copy before mutating).
         """
         queries, sq = self._queries, self._sq
-        if not self._length <= length <= queries.shape[1]:
+        max_length = self.query_length
+        if not self._length <= length <= max_length:
             raise ValueError(
-                f"length must be in [{self._length}, {queries.shape[1]}] "
+                f"length must be in [{self._length}, {max_length}] "
                 f"(prefixes only grow), got {length}"
             )
-        t = self._length
-        if length - t == 1:
+        t = self._length * self._channels
+        flat = length * self._channels
+        if flat - t == 1:
             # The dominant call pattern (one new sample per checkpoint) skips
             # the 3-D block machinery entirely.
             diff = queries[:, t, None] - self._train_t[t][None, :]
             sq += diff * diff
         else:
-            while t < length:
-                stop = min(t + _BLOCK, length)
+            while t < flat:
+                stop = min(t + _BLOCK, flat)
                 diff = queries[:, t:stop, None] - self._train_t[None, t:stop, :]
                 sq += np.einsum("qtn,qtn->qn", diff, diff)
                 t = stop
@@ -201,8 +301,10 @@ class PrefixDistanceEngine:
     Parameters
     ----------
     train:
-        2-D array of shape ``(n_train, length)``; the reference series every
-        query prefix is compared against.
+        2-D array of shape ``(n_train, length)``, or a 3-D multichannel
+        batch ``(n_train, length, n_channels)``; the reference series every
+        query prefix is compared against.  Multichannel distances are
+        channel-summed; all lengths remain in time steps.
 
     Examples
     --------
@@ -225,7 +327,9 @@ class PrefixDistanceEngine:
     """
 
     def __init__(self, train: np.ndarray) -> None:
-        self._train = _as_train_matrix(train)
+        tensor = _as_train_tensor(train)
+        self._train, self._channels = _flatten_time_major(tensor)
+        self._time_length = int(tensor.shape[1])
         # The inner loop reads one training *column* per new sample; a
         # contiguous transpose keeps those reads cache-friendly.
         self._train_t = np.ascontiguousarray(self._train.T)
@@ -239,8 +343,13 @@ class PrefixDistanceEngine:
 
     @property
     def train_length(self) -> int:
-        """Length of the training series (the maximum prefix length)."""
-        return self._train.shape[1]
+        """Time length of the training series (the maximum prefix length)."""
+        return self._time_length
+
+    @property
+    def n_channels(self) -> int:
+        """Channels per time step (1 for univariate training data)."""
+        return self._channels
 
     @property
     def length(self) -> int:
@@ -268,18 +377,17 @@ class PrefixDistanceEngine:
         Parameters
         ----------
         queries:
-            1-D series or 2-D array of shape ``(n_queries, q_length)`` with
-            ``q_length <= train_length``.  The full series is held by
-            reference; samples are only *consumed* by
+            For a univariate engine: a 1-D series or 2-D
+            ``(n_queries, q_length)`` batch with ``q_length <= train_length``.
+            For a multichannel engine: a single ``(q_length, n_channels)``
+            exemplar or a ``(n_queries, q_length, n_channels)`` batch.  The
+            full series is held by reference (the multichannel flattening
+            copies); samples are only *consumed* by
             :meth:`PrefixSweep.advance_to`, so a caller may hand the whole
             exemplar up front (or a buffer filled in as samples arrive) and
             still evaluate it incrementally.
         """
-        arr = np.asarray(queries, dtype=float)
-        if arr.ndim == 1:
-            arr = arr[None, :]
-        if arr.ndim != 2:
-            raise ValueError("queries must be a 1-D series or a 2-D batch")
+        arr = _as_query_tensor(queries, self._channels)
         if arr.shape[1] > self.train_length:
             raise ValueError(
                 f"query length {arr.shape[1]} exceeds training length "
@@ -287,7 +395,8 @@ class PrefixDistanceEngine:
             )
         if arr.shape[1] < 1:
             raise ValueError("queries must contain at least one sample")
-        return PrefixSweep(self._train_t, arr)
+        flat, _ = _flatten_time_major(arr)
+        return PrefixSweep(self._train_t, flat, self._channels)
 
     def start(self, queries: np.ndarray) -> "PrefixDistanceEngine":
         """Begin a new sweep over a batch of query series (replacing the current one)."""
@@ -329,9 +438,10 @@ def iter_prefix_distances(
     ----------
     queries, train:
         2-D arrays ``(n_queries, L)`` and ``(n_train, L_train)`` with
-        ``L <= L_train``.
+        ``L <= L_train``, or 3-D multichannel batches ``(n, L, d)`` with
+        matching channel counts (distances channel-summed).
     lengths:
-        Strictly increasing prefix lengths in ``[1, L]``.
+        Strictly increasing prefix lengths (time steps) in ``[1, L]``.
     squared:
         Yield squared distances (saves the square root when only the nearest
         neighbour's *identity* matters, since ``sqrt`` is monotonic).
@@ -359,9 +469,10 @@ def pairwise_prefix_distances(
     Parameters
     ----------
     queries, train:
-        2-D arrays ``(n_queries, L)`` and ``(n_train, L_train)``.
+        2-D arrays ``(n_queries, L)`` and ``(n_train, L_train)``, or 3-D
+        multichannel batches with matching channel counts.
     lengths:
-        Strictly increasing prefix lengths.
+        Strictly increasing prefix lengths (time steps).
     squared:
         Return squared distances instead of Euclidean ones.
 
@@ -408,9 +519,12 @@ def batch_prefix_distances(
     ----------
     queries, train:
         2-D arrays ``(n_queries, L)`` and ``(n_train, L_train)`` with
-        ``L <= L_train`` (a single 1-D query is promoted to a batch of one).
+        ``L <= L_train`` (a single 1-D query is promoted to a batch of one),
+        or 3-D multichannel batches ``(n, L, d)`` / ``(n_train, L_train, d)``
+        with matching channel counts (a single ``(L, d)`` query exemplar is
+        promoted); distances are then channel-summed.
     lengths:
-        Strictly increasing prefix lengths in ``[1, L]``.
+        Strictly increasing prefix lengths (time steps) in ``[1, L]``.
     squared:
         Return squared distances (saves the square root when only the
         neighbour *ordering* matters).
@@ -429,23 +543,25 @@ def batch_prefix_distances(
         ``result[k]`` is the distance matrix between the length-``lengths[k]``
         prefixes of every query and every training series.
     """
-    train = _as_train_matrix(train)
-    arr = np.asarray(queries, dtype=float)
-    if arr.ndim == 1:
-        arr = arr[None, :]
-    if arr.ndim != 2:
-        raise ValueError("queries must be a 1-D series or a 2-D batch")
-    if arr.shape[1] > train.shape[1]:
+    train_tensor = _as_train_tensor(train)
+    train, channels = _flatten_time_major(train_tensor)
+    arr = _as_query_tensor(queries, channels)
+    if arr.shape[1] > train_tensor.shape[1]:
         raise ValueError(
-            f"query length {arr.shape[1]} exceeds training length {train.shape[1]}"
+            f"query length {arr.shape[1]} exceeds training length "
+            f"{train_tensor.shape[1]}"
         )
     if arr.shape[1] < 1:
         raise ValueError("queries must contain at least one sample")
     block_bytes = resolve_block_bytes(max_block_bytes, deprecated_knob="max_block_bytes")
     lengths = _validated_lengths(lengths, arr.shape[1])
-    full = lengths[-1]
+    arr, _ = _flatten_time_major(arr)
+    # Time prefix t <-> flat prefix t * d of the time-major flattening; the
+    # cumulative sum below therefore answers every time length via a flat
+    # column gather, with no channel-specific arithmetic at all.
+    full = lengths[-1] * channels
     n_queries, n_train = arr.shape[0], train.shape[0]
-    columns = np.asarray(lengths) - 1
+    columns = np.asarray(lengths) * channels - 1
 
     out = np.empty((len(lengths), n_queries, n_train))
     chunk = max(1, int(block_bytes // (n_train * full * 8)))
@@ -489,15 +605,18 @@ def ragged_prefix_distances(
     Parameters
     ----------
     queries:
-        2-D array ``(n_queries, L)``.  Entries at or beyond each row's
-        ``lengths[i]`` are never read into the result (rows may be partially
-        filled buffers, padded arbitrarily -- but must be finite, since the
-        cumulative sum runs over the full time axis before the gather).
+        2-D array ``(n_queries, L)``, or a 3-D multichannel batch
+        ``(n_queries, L, d)`` matching the training channel count.  Entries
+        at or beyond each row's ``lengths[i]`` are never read into the
+        result (rows may be partially filled buffers, padded arbitrarily --
+        but must be finite, since the cumulative sum runs over the full time
+        axis before the gather).
     train:
-        2-D array ``(n_train, L_train)`` with ``L <= L_train``.
+        2-D array ``(n_train, L_train)`` or 3-D ``(n_train, L_train, d)``
+        with ``L <= L_train``.
     lengths:
-        One prefix length per query row, each in ``[1, L]`` (not necessarily
-        sorted or distinct).
+        One prefix length (time steps) per query row, each in ``[1, L]``
+        (not necessarily sorted or distinct).
     squared:
         Return squared distances (the neighbour ordering is the same).
     max_block_bytes:
@@ -510,13 +629,21 @@ def ragged_prefix_distances(
         ``(n_queries, n_train)`` distances; row ``i`` evaluated at
         ``lengths[i]``.
     """
-    train = _as_train_matrix(train)
+    train_tensor = _as_train_tensor(train)
+    train, channels = _flatten_time_major(train_tensor)
     arr = np.asarray(queries, dtype=float)
-    if arr.ndim != 2:
-        raise ValueError("queries must be a 2-D (n_queries, length) batch")
-    if arr.shape[1] > train.shape[1]:
+    if (channels == 1 and arr.ndim != 2) or (channels > 1 and arr.ndim != 3):
         raise ValueError(
-            f"query length {arr.shape[1]} exceeds training length {train.shape[1]}"
+            "queries must be a 2-D (n_queries, length) batch"
+            if channels == 1
+            else f"queries must be a 3-D (n_queries, length, {channels}) batch "
+            f"matching the training channels; got shape {arr.shape}"
+        )
+    arr = _as_query_tensor(arr, channels)
+    if arr.shape[1] > train_tensor.shape[1]:
+        raise ValueError(
+            f"query length {arr.shape[1]} exceeds training length "
+            f"{train_tensor.shape[1]}"
         )
     if arr.shape[1] < 1:
         raise ValueError("queries must contain at least one sample")
@@ -526,12 +653,13 @@ def ragged_prefix_distances(
         raise ValueError("need exactly one prefix length per query row")
     if per_row.size and (per_row.min() < 1 or per_row.max() > arr.shape[1]):
         raise ValueError(f"lengths must lie in [1, {arr.shape[1]}]")
+    arr, _ = _flatten_time_major(arr)
 
     n_queries, n_train = arr.shape[0], train.shape[0]
     out = np.empty((n_queries, n_train))
     if n_queries == 0:
         return out
-    full = int(per_row.max())
+    full = int(per_row.max()) * channels
     chunk = max(1, int(block_bytes // (n_train * full * 8)))
     train_prefix = train[None, :, :full]
     rows = np.arange(n_queries)
@@ -541,7 +669,7 @@ def ragged_prefix_distances(
         np.square(block, out=block)
         np.cumsum(block, axis=2, out=block)
         out[start:stop] = block[
-            rows[start:stop] - start, :, per_row[start:stop] - 1
+            rows[start:stop] - start, :, per_row[start:stop] * channels - 1
         ]
     if not squared:
         np.sqrt(out, out=out)
@@ -570,10 +698,13 @@ def dtw_pairwise_distances(
     Parameters
     ----------
     queries, train:
-        2-D arrays ``(n_queries, n)`` and ``(n_train, m)``; unlike the
-        Euclidean prefix kernels, ``n`` and ``m`` may differ freely (DTW
-        aligns unequal lengths).  A single 1-D query is promoted to a batch
-        of one.
+        2-D arrays ``(n_queries, n)`` and ``(n_train, m)``, or 3-D
+        multichannel batches ``(n_queries, n, d)`` / ``(n_train, m, d)``
+        with matching channel counts (dependent DTW: per-cell costs are
+        channel-summed, one shared warping path); unlike the Euclidean
+        prefix kernels, ``n`` and ``m`` may differ freely (DTW aligns
+        unequal lengths).  A single 1-D (or ``(n, d)`` multichannel) query
+        is promoted to a batch of one.
     window:
         Sakoe-Chiba band constraint with the semantics of
         :func:`~repro.distance.dtw.dtw_distance`: ``None`` unconstrained, an
@@ -602,12 +733,9 @@ def dtw_pairwise_distances(
     :func:`dtw_nearest_neighbors`, where only the k smallest entries per row
     survive and most pairs can be answered without the dynamic program.
     """
-    train = _as_train_matrix(train)
-    arr = np.asarray(queries, dtype=float)
-    if arr.ndim == 1:
-        arr = arr[None, :]
-    if arr.ndim != 2:
-        raise ValueError("queries must be a 1-D series or a 2-D batch")
+    train = _as_train_tensor(train)
+    channels = train.shape[2] if train.ndim == 3 else 1
+    arr = _as_query_tensor(queries, channels)
     if arr.shape[1] < 1:
         raise ValueError("queries must contain at least one sample")
     block_bytes = resolve_block_bytes(max_block_bytes, deprecated_knob="max_block_bytes")
@@ -621,15 +749,30 @@ def dtw_pairwise_distances(
     train_dp = train.astype(dt, copy=False)
 
     out = np.empty((n_queries, n_train))
-    # Working set per query: the (n_train, n, m) squared-cost tensor plus the
-    # (n_train, n + 1, m + 1) accumulated-cost tensor.
-    per_query = n_train * (n * m + (n + 1) * (m + 1)) * dt.itemsize
+    # Working set per query: the (n_train, n, m) squared-cost tensor (built
+    # per channel for multichannel input, so one extra diff temporary) plus
+    # the (n_train, n + 1, m + 1) accumulated-cost tensor.
+    per_query = n_train * ((1 + min(channels, 2)) * n * m + (n + 1) * (m + 1)) * dt.itemsize
     chunk = max(1, int(block_bytes // per_query))
     for start in range(0, n_queries, chunk):
         stop = min(start + chunk, n_queries)
-        diff = arr_dp[start:stop, None, :, None] - train_dp[None, :, None, :]
-        np.square(diff, out=diff)
-        cost = _wavefront_accumulated_cost(diff, band)
+        if channels == 1:
+            diff = arr_dp[start:stop, None, :, None] - train_dp[None, :, None, :]
+            np.square(diff, out=diff)
+            cost = diff
+        else:
+            # Dependent DTW: accumulate the channel-summed squared cell cost
+            # one channel at a time, so the temporary stays (chunk, n_train,
+            # n, m) instead of carrying the channel axis into the wavefront.
+            cost = np.zeros((stop - start, n_train, n, m), dtype=dt)
+            for c in range(channels):
+                diff = (
+                    arr_dp[start:stop, None, :, c, None]
+                    - train_dp[None, :, None, :, c]
+                )
+                np.square(diff, out=diff)
+                cost += diff
+        cost = _wavefront_accumulated_cost(cost, band)
         np.sqrt(cost[..., n, m], out=out[start:stop], casting="unsafe")
     return out
 
@@ -760,12 +903,20 @@ class PrefixDTWEngine:
     """
 
     def __init__(self, train: np.ndarray, band: int | None = None) -> None:
-        self._train = _as_train_matrix(train)
+        # DTW aligns whole time steps, so the training tensor keeps its
+        # (optional) channel axis instead of being flattened.
+        self._train = _as_train_tensor(train)
+        self._channels = self._train.shape[2] if self._train.ndim == 3 else 1
         if band is not None and band < 0:
             raise ValueError("band must be >= 0 or None")
         self.band = band
         self._rows: np.ndarray | None = None
         self._length = 0
+
+    @property
+    def n_channels(self) -> int:
+        """Channels per time step (1 for univariate training data)."""
+        return self._channels
 
     @property
     def length(self) -> int:
@@ -774,14 +925,21 @@ class PrefixDTWEngine:
 
     def start(self) -> "PrefixDTWEngine":
         """Reset to an empty query prefix."""
-        n, m = self._train.shape
+        n, m = self._train.shape[0], self._train.shape[1]
         self._rows = np.full((n, m + 1), np.inf)
         self._rows[:, 0] = 0.0
         self._length = 0
         return self
 
-    def append(self, value: float) -> np.ndarray:
+    def append(self, value) -> np.ndarray:
         """Extend the query by one sample; return DTW distances to every series.
+
+        Parameters
+        ----------
+        value:
+            The new query sample: a scalar for univariate training data, a
+            length-``n_channels`` vector for multichannel data (the dependent
+            DTW cell cost is then channel-summed).
 
         Returns
         -------
@@ -792,7 +950,7 @@ class PrefixDTWEngine:
         """
         if self._rows is None:
             raise RuntimeError("call start() before appending samples")
-        n, m = self._train.shape
+        n, m = self._train.shape[0], self._train.shape[1]
         i = self._length + 1
         prev = self._rows
         new = np.full((n, m + 1), np.inf)
@@ -804,8 +962,18 @@ class PrefixDTWEngine:
         else:
             j_start = max(1, i - self.band)
             j_end = min(m, i + self.band)
-        diff = value - self._train
-        cost = diff * diff
+        if self._channels == 1:
+            diff = value - self._train
+            cost = diff * diff
+        else:
+            sample = np.asarray(value, dtype=float)
+            if sample.shape != (self._channels,):
+                raise ValueError(
+                    f"expected a length-{self._channels} channel vector per "
+                    f"time step, got shape {sample.shape}"
+                )
+            diff = sample[None, None, :] - self._train
+            cost = np.einsum("nmc,nmc->nm", diff, diff)
         for j in range(j_start, j_end + 1):
             best_prev = np.minimum(
                 np.minimum(prev[:, j], new[:, j - 1]), prev[:, j - 1]

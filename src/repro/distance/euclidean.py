@@ -1,4 +1,13 @@
-"""Euclidean distances between equal-length time series."""
+"""Euclidean distances between equal-length time series.
+
+Multichannel series are supported throughout with the channel-last axis
+convention: a single exemplar is ``(length,)`` or ``(length, n_channels)``,
+a batch is ``(n, length)`` or ``(n, length, n_channels)``.  The multichannel
+distance is channel-summed -- ``sum_t sum_c (a[t, c] - b[t, c])^2`` -- which
+is exactly the flat Euclidean distance over the time-major flattening, so
+every kernel reduces to the univariate code path after a reshape (a no-op
+for d=1).
+"""
 
 from __future__ import annotations
 
@@ -17,11 +26,16 @@ __all__ = [
 def _check_pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     a = np.asarray(a, dtype=float)
     b = np.asarray(b, dtype=float)
-    if a.ndim != 1 or b.ndim != 1:
-        raise ValueError("euclidean distances are defined for 1-D series")
-    if a.shape[0] != b.shape[0]:
+    if a.ndim != b.ndim or a.ndim not in (1, 2):
         raise ValueError(
-            f"series must have equal length, got {a.shape[0]} and {b.shape[0]}"
+            "euclidean distances are defined for a pair of 1-D (length,) "
+            "series or a pair of 2-D (length, n_channels) multichannel "
+            f"exemplars; got shapes {a.shape} and {b.shape}"
+        )
+    if a.shape != b.shape:
+        raise ValueError(
+            f"series must have equal shape, got {a.shape} and {b.shape} "
+            "(axis 0 = time, axis 1 = channel)"
         )
     if a.shape[0] == 0:
         raise ValueError("series must not be empty")
@@ -29,9 +43,13 @@ def _check_pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
 
 
 def squared_euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
-    """Squared Euclidean distance between two equal-length series."""
+    """Squared Euclidean distance between two equal-length series.
+
+    For ``(length, n_channels)`` exemplars the distance is channel-summed:
+    ``sum_t sum_c (a[t, c] - b[t, c])^2``.
+    """
     a, b = _check_pair(a, b)
-    diff = a - b
+    diff = (a - b).ravel()
     return float(np.dot(diff, diff))
 
 
@@ -45,36 +63,54 @@ def znormalized_euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
 
     This is the distance the paper (and essentially all of the time-series
     classification literature, see [Rakthanmanon et al. 2013]) argues is the
-    meaningful way to compare *shapes*.
+    meaningful way to compare *shapes*.  Multichannel exemplars are
+    z-normalised per channel before the channel-summed distance.
     """
     a, b = _check_pair(a, b)
+    if a.ndim == 2:
+        return euclidean_distance(
+            znormalize(a, channel_axis=-1), znormalize(b, channel_axis=-1)
+        )
     return euclidean_distance(znormalize(a), znormalize(b))
 
 
 def pairwise_euclidean(rows: np.ndarray, others: np.ndarray | None = None) -> np.ndarray:
-    """Pairwise Euclidean distance matrix between rows of two 2-D arrays.
+    """Pairwise Euclidean distance matrix between two batches of series.
 
     Parameters
     ----------
     rows:
-        Array of shape ``(n, length)``.
+        Array of shape ``(n, length)`` or ``(n, length, n_channels)``.
     others:
-        Array of shape ``(m, length)``.  Defaults to ``rows`` (self-distances).
+        Array of shape ``(m, length)`` (or ``(m, length, n_channels)`` with
+        the same trailing axes as ``rows``).  Defaults to ``rows``
+        (self-distances).
 
     Returns
     -------
     numpy.ndarray
-        Matrix of shape ``(n, m)`` of Euclidean distances.
+        Matrix of shape ``(n, m)`` of (channel-summed) Euclidean distances.
     """
     rows = np.asarray(rows, dtype=float)
-    if rows.ndim != 2:
-        raise ValueError("rows must be a 2-D array of series")
+    if rows.ndim not in (2, 3):
+        raise ValueError(
+            "rows must be a 2-D (n, length) or 3-D (n, length, n_channels) "
+            f"batch of series; got shape {rows.shape}"
+        )
     if others is None:
         others = rows
     else:
         others = np.asarray(others, dtype=float)
-        if others.ndim != 2 or others.shape[1] != rows.shape[1]:
-            raise ValueError("others must be 2-D with the same series length as rows")
+        if others.ndim != rows.ndim or others.shape[1:] != rows.shape[1:]:
+            raise ValueError(
+                "others must match rows in rank and per-exemplar shape "
+                f"(time, channel); got {others.shape} against {rows.shape}"
+            )
+    if rows.ndim == 3:
+        # Channel-summed distance == flat distance over the time-major
+        # flattening; reshape and reuse the 2-D BLAS path.
+        rows = rows.reshape(rows.shape[0], -1)
+        others = others.reshape(others.shape[0], -1)
 
     # ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b  (clipped at 0 for numerical noise)
     sq_rows = np.sum(rows * rows, axis=1)[:, None]

@@ -110,7 +110,9 @@ def evaluate_early_classifier(
         object with ``predict_early`` works; ``predict_early_batch`` is used
         when present).
     series:
-        2-D array of test exemplars.
+        2-D ``(n_exemplars, length)`` array of univariate test exemplars, or
+        3-D ``(n_exemplars, length, n_channels)`` multichannel exemplars
+        (axis 0 = exemplar, axis 1 = time, axis 2 = channel).
     labels:
         Ground-truth labels, one per exemplar.
     batch:
@@ -125,8 +127,13 @@ def evaluate_early_classifier(
         ``ValueError`` naming the offending ids.
     """
     data = np.asarray(series, dtype=float)
-    if data.ndim != 2:
-        raise ValueError("series must be 2-D (n_exemplars, length)")
+    if data.ndim == 3 and data.shape[2] == 1:
+        data = data[:, :, 0]
+    if data.ndim not in (2, 3):
+        raise ValueError(
+            "series must be 2-D (n_exemplars, length) or 3-D "
+            f"(n_exemplars, length, n_channels); got shape {data.shape}"
+        )
     truth = np.asarray(labels)
     if truth.shape[0] != data.shape[0]:
         raise ValueError("labels must have one entry per exemplar")

@@ -100,6 +100,17 @@ SPECS: dict[str, ExperimentSpec] = {
             description="the streaming deployment and cost-model experiment",
         ),
         _spec(
+            "multivariate",
+            fast_overrides={
+                "n_per_class": 8,
+                "length": 64,
+                "n_frames": 32,
+                "n_mels": 8,
+            },
+            tags=("section", "multichannel", "classification", "streaming"),
+            description="multichannel early classification (6-axis motion, mel-frame keywords)",
+        ),
+        _spec(
             "section5_padding",
             fast_overrides={"n_per_class": 12},
             tags=("section", "padding", "classification"),

@@ -83,6 +83,7 @@ class _StreamLedger:
         "window_length",
         "gate",
         "counters",
+        "n_channels",
         "buffer",
         "base",
         "count",
@@ -109,7 +110,8 @@ class _StreamLedger:
         self.window_length = entry.classifier.train_length_
         self.gate = AlarmGate(int(config.refractory), int(config.max_alarms))
         self.counters = counters
-        self.buffer = np.empty(0)
+        self.n_channels = entry.classifier.n_channels_
+        self.buffer = self._empty_buffer()
         self.base = 0  # stream index of buffer[0]
         self.count = 0  # samples consumed so far
         self.next_start = 0  # earliest candidate start not yet extracted
@@ -140,9 +142,15 @@ class _StreamLedger:
             self.next_start += self.stride
         return windows
 
+    def _empty_buffer(self) -> np.ndarray:
+        """An empty buffer of the tenant's sample shape: ``(0,)`` or ``(0, d)``."""
+        if self.n_channels == 1:
+            return np.empty(0)
+        return np.empty((0, self.n_channels))
+
     def release(self) -> None:
         """Drop the buffer (stream closed or saturated; no window can form)."""
-        self.buffer = np.empty(0)
+        self.buffer = self._empty_buffer()
         self.base = self.next_start = self.count
 
 
@@ -253,8 +261,15 @@ class ServingEngine:
             counters.streams_open += 1
 
         chunk = np.asarray(values, dtype=float)
-        if chunk.ndim != 1:
-            raise ValueError("stream values must be 1-D")
+        if ledger.n_channels == 1:
+            if chunk.ndim != 1:
+                raise ValueError("stream values must be 1-D")
+        elif chunk.ndim != 2 or chunk.shape[1] != ledger.n_channels:
+            raise ValueError(
+                "stream values for a multichannel tenant must be 2-D "
+                f"(n_samples, n_channels={ledger.n_channels}); got shape "
+                f"{chunk.shape}"
+            )
         if chunk.size and not np.all(np.isfinite(chunk)):
             raise ValueError("stream contains non-finite values")
         if chunk.size == 0:
@@ -369,12 +384,18 @@ class ServingEngine:
             [min(ledger.count - ledger.next_start, length) for ledger in ledgers],
             dtype=np.intp,
         )
-        padded = np.zeros((len(ledgers), length))
+        channels = ledgers[0].n_channels
+        shape = (len(ledgers), length) if channels == 1 else (len(ledgers), length, channels)
+        padded = np.zeros(shape)
         for row, (ledger, n) in enumerate(zip(ledgers, lengths)):
             offset = ledger.next_start - ledger.base
             prefix = ledger.buffer[offset : offset + n]
             if ledger.normalization == "window":
-                prefix = znormalize(prefix)
+                prefix = (
+                    znormalize(prefix)
+                    if channels == 1
+                    else znormalize(prefix, channel_axis=-1)
+                )
             padded[row, :n] = prefix
         if ledgers[0].normalization == "causal":
             padded = causal_znormalize_batch(padded)

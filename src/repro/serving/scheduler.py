@@ -114,7 +114,10 @@ class BatchScheduler:
             groups.setdefault(key, []).append(index)
         for indices in groups.values():
             first = items[indices[0]].ledger
-            windows = np.vstack([items[i].window for i in indices])
+            # 1-D univariate windows vstack to (n, L); 2-D (L, d) multichannel
+            # windows must stack along a new leading axis to (n, L, d).
+            stacker = np.vstack if items[indices[0]].window.ndim == 1 else np.stack
+            windows = stacker([items[i].window for i in indices])
             normalized = _normalize_windows(windows, first.normalization)
             predictions = first.classifier.predict_early_batch(
                 normalized, batch_size=self.batch_size

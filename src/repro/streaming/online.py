@@ -191,17 +191,31 @@ class RunningCausalStats:
     conditioning limit on extreme-offset ones).
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, n_channels: int = 1) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if n_channels < 1:
+            raise ValueError("n_channels must be >= 1")
+        self._channels = int(n_channels)
         self._count = np.zeros(capacity)
-        self._mean = np.zeros(capacity)
-        self._m2 = np.zeros(capacity)
+        if self._channels == 1:
+            self._mean = np.zeros(capacity)
+            self._m2 = np.zeros(capacity)
+        else:
+            # Per-channel running statistics: channel-last, matching the
+            # (length, n_channels) sample convention of the whole stack.
+            self._mean = np.zeros((capacity, self._channels))
+            self._m2 = np.zeros((capacity, self._channels))
 
     @property
     def capacity(self) -> int:
         """Number of slots in the bank."""
         return self._count.shape[0]
+
+    @property
+    def n_channels(self) -> int:
+        """Number of channels per sample (1 for univariate banks)."""
+        return self._channels
 
     def reset(self, slot: int) -> None:
         """Recycle a slot for a new candidate window."""
@@ -209,17 +223,29 @@ class RunningCausalStats:
         self._mean[slot] = 0.0
         self._m2[slot] = 0.0
 
-    def push(self, slots: np.ndarray, value: float) -> np.ndarray:
+    def push(self, slots: np.ndarray, value) -> np.ndarray:
         """Add ``value`` to every slot in ``slots``; return normalised samples.
+
+        ``value`` is a scalar on univariate banks and a length-``d`` vector
+        (one reading per channel) on multichannel banks.
 
         Returns
         -------
         numpy.ndarray
-            One causally z-normalised sample per entry of ``slots`` (0.0
-            where the slot's running standard deviation is below
-            :data:`~repro.distance.znorm.EPSILON`).
+            One causally z-normalised sample per entry of ``slots`` -- a
+            scalar per slot for univariate banks, a ``(n_channels,)`` vector
+            per slot otherwise (0.0 where the slot's running standard
+            deviation is below :data:`~repro.distance.znorm.EPSILON`).
         """
-        return self.push_block(slots, np.asarray([value], dtype=float))[:, 0]
+        if self._channels == 1:
+            return self.push_block(slots, np.asarray([value], dtype=float))[:, 0]
+        sample = np.asarray(value, dtype=float)
+        if sample.shape != (self._channels,):
+            raise ValueError(
+                f"each sample must be a length-{self._channels} vector (one "
+                f"reading per channel); got shape {sample.shape}"
+            )
+        return self.push_block(slots, sample[None, :])[:, 0]
 
     def push_block(self, slots: np.ndarray, values: np.ndarray) -> np.ndarray:
         """Add a block of consecutive samples to every slot; return normalised blocks.
@@ -236,15 +262,31 @@ class RunningCausalStats:
         slots:
             Integer slot indices (each slot tracks one candidate window).
         values:
-            1-D block of consecutive stream samples, appended to every slot.
+            Block of consecutive stream samples, appended to every slot:
+            1-D ``(k,)`` for univariate banks, 2-D ``(k, n_channels)``
+            (axis 0 = time, axis 1 = channel) for multichannel banks.
 
         Returns
         -------
         numpy.ndarray
-            Array of shape ``(len(slots), len(values))``: row ``j`` holds the
-            causally z-normalised samples as seen by slot ``j``.
+            ``(len(slots), k)`` for univariate banks or ``(len(slots), k,
+            n_channels)`` otherwise: row ``j`` holds the causally
+            z-normalised samples as seen by slot ``j``.
         """
         block = np.asarray(values, dtype=float)
+        if self._channels > 1:
+            if block.ndim != 2 or block.shape[1] != self._channels:
+                raise ValueError(
+                    "values must be a 2-D (n_samples, n_channels) block with "
+                    f"n_channels={self._channels} (axis 0 = time, axis 1 = "
+                    f"channel); got shape {block.shape}"
+                )
+            return self._push_block_multichannel(slots, block)
+        if block.ndim != 1:
+            raise ValueError(
+                "values must be a 1-D block of samples for a univariate "
+                f"bank; got shape {block.shape}"
+            )
         count0 = self._count[slots][:, None]
         if block.shape[0] == 0:
             return np.zeros((count0.shape[0], 0))
@@ -277,6 +319,39 @@ class RunningCausalStats:
         np.divide(shifted - shifted_means, std, out=out, where=std >= EPSILON)
         return out
 
+    def _push_block_multichannel(
+        self, slots: np.ndarray, block: np.ndarray
+    ) -> np.ndarray:
+        """Per-channel Welford update over a ``(k, n_channels)`` block.
+
+        The same baseline-centred recurrences as the univariate path with a
+        trailing channel axis riding along every operation (the per-slot
+        sample count is shared across channels).
+        """
+        count0 = self._count[slots][:, None, None]
+        if block.shape[0] == 0:
+            return np.zeros((count0.shape[0], 0, self._channels))
+        mean0 = self._mean[slots][:, None, :]
+        m2_0 = self._m2[slots][:, None, :]
+        k = block.shape[0]
+        counts = count0 + np.arange(1.0, k + 1.0)[None, :, None]
+        baseline = np.where(count0 > 0.0, mean0, block[0][None, None, :])
+        shifted = block[None, :, :] - baseline
+        shifted_means = np.cumsum(shifted, axis=1) / counts
+        previous_shifted_means = np.concatenate(
+            [mean0 - baseline, shifted_means[:, :-1, :]], axis=1
+        )
+        m2 = m2_0 + np.cumsum(
+            (shifted - previous_shifted_means) * (shifted - shifted_means), axis=1
+        )
+        self._count[slots] = counts[:, -1, 0]
+        self._mean[slots] = (baseline + shifted_means[:, -1:, :])[:, 0, :]
+        self._m2[slots] = m2[:, -1, :]
+        std = np.sqrt(np.maximum(m2, 0.0) / counts)
+        out = np.zeros_like(std)
+        np.divide(shifted - shifted_means, std, out=out, where=std >= EPSILON)
+        return out
+
 
 def incremental_causal_znormalize(window: np.ndarray) -> np.ndarray:
     """Causally z-normalise one candidate window in ``O(L)``.
@@ -286,13 +361,19 @@ def incremental_causal_znormalize(window: np.ndarray) -> np.ndarray:
     the naive per-prefix recomputation (the offline detector's ``O(L^2)``
     loop) to float round-off; the property-based tests pin ``<= 1e-10``,
     including exactly-constant and near-constant segments.
+
+    A 2-D ``(length, n_channels)`` window is normalised per channel (each
+    channel keeps its own running statistics over the shared time axis).
     """
     arr = np.asarray(window, dtype=float)
-    if arr.ndim != 1:
-        raise ValueError("window must be a 1-D series")
+    if arr.ndim not in (1, 2):
+        raise ValueError(
+            "window must be a 1-D (length,) series or a 2-D (length, "
+            f"n_channels) multichannel exemplar; got shape {arr.shape}"
+        )
     if arr.shape[0] == 0:
         return arr.copy()
-    return causal_znormalize_batch(arr[None, :])[0]
+    return causal_znormalize_batch(arr[None])[0]
 
 
 def causal_znormalize_batch(windows: np.ndarray) -> np.ndarray:
@@ -307,13 +388,22 @@ def causal_znormalize_batch(windows: np.ndarray) -> np.ndarray:
     completed by *different* streams are stacked into one ``(n_windows, L)``
     matrix and normalised together, instead of one
     :class:`RunningCausalStats` update per stream per segment.
+
+    A 3-D ``(n_windows, length, n_channels)`` bank is normalised per
+    channel -- the identical recurrences with the channel axis riding along.
     """
     arr = np.asarray(windows, dtype=float)
-    if arr.ndim != 2:
-        raise ValueError("windows must be a 2-D (n_windows, length) array")
+    if arr.ndim not in (2, 3):
+        raise ValueError(
+            "windows must be a 2-D (n_windows, length) array or a 3-D "
+            "(n_windows, length, n_channels) multichannel bank; got shape "
+            f"{arr.shape}"
+        )
     if arr.shape[1] == 0:
         return arr.copy()
     counts = np.arange(1.0, arr.shape[1] + 1.0)[None, :]
+    if arr.ndim == 3:
+        counts = counts[:, :, None]
     baseline = arr[:, :1]
     shifted = arr - baseline
     shifted_means = np.cumsum(shifted, axis=1) / counts
@@ -393,6 +483,7 @@ class StreamingSession:
             raise ValueError("normalization must be 'none', 'window' or 'causal'")
         self.classifier = classifier
         self.window_length = classifier.train_length_
+        self.n_channels = classifier.n_channels_
         self.stride = stride if stride is not None else max(1, self.window_length // 4)
         if self.stride < 1:
             raise ValueError("stride must be >= 1")
@@ -415,10 +506,18 @@ class StreamingSession:
         # k (start = k * stride) recycles slot k mod capacity, and windows
         # are exactly L samples long, so live candidates never collide.
         n_slots = self.window_length // self.stride + 2
-        self._stats = RunningCausalStats(n_slots) if normalization == "causal" else None
+        self._stats = (
+            RunningCausalStats(n_slots, n_channels=self.n_channels)
+            if normalization == "causal"
+            else None
+        )
         # Whole-window normalisation needs the raw window at completion time;
         # the genuinely online modes never re-read past samples.
-        self._values = np.empty(4096) if normalization == "window" else None
+        if normalization == "window":
+            shape = 4096 if self.n_channels == 1 else (4096, self.n_channels)
+            self._values = np.empty(shape)
+        else:
+            self._values = None
 
     # ------------------------------------------------------------ properties
     @property
@@ -456,9 +555,15 @@ class StreamingSession:
         )
 
     # ------------------------------------------------------------ ingestion
-    def push(self, value: float) -> list[Alarm]:
-        """Consume one sample; return the alarms it confirmed (possibly none)."""
-        return self.extend(np.asarray([value], dtype=float))
+    def push(self, value) -> list[Alarm]:
+        """Consume one sample; return the alarms it confirmed (possibly none).
+
+        ``value`` is a scalar on univariate streams and a length-``d`` vector
+        (one reading per channel) when the classifier is multichannel.
+        """
+        if self.n_channels == 1:
+            return self.extend(np.asarray([value], dtype=float))
+        return self.extend(np.asarray(value, dtype=float)[None])
 
     def extend(self, values: np.ndarray) -> list[Alarm]:
         """Consume a chunk of samples; return the alarms the chunk confirmed.
@@ -473,9 +578,16 @@ class StreamingSession:
         if self._finalized:
             raise RuntimeError("the session has been finalized")
         chunk = np.asarray(values, dtype=float)
-        if chunk.ndim != 1:
-            raise ValueError("stream values must be 1-D")
-        if chunk.size == 0:
+        if self.n_channels == 1:
+            if chunk.ndim != 1:
+                raise ValueError("stream values must be 1-D")
+        elif chunk.ndim != 2 or chunk.shape[1] != self.n_channels:
+            raise ValueError(
+                "stream values must be a 2-D (n_samples, n_channels) chunk "
+                f"with n_channels={self.n_channels} (axis 0 = time, axis 1 = "
+                f"channel); got shape {chunk.shape}"
+            )
+        if chunk.shape[0] == 0:
             return []
         if not np.all(np.isfinite(chunk)):
             raise ValueError("stream contains non-finite values")
@@ -523,7 +635,9 @@ class StreamingSession:
         assert self._values is not None
         needed = self._count + chunk.shape[0]
         if needed > self._values.shape[0]:
-            grown = np.empty(max(needed, 2 * self._values.shape[0]))
+            grown = np.empty(
+                (max(needed, 2 * self._values.shape[0]),) + self._values.shape[1:]
+            )
             grown[: self._count] = self._values[: self._count]
             self._values = grown
         self._values[self._count : needed] = chunk
@@ -576,7 +690,11 @@ class StreamingSession:
             # the window exists, exactly as the offline detector does.
             assert self._values is not None
             window = self._values[candidate.start : candidate.start + self.window_length]
-            candidate.outcome = self.classifier.predict_early(znormalize(window))
+            if self.n_channels == 1:
+                normalized = znormalize(window)
+            else:
+                normalized = znormalize(window, channel_axis=-1)
+            candidate.outcome = self.classifier.predict_early(normalized)
         outcome = candidate.outcome
         assert outcome is not None  # the walker decides by window completion
         self._gate.confirm(candidate.start, outcome)
@@ -651,6 +769,7 @@ class MultiStreamDetector:
         self, streams: Sequence[ComposedStream | np.ndarray]
     ) -> list[list[Alarm]]:
         """Run every stream through its own session; return per-stream alarms."""
+        expected_ndim = 1 if self.classifier.n_channels_ == 1 else 2
         arrays = []
         for stream in streams:
             values = (
@@ -658,8 +777,13 @@ class MultiStreamDetector:
                 if isinstance(stream, ComposedStream)
                 else np.asarray(stream, dtype=float)
             )
-            if values.ndim != 1:
-                raise ValueError("stream values must be 1-D")
+            if values.ndim != expected_ndim:
+                raise ValueError(
+                    "stream values must be 1-D"
+                    if expected_ndim == 1
+                    else "stream values must be 2-D (n_samples, n_channels) "
+                    "for a multichannel classifier"
+                )
             arrays.append(values)
         sessions = self.open_sessions(len(arrays))
         longest = max(arr.shape[0] for arr in arrays)

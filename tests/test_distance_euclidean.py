@@ -41,9 +41,21 @@ class TestEuclideanDistance:
         with pytest.raises(ValueError):
             euclidean_distance(np.arange(3.0), np.arange(4.0))
 
-    def test_rejects_2d(self):
+    def test_2d_pair_is_channel_summed(self):
+        rng = np.random.default_rng(5)
+        a, b = rng.standard_normal((12, 3)), rng.standard_normal((12, 3))
+        per_channel = sum(
+            squared_euclidean_distance(a[:, c], b[:, c]) for c in range(3)
+        )
+        assert squared_euclidean_distance(a, b) == pytest.approx(per_channel, abs=1e-10)
+
+    def test_rejects_mismatched_ranks(self):
         with pytest.raises(ValueError):
-            euclidean_distance(np.zeros((2, 3)), np.zeros((2, 3)))
+            euclidean_distance(np.zeros((2, 3)), np.zeros(6))
+
+    def test_rejects_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            euclidean_distance(np.zeros((4, 2)), np.zeros((4, 3)))
 
     def test_rejects_empty(self):
         with pytest.raises(ValueError):

@@ -59,9 +59,19 @@ class TestZnormalize:
         with pytest.raises(ValueError):
             znormalize(np.array([1.0, np.nan, 3.0]))
 
-    def test_rejects_3d(self):
+    def test_3d_is_per_exemplar_per_channel(self):
+        rng = np.random.default_rng(7)
+        batch = rng.standard_normal((2, 30, 4))
+        out = znormalize(batch)
+        for i in range(2):
+            for c in range(4):
+                np.testing.assert_allclose(
+                    out[i, :, c], znormalize(batch[i, :, c]), atol=1e-12
+                )
+
+    def test_rejects_4d(self):
         with pytest.raises(ValueError):
-            znormalize(np.zeros((2, 3, 4)))
+            znormalize(np.zeros((2, 3, 4, 5)))
 
 
 class TestZnormalizePrefix:

@@ -18,7 +18,7 @@ class TestRegistry:
         expected = {
             "figure1", "figure2", "figure3", "figure5", "figure6",
             "figure7", "figure8", "figure9", "table1", "appendix_b",
-            "section5_padding",
+            "section5_padding", "multivariate",
         }
         assert expected == set(available_experiments())
 

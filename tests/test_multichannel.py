@@ -1,0 +1,310 @@
+"""Multichannel (n, L, d) correctness: naive references and d=1 bit-equality.
+
+Two guards hold the multichannel data model together:
+
+* every vectorised ``d > 1`` kernel is pinned to a naive per-channel Python
+  loop (channel-summed squared differences, per-channel z-norm statistics,
+  dependent DTW with channel-summed cell costs) to ``<= 1e-10`` -- under the
+  reference *and* pruned DTW backends;
+* every classifier and normalisation mode produces bit-identical results on
+  a ``(n, L, 1)`` tensor and the legacy 2-D ``(n, L)`` layout, so golden
+  summaries cannot drift from the univariate seed.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.classifiers.ects import ECTSClassifier
+from repro.classifiers.edsc import EDSCClassifier
+from repro.classifiers.teaser import TEASERClassifier
+from repro.classifiers.threshold import ProbabilityThresholdClassifier
+from repro.data.shards import SHARD_SCHEMA_VERSION, ShardedDataset, write_shards
+from repro.data.ucr_like import make_multichannel_cbf_dataset
+from repro.distance.dtw import dtw_distance
+from repro.distance.engine import (
+    batch_prefix_distances,
+    dtw_nearest_neighbors,
+    ragged_prefix_distances,
+)
+from repro.distance.znorm import causal_znormalize, znormalize
+from repro.streaming.online import RunningCausalStats, causal_znormalize_batch
+
+RNG = np.random.default_rng(20260808)
+
+ATOL = 1e-10
+
+
+def _naive_prefix_distance(query: np.ndarray, train_row: np.ndarray, length: int) -> float:
+    """Channel-summed prefix Euclidean distance via explicit Python loops."""
+    total = 0.0
+    for t in range(length):
+        for c in range(query.shape[1]):
+            diff = query[t, c] - train_row[t, c]
+            total += diff * diff
+    return float(np.sqrt(total))
+
+
+def _naive_dtw(a: np.ndarray, b: np.ndarray, band: int | None) -> float:
+    """Dependent DTW via the textbook O(n*m) recurrence, channel-summed."""
+    n, m = a.shape[0], b.shape[0]
+    cost = np.full((n + 1, m + 1), np.inf)
+    cost[0, 0] = 0.0
+    for i in range(1, n + 1):
+        lo, hi = 1, m
+        if band is not None:
+            lo, hi = max(1, i - band), min(m, i + band)
+        for j in range(lo, hi + 1):
+            cell = 0.0
+            for c in range(a.shape[1]):
+                diff = a[i - 1, c] - b[j - 1, c]
+                cell += diff * diff
+            cost[i, j] = cell + min(cost[i - 1, j], cost[i, j - 1], cost[i - 1, j - 1])
+    return float(np.sqrt(cost[n, m]))
+
+
+def _naive_causal_znorm(window: np.ndarray) -> np.ndarray:
+    """Per-channel causal z-norm: each step uses only samples seen so far."""
+    out = np.zeros_like(window)
+    for c in range(window.shape[1]):
+        for t in range(window.shape[0]):
+            seen = window[: t + 1, c]
+            std = seen.std()
+            if std >= 1e-12:
+                out[t, c] = (window[t, c] - seen.mean()) / std
+    return out
+
+
+class TestPrefixEuclideanNaive:
+    def test_batch_prefix_distances_match_per_channel_loop(self):
+        queries = RNG.normal(size=(4, 12, 3))
+        train = RNG.normal(size=(5, 15, 3))
+        lengths = [1, 4, 12]
+        result = batch_prefix_distances(queries, train, lengths)
+        assert result.shape == (len(lengths), queries.shape[0], train.shape[0])
+        for qi in range(queries.shape[0]):
+            for ti in range(train.shape[0]):
+                for li, length in enumerate(lengths):
+                    expected = _naive_prefix_distance(queries[qi], train[ti], length)
+                    assert abs(result[li, qi, ti] - expected) <= ATOL
+
+    def test_ragged_prefix_distances_match_per_channel_loop(self):
+        queries = RNG.normal(size=(6, 10, 2))
+        train = RNG.normal(size=(4, 10, 2))
+        lengths = np.asarray([1, 3, 10, 7, 2, 5])
+        result = ragged_prefix_distances(queries, train, lengths)
+        for qi, length in enumerate(lengths):
+            for ti in range(train.shape[0]):
+                expected = _naive_prefix_distance(queries[qi], train[ti], int(length))
+                assert abs(result[qi, ti] - expected) <= ATOL
+
+
+class TestDependentDTWNaive:
+    @pytest.mark.parametrize("window,band", [(None, None), (3, 3), (0.25, None)])
+    def test_dtw_distance_matches_naive_equal_lengths(self, window, band):
+        a = RNG.normal(size=(12, 3))
+        b = RNG.normal(size=(12, 3))
+        if band is None and window is not None:
+            band = max(int(np.ceil(window * 12)), abs(12 - 12))
+        assert abs(dtw_distance(a, b, window=window) - _naive_dtw(a, b, band)) <= ATOL
+
+    def test_dtw_distance_matches_naive_unequal_lengths(self):
+        a = RNG.normal(size=(9, 2))
+        b = RNG.normal(size=(14, 2))
+        assert abs(dtw_distance(a, b) - _naive_dtw(a, b, None)) <= ATOL
+
+    @pytest.mark.parametrize("backend", ["reference", "pruned"])
+    def test_nearest_neighbors_match_naive_under_both_backends(self, backend):
+        queries = RNG.normal(size=(3, 10, 3))
+        train = RNG.normal(size=(6, 10, 3))
+        window = 3
+        idx, dist = dtw_nearest_neighbors(
+            queries, train, window=window, backend=backend
+        )
+        for qi in range(queries.shape[0]):
+            naive = [_naive_dtw(queries[qi], row, window) for row in train]
+            best = int(np.argmin(naive))
+            assert idx[qi, 0] == best
+            assert abs(dist[qi, 0] - naive[best]) <= ATOL
+
+    @pytest.mark.parametrize("backend", ["reference", "pruned"])
+    def test_backends_bit_identical_multichannel(self, backend):
+        queries = RNG.normal(size=(4, 11, 4))
+        train = RNG.normal(size=(7, 11, 4))
+        idx_ref, dist_ref = dtw_nearest_neighbors(
+            queries, train, window=0.2, n_neighbors=3, backend="reference"
+        )
+        idx, dist = dtw_nearest_neighbors(
+            queries, train, window=0.2, n_neighbors=3, backend=backend
+        )
+        assert np.array_equal(idx, idx_ref)
+        assert np.array_equal(dist, dist_ref)
+
+
+class TestCausalZnormNaive:
+    def test_causal_znormalize_matches_per_channel_loop(self):
+        # A trailing window spanning the whole stream with min_periods=1 is
+        # the expanding (every-sample-seen-so-far) statistic.
+        window = RNG.normal(size=(20, 3))
+        result = causal_znormalize(
+            window, window=20, min_periods=1, channel_axis=-1
+        )
+        assert np.allclose(result, _naive_causal_znorm(window), atol=ATOL)
+
+    def test_causal_znormalize_trailing_window_matches_loop(self):
+        window = RNG.normal(size=(20, 3))
+        trailing = 6
+        result = causal_znormalize(
+            window, window=trailing, min_periods=1, channel_axis=-1
+        )
+        expected = np.zeros_like(window)
+        for c in range(window.shape[1]):
+            for t in range(window.shape[0]):
+                seen = window[max(0, t - trailing + 1) : t + 1, c]
+                std = seen.std()
+                if std >= 1e-12:
+                    expected[t, c] = (window[t, c] - seen.mean()) / std
+        assert np.allclose(result, expected, atol=ATOL)
+
+    def test_batch_kernel_matches_per_channel_loop(self):
+        windows = RNG.normal(size=(5, 16, 2))
+        result = causal_znormalize_batch(windows)
+        for row in range(windows.shape[0]):
+            assert np.allclose(result[row], _naive_causal_znorm(windows[row]), atol=ATOL)
+
+    def test_running_stats_match_per_channel_loop(self):
+        window = RNG.normal(size=(18, 4))
+        stats = RunningCausalStats(capacity=1, n_channels=4)
+        streamed = np.vstack(
+            [stats.push(np.asarray([0]), window[t]) for t in range(18)]
+        )
+        assert streamed.shape == window.shape
+        assert np.allclose(streamed, _naive_causal_znorm(window), atol=ATOL)
+
+
+CLASSIFIERS = [
+    lambda: ECTSClassifier(min_support=0.0, min_length=4, checkpoint_step=2),
+    lambda: EDSCClassifier(position_step=6, max_candidates_per_class=40),
+    lambda: TEASERClassifier(n_checkpoints=5),
+    lambda: ProbabilityThresholdClassifier(threshold=0.7, min_length=4, checkpoint_step=2),
+]
+
+
+class TestTrailingSingletonBitEquality:
+    """(n, L, 1) must be indistinguishable from the legacy (n, L) layout."""
+
+    @pytest.mark.parametrize("make", CLASSIFIERS)
+    @pytest.mark.parametrize("znorm", ["none", "window", "causal"])
+    def test_classifier_decisions_bit_identical(self, make, znorm):
+        rng = np.random.default_rng(5)
+        series = rng.normal(size=(18, 24))
+        labels = np.repeat([0, 1], 9)
+        series[labels == 1, 6:18] += 1.5
+        if znorm == "window":
+            series = znormalize(series)
+        elif znorm == "causal":
+            series = causal_znormalize_batch(series)
+
+        flat = make().fit(series, labels)
+        cube = make().fit(series[:, :, None], labels)
+        for row in series:
+            a = flat.predict_early(row)
+            b = cube.predict_early(row[:, None])
+            assert (a.label, a.trigger_length, a.confidence) == (
+                b.label,
+                b.trigger_length,
+                b.confidence,
+            )
+        batch_flat = flat.predict_early_batch(series)
+        batch_cube = cube.predict_early_batch(series[:, :, None])
+        for a, b in zip(batch_flat, batch_cube):
+            assert (a.label, a.trigger_length, a.confidence) == (
+                b.label,
+                b.trigger_length,
+                b.confidence,
+            )
+
+    def test_distances_bit_identical(self):
+        queries = RNG.normal(size=(3, 10))
+        train = RNG.normal(size=(5, 12))
+        flat = batch_prefix_distances(queries, train, [2, 10])
+        cube = batch_prefix_distances(queries[:, :, None], train[:, :, None], [2, 10])
+        assert np.array_equal(flat, cube)
+        flat_dtw = dtw_nearest_neighbors(queries, train, window=2)
+        cube_dtw = dtw_nearest_neighbors(
+            queries[:, :, None], train[:, :, None], window=2
+        )
+        assert np.array_equal(flat_dtw[0], cube_dtw[0])
+        assert np.array_equal(flat_dtw[1], cube_dtw[1])
+
+
+class TestPrePRPickleBackCompat:
+    def test_model_pickled_without_channel_attribute_is_univariate(self):
+        # Models unpickled from caches written before the multichannel data
+        # model (experiment prepare cache, serving warm reload) carry no
+        # _train_channels; they must read as univariate, not raise.
+        rng = np.random.default_rng(3)
+        model = ProbabilityThresholdClassifier(threshold=0.7, min_length=4)
+        series = rng.normal(size=(8, 16))
+        model.fit(series, np.repeat([0, 1], 4))
+
+        state = dict(pickle.loads(pickle.dumps(model)).__dict__)
+        del state["_train_channels"]  # what a pre-multichannel pickle holds
+        stale = ProbabilityThresholdClassifier.__new__(ProbabilityThresholdClassifier)
+        stale.__setstate__(state)  # the path pickle.loads takes
+
+        assert stale.n_channels_ == 1
+        outcome = stale.predict_early(series[0])
+        expected = model.predict_early(series[0])
+        assert (outcome.label, outcome.trigger_length) == (
+            expected.label,
+            expected.trigger_length,
+        )
+        stream = stale.open_stream()
+        stream.push(0.5)
+
+
+class TestShardBackCompat:
+    def test_version_1_manifest_reads_as_univariate(self, tmp_path):
+        series = RNG.normal(size=(10, 8))
+        labels = np.arange(10)
+        write_shards((series, labels), tmp_path, shard_exemplars=4)
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["schema_version"] == SHARD_SCHEMA_VERSION
+
+        # Rewrite the manifest as a pre-multichannel version-1 header: no
+        # n_channels field at all, exactly what existing shard dirs contain.
+        manifest["schema_version"] = 1
+        del manifest["n_channels"]
+        manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+
+        dataset = ShardedDataset.open(tmp_path)
+        assert dataset.n_channels == 1
+        assert dataset.series.shape == (10, 8)
+        assert dataset.series.ndim == 2
+        assert np.array_equal(np.asarray(dataset.series), series)
+        dataset.verify()  # hashes cover the data files, not the manifest
+
+    def test_multichannel_roundtrip_records_channels(self, tmp_path):
+        dataset = make_multichannel_cbf_dataset(n_per_class=4, length=40)
+        sharded = write_shards(dataset, tmp_path / "mv", shard_exemplars=5)
+        assert sharded.n_channels == dataset.n_channels
+        manifest = json.loads((tmp_path / "mv" / "manifest.json").read_text())
+        assert manifest["schema_version"] == 2
+        assert manifest["n_channels"] == dataset.n_channels
+        assert np.array_equal(np.asarray(sharded.series), dataset.series)
+
+    def test_unknown_future_schema_rejected(self, tmp_path):
+        series = RNG.normal(size=(4, 6))
+        write_shards((series, np.arange(4)), tmp_path, shard_exemplars=4)
+        manifest_path = tmp_path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema_version"] = 99
+        manifest_path.write_text(json.dumps(manifest) + "\n")
+        with pytest.raises(ValueError, match="unsupported shard schema"):
+            ShardedDataset.open(tmp_path)
