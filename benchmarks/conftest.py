@@ -5,11 +5,40 @@ ablation of a design choice called out in DESIGN.md).  The functions being
 timed are full experiments, not micro-kernels, so each benchmark runs a single
 round -- the value of the harness is (a) a one-command regeneration of every
 artefact and (b) a stable record of how long each one takes.
+
+Point (b) is made durable by ``tools/bench_record.py``: the hooks below give
+every ``test_bench_<name>.py`` module a machine-readable
+``results/bench/BENCH_<name>.json`` record (per-test outcomes and wall-clock
+durations, plus whatever a benchmark reports through the ``bench_metrics``
+fixture -- speedups, component timings, pruning rates).  The records carry the
+git SHA and the resolved distance backend, so runs are comparable across
+commits and across the interpreted/compiled tiers.
 """
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
+
+_TOOLS_DIR = Path(__file__).resolve().parent.parent / "tools"
+if str(_TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(_TOOLS_DIR))
+
+from bench_record import BenchRecorder  # noqa: E402
+
+_RECORDER = BenchRecorder()
+
+_MODULE_PREFIX = "test_bench_"
+
+
+def _bench_name(node) -> str | None:
+    """The record name for a test item, or ``None`` for non-benchmark files."""
+    stem = Path(str(node.fspath)).stem
+    if stem.startswith(_MODULE_PREFIX):
+        return stem[len(_MODULE_PREFIX) :]
+    return None
 
 
 @pytest.fixture
@@ -20,3 +49,36 @@ def run_once(benchmark):
         return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
     return _run
+
+
+@pytest.fixture
+def bench_metrics(request):
+    """A dict a benchmark fills with metrics bound for its ``BENCH_*.json``.
+
+    Whatever is in the dict at teardown is merged into the test's entry, so
+    metrics recorded before a ``pytest.skip`` (e.g. the measured fallback
+    timings of a compiled benchmark running without numba) still land in the
+    record.
+    """
+    metrics: dict = {}
+    yield metrics
+    name = _bench_name(request.node)
+    if name is not None and metrics:
+        _RECORDER.record_metrics(name, request.node.name, dict(metrics))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    name = _bench_name(item)
+    if name is None:
+        return
+    # The call phase carries the real duration; a setup-phase skip (marker or
+    # fixture) is the only way a benchmark ends without a call phase at all.
+    if report.when == "call" or (report.when == "setup" and report.skipped):
+        _RECORDER.record_test(name, item.name, report.outcome, report.duration)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    _RECORDER.write()

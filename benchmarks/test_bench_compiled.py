@@ -1,0 +1,130 @@
+"""Benchmark gate for the numba-compiled DTW kernel tier.
+
+The ``"pruned"`` backend already answers most candidate pairs of a DTW 1-NN
+evaluation with constant-time bounds; what remains is interpreter overhead on
+the survivors -- numpy dispatch per chunked DP batch and per-pair Python
+bookkeeping.  The ``"compiled"`` tier moves the whole cascade (LB_Kim,
+LB_Keogh in both envelope directions, banded early-abandoning DP) into
+``@njit`` kernels, and this gate times that claim on the same Table-1-scale
+split as ``test_bench_dtw_prune``: 150 queries x 50 train exemplars,
+length 150, 10% band.
+
+The contract mirrors the pruned gate.  Equivalence comes first: the compiled
+search must return bit-identical neighbour indices and distances to the dense
+float64 reference before any wall-clock win counts.  The >= 5x speedup over
+the pruned numpy cascade is asserted only when numba is genuinely available
+-- JIT compilation is excluded by warming the kernels up front.  Without
+numba the tier must degrade transparently: the same call resolves to the
+pruned cascade, still bit-identical, and the record notes the fallback
+before the timing assertion is skipped.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.data.gunpoint import GunPointGenerator
+from repro.distance.backends import (
+    backend_resolution,
+    compiled_dtw_nearest_neighbors,
+    pruned_dtw_nearest_neighbors,
+)
+from repro.distance.engine import _stable_k_smallest, dtw_pairwise_distances
+from repro.distance.znorm import znormalize
+
+from test_bench_dtw_prune import (
+    LENGTH,
+    TEST_PER_CLASS,
+    TRAIN_PER_CLASS,
+    WINDOW,
+    _best_of,
+)
+
+REQUIRED_SPEEDUP = 5.0
+
+
+def test_bench_compiled_dtw_nn_speedup(run_once, bench_metrics):
+    """Compiled cascade vs the pruned numpy cascade on Table-1-scale DTW 1-NN."""
+    resolution = backend_resolution("compiled")
+    generator = GunPointGenerator(length=LENGTH, seed=7)
+    train = generator.generate(n_per_class=TRAIN_PER_CLASS, seed=7)
+    test = generator.generate(n_per_class=TEST_PER_CLASS, seed=11)
+    train_series = znormalize(train.series)
+    test_series = znormalize(test.series)
+
+    def dense_search():
+        distances = dtw_pairwise_distances(
+            test_series, train_series, window=WINDOW, backend="reference"
+        )
+        return _stable_k_smallest(distances, 1)
+
+    def pruned_search():
+        return pruned_dtw_nearest_neighbors(
+            test_series, train_series, window=WINDOW, return_stats=True
+        )
+
+    def compiled_search():
+        return compiled_dtw_nearest_neighbors(
+            test_series, train_series, window=WINDOW, return_stats=True
+        )
+
+    bench_metrics.update(
+        requested_backend=resolution.requested,
+        resolved_backend=resolution.resolved,
+        compiled_available=resolution.compiled_available,
+    )
+
+    dense_idx, dense_dist = dense_search()
+    pruned_idx, pruned_dist, _ = pruned_search()
+    np.testing.assert_array_equal(pruned_idx, dense_idx)
+    np.testing.assert_array_equal(pruned_dist, dense_dist)
+
+    if resolution.resolved != "compiled":
+        # Transparent degradation: the compiled entry point must still give
+        # the exact reference answer (via the pruned cascade), warning aside.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            compiled_idx, compiled_dist, stats = compiled_search()
+        np.testing.assert_array_equal(compiled_idx, dense_idx)
+        np.testing.assert_array_equal(compiled_dist, dense_dist)
+        assert stats.backend == "pruned"
+        pytest.skip(
+            f"numba unavailable ({resolution.reason}); compiled tier verified "
+            "to fall back bit-identically to the pruned cascade"
+        )
+
+    # JIT compilation is a one-off cost; take it before the timer starts.
+    from repro.distance.kernels import cascade
+
+    cascade.warmup(dtype=test_series.dtype.type)
+
+    compiled_seconds, (compiled_idx, compiled_dist, stats) = _best_of(compiled_search)
+    pruned_seconds, _ = _best_of(pruned_search)
+    run_once(compiled_search)
+
+    np.testing.assert_array_equal(compiled_idx, dense_idx)
+    np.testing.assert_array_equal(compiled_dist, dense_dist)
+    np.testing.assert_array_equal(
+        train.labels[compiled_idx[:, 0]], train.labels[dense_idx[:, 0]]
+    )
+    assert stats.backend == "compiled"
+    assert stats.n_pairs == test_series.shape[0] * train_series.shape[0]
+
+    speedup = pruned_seconds / compiled_seconds
+    bench_metrics.update(
+        speedup=speedup,
+        pruned_seconds=pruned_seconds,
+        compiled_seconds=compiled_seconds,
+        pruning_rate=stats.pruning_rate,
+        n_pairs=stats.n_pairs,
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"expected >= {REQUIRED_SPEEDUP:.0f}x over the pruned numpy cascade on "
+        f"a {test_series.shape[0]}x{train_series.shape[0]} length-{LENGTH} "
+        f"DTW 1-NN evaluation with a {WINDOW:.0%} band, measured "
+        f"{speedup:.1f}x (pruned {pruned_seconds * 1e3:.0f} ms, compiled "
+        f"{compiled_seconds * 1e3:.0f} ms)"
+    )

@@ -51,7 +51,7 @@ def _best_of(function, repeats: int = 3):
     return best, result
 
 
-def test_bench_pruned_dtw_nn_speedup(run_once):
+def test_bench_pruned_dtw_nn_speedup(run_once, bench_metrics):
     """Cascading lower bounds vs the dense wavefront on Table-1-scale DTW 1-NN."""
     generator = GunPointGenerator(length=LENGTH, seed=7)
     train = generator.generate(n_per_class=TRAIN_PER_CLASS, seed=7)
@@ -89,6 +89,14 @@ def test_bench_pruned_dtw_nn_speedup(run_once):
     )
 
     speedup = dense_seconds / pruned_seconds
+    bench_metrics.update(
+        speedup=speedup,
+        dense_seconds=dense_seconds,
+        pruned_seconds=pruned_seconds,
+        pruning_rate=stats.pruning_rate,
+        n_pairs=stats.n_pairs,
+        backend=stats.backend,
+    )
     assert speedup >= REQUIRED_SPEEDUP, (
         f"expected >= {REQUIRED_SPEEDUP:.0f}x on a "
         f"{test_series.shape[0]}x{train_series.shape[0]} length-{LENGTH} "

@@ -14,14 +14,28 @@ change:
 
   1. **LB_Kim** (:func:`repro.distance.dtw.lb_kim`): constant-time endpoint
      bound, one vectorised pass over all pairs.
-  2. **LB_Keogh** (:func:`repro.distance.dtw.lb_keogh`): envelope bound
-     against band envelopes precomputed once per training set
-     (:func:`repro.distance.dtw.dtw_band_envelopes`), evaluated only for the
-     pairs LB_Kim could not answer.
-  3. **Early-abandoning DP**: survivors run the *same* banded wavefront
-     recurrence, ordered by their lower bound and chunked, with the running
-     k-th-best distance abandoning a pair as soon as two consecutive
-     anti-diagonals prove its cost can no longer matter.
+  2. **LB_Keogh, train-side** (:func:`repro.distance.dtw.lb_keogh`):
+     envelope bound against band envelopes precomputed once per training
+     set (:func:`repro.distance.dtw.dtw_band_envelopes`, reusable across
+     calls through a :class:`repro.distance.dtw.EnvelopeCache`), evaluated
+     only for the pairs LB_Kim could not answer.
+  3. **LB_Keogh, query-side**: the mirrored bound -- envelopes around each
+     *query*, held against the raw training samples -- computed only for
+     the survivors of the train-side prune; the cascade then prunes on the
+     maximum of all bounds.
+  4. **Early-abandoning DP**: survivors run the *same* banded wavefront
+     recurrence, ordered by their best lower bound and chunked, with the
+     running k-th-best distance abandoning a pair as soon as two
+     consecutive anti-diagonals prove its cost can no longer matter.
+
+* ``"compiled"`` -- the same cascade *driver*, with every stage's numbers
+  produced by the numba-JIT kernels of :mod:`repro.distance.kernels`
+  (scalar per-pair early abandoning, ``prange`` threading over pairs,
+  chunks sized by the :mod:`repro.memory` budget).  numba is strictly
+  optional (the ``[compiled]`` extra): when the JIT tier cannot engage, the
+  request transparently falls back to ``"pruned"`` with a single
+  :class:`RuntimeWarning`, and :func:`backend_resolution` reports which
+  tier actually ran (as does ``DTWSearchStats.backend``).
 
 The backend is selected by the ``REPRO_BACKEND`` environment variable (or
 programmatically via :func:`set_backend` / :func:`use_backend`); every entry
@@ -43,6 +57,7 @@ is held to ``<= 1e-5``.
 from __future__ import annotations
 
 import os
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator
@@ -55,19 +70,22 @@ from repro.memory import resolve_block_bytes
 __all__ = [
     "BACKENDS",
     "BACKEND_ENV_VAR",
+    "BackendResolution",
     "DTWSearchStats",
     "active_backend",
+    "backend_resolution",
     "resolve_backend",
     "set_backend",
     "use_backend",
     "pruned_dtw_nearest_neighbors",
+    "compiled_dtw_nearest_neighbors",
 ]
 
 #: Environment variable naming the active distance backend.
 BACKEND_ENV_VAR = "REPRO_BACKEND"
 
 #: Recognised backend names.
-BACKENDS = ("reference", "pruned")
+BACKENDS = ("reference", "pruned", "compiled")
 
 #: Relative slack applied to pruning/abandoning thresholds in float64 mode.
 #: A lower bound and the dynamic program sum the same non-negative terms in
@@ -142,13 +160,73 @@ def resolve_backend(backend: str | None = None) -> str:
 
 
 @dataclass(frozen=True)
+class BackendResolution:
+    """What a backend request resolves to *right now* (the introspection hook).
+
+    ``requested`` is the name selection lands on (explicit argument >
+    :func:`set_backend` > ``REPRO_BACKEND`` > ``"reference"``); ``resolved``
+    is the tier that will actually run.  They differ in exactly one case:
+    ``"compiled"`` requested while the JIT tier cannot engage, in which case
+    ``resolved == "pruned"`` and ``reason`` says why (numba missing/broken,
+    or :func:`repro.distance.kernels.force_availability` forcing it off).
+    """
+
+    requested: str
+    resolved: str
+    compiled_available: bool
+    reason: str | None = None
+
+
+def backend_resolution(backend: str | None = None) -> BackendResolution:
+    """Resolve a backend request to the tier that will actually run.
+
+    Never warns and never mutates state -- tests and stats reporting use it
+    to learn (and record) whether ``"compiled"`` really means the JIT tier
+    or the transparent ``"pruned"`` fallback.
+    """
+    from repro.distance import kernels
+
+    requested = resolve_backend(backend)
+    compiled_ok = kernels.available()
+    if requested != "compiled" or compiled_ok:
+        return BackendResolution(requested, requested, compiled_ok)
+    return BackendResolution(requested, "pruned", False, kernels.unavailable_reason())
+
+
+#: One-shot flag: the compiled->pruned fallback warns once per process, not
+#: once per call (a search over a big sweep would otherwise drown the log).
+_FALLBACK_WARNED = False
+
+
+def _warn_compiled_fallback(reason: str | None) -> None:
+    global _FALLBACK_WARNED
+    if _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED = True
+    warnings.warn(
+        f"the 'compiled' distance backend is unavailable "
+        f"({reason or 'numba is not installed'}); falling back to the "
+        f"'pruned' numpy cascade. Install the [compiled] extra "
+        f"(pip install repro[compiled]) for the JIT tier. "
+        f"This warning is emitted once per process.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass(frozen=True)
 class DTWSearchStats:
     """Where the candidate pairs of one pruned 1-NN/k-NN search were answered.
 
     ``lb_kim_pruned + lb_keogh_pruned + dp_computed == n_pairs`` always
     holds: every pair is either killed by a lower bound or enters the
-    dynamic program (``dp_abandoned`` counts the subset of ``dp_computed``
-    stopped early by the running-best threshold).
+    dynamic program.  Two counters refine that partition without joining
+    it: ``dp_abandoned`` is the subset of ``dp_computed`` stopped early by
+    the running-best threshold, and ``lb_keogh_query_pruned`` the subset of
+    ``lb_keogh_pruned`` killed by the query-side envelope bound (pairs the
+    train-side bound had not already answered).  ``backend`` names the tier
+    that actually ran (``"pruned"`` when a ``"compiled"`` request fell
+    back), so sweeps and benchmarks can record what they really measured.
     """
 
     n_pairs: int
@@ -156,6 +234,8 @@ class DTWSearchStats:
     lb_keogh_pruned: int
     dp_abandoned: int
     dp_computed: int
+    lb_keogh_query_pruned: int = 0
+    backend: str = "pruned"
 
     @property
     def pruning_rate(self) -> float:
@@ -301,6 +381,7 @@ def pruned_dtw_nearest_neighbors(
     return_stats: bool = False,
     chunk_pairs: int = _DP_CHUNK_PAIRS,
     max_block_bytes: int | None = None,
+    envelope_cache: object | None = None,
 ) -> (
     tuple[np.ndarray, np.ndarray]
     | tuple[np.ndarray, np.ndarray, DTWSearchStats]
@@ -339,12 +420,119 @@ def pruned_dtw_nearest_neighbors(
         (default) resolves the unified :mod:`repro.memory` budget
         (``set_memory_budget`` > ``REPRO_MAX_BLOCK_BYTES`` > 64 MiB), an
         explicit value is a deprecated per-call override that still wins.
+    envelope_cache:
+        Optional :class:`repro.distance.dtw.EnvelopeCache`; when given, the
+        train-side band envelopes are fetched from (and stored into) it
+        instead of being recomputed per call, so repeated searches against
+        the same training set pay the envelope sweep once.
 
     Returns
     -------
     (indices, distances[, stats]):
         ``(n_queries, k)`` neighbour indices (closest first) and their DTW
         distances.
+    """
+    return _cascade_search(
+        queries,
+        train,
+        window=window,
+        n_neighbors=n_neighbors,
+        dtype=dtype,
+        return_stats=return_stats,
+        chunk_pairs=chunk_pairs,
+        max_block_bytes=max_block_bytes,
+        envelope_cache=envelope_cache,
+        kernels=None,
+        backend_label="pruned",
+    )
+
+
+def compiled_dtw_nearest_neighbors(
+    queries: np.ndarray,
+    train: np.ndarray,
+    window: int | float | None = None,
+    n_neighbors: int = 1,
+    dtype: np.dtype | type = np.float64,
+    return_stats: bool = False,
+    chunk_pairs: int | None = None,
+    max_block_bytes: int | None = None,
+    envelope_cache: object | None = None,
+) -> (
+    tuple[np.ndarray, np.ndarray]
+    | tuple[np.ndarray, np.ndarray, DTWSearchStats]
+):
+    """The cascade of :func:`pruned_dtw_nearest_neighbors` on the JIT kernels.
+
+    Same cascade driver, same slack-guarded thresholds, same lexicographic
+    ``(distance, index)`` top-k -- but every stage's numbers come from the
+    numba kernels in :mod:`repro.distance.kernels`, with ``prange`` threading
+    over pairs and the DP chunk sized from the :mod:`repro.memory` budget
+    (``chunk_pairs=None``, the default, selects that sizing; an explicit
+    value overrides it).  Float64 results are bit-identical to both other
+    tiers.
+
+    When the JIT tier cannot engage (numba missing or broken, or forced off
+    via :func:`repro.distance.kernels.force_availability`), the call warns
+    once per process and transparently delegates to the pruned numpy
+    cascade; the returned ``DTWSearchStats.backend`` then says ``"pruned"``
+    and :func:`backend_resolution` explains why.
+    """
+    from repro.distance import kernels
+
+    if not kernels.available():
+        _warn_compiled_fallback(kernels.unavailable_reason())
+        return pruned_dtw_nearest_neighbors(
+            queries,
+            train,
+            window=window,
+            n_neighbors=n_neighbors,
+            dtype=dtype,
+            return_stats=return_stats,
+            chunk_pairs=_DP_CHUNK_PAIRS if chunk_pairs is None else chunk_pairs,
+            max_block_bytes=max_block_bytes,
+            envelope_cache=envelope_cache,
+        )
+    from repro.distance.kernels import cascade
+
+    return _cascade_search(
+        queries,
+        train,
+        window=window,
+        n_neighbors=n_neighbors,
+        dtype=dtype,
+        return_stats=return_stats,
+        chunk_pairs=chunk_pairs,
+        max_block_bytes=max_block_bytes,
+        envelope_cache=envelope_cache,
+        kernels=cascade,
+        backend_label="compiled",
+    )
+
+
+def _cascade_search(
+    queries: np.ndarray,
+    train: np.ndarray,
+    *,
+    window: int | float | None,
+    n_neighbors: int,
+    dtype: np.dtype | type,
+    return_stats: bool,
+    chunk_pairs: int | None,
+    max_block_bytes: int | None,
+    envelope_cache: object | None,
+    kernels,
+    backend_label: str,
+) -> (
+    tuple[np.ndarray, np.ndarray]
+    | tuple[np.ndarray, np.ndarray, DTWSearchStats]
+):
+    """The shared cascade driver behind the pruned and compiled tiers.
+
+    ``kernels`` is ``None`` for the interpreted numpy stages or the
+    :mod:`repro.distance.kernels.cascade` facade for the JIT ones; the
+    driver itself (seeding, thresholds, chunking, top-k bookkeeping, stats)
+    is tier-independent, which is what keeps the two tiers' results -- and
+    any future bound added here -- identical by construction.
     """
     q = _as_batch(queries, "queries")
     t = _as_batch(train, "train")
@@ -360,12 +548,18 @@ def pruned_dtw_nearest_neighbors(
     k = int(n_neighbors)
     if not 1 <= k <= n_train:
         raise ValueError(f"n_neighbors must be in [1, {n_train}], got {n_neighbors}")
-    if chunk_pairs < 1:
-        raise ValueError("chunk_pairs must be >= 1")
     block_bytes = resolve_block_bytes(max_block_bytes, deprecated_knob="max_block_bytes")
     dt = np.dtype(dtype)
     if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
         raise ValueError("dtype must be float32 or float64")
+    if chunk_pairs is None:
+        chunk_pairs = (
+            kernels.dp_pair_chunk(n, m, channels, dt.itemsize, block_bytes)
+            if kernels is not None
+            else _DP_CHUNK_PAIRS
+        )
+    if chunk_pairs < 1:
+        raise ValueError("chunk_pairs must be >= 1")
     slack = PRUNE_SLACK if dt == np.dtype(np.float64) else PRUNE_SLACK_F32
     band = _resolve_band(n, m, window)
     q_dp = q.astype(dt, copy=False)
@@ -381,9 +575,12 @@ def pruned_dtw_nearest_neighbors(
     def run_pairs(rows: np.ndarray, cols: np.ndarray, thresholds: np.ndarray) -> None:
         nonlocal dp_computed, dp_abandoned
         dp_computed += rows.shape[0]
-        sq, abandoned = _banded_costs_with_abandon(
-            q_dp[rows], t_dp[cols], band, thresholds
-        )
+        if kernels is not None:
+            sq, abandoned = kernels.run_dp_batch(q_dp[rows], t_dp[cols], band, thresholds)
+        else:
+            sq, abandoned = _banded_costs_with_abandon(
+                q_dp[rows], t_dp[cols], band, thresholds
+            )
         dp_abandoned += int(abandoned.sum())
         dist = np.sqrt(sq)
         computed[rows, cols] = True
@@ -396,7 +593,7 @@ def pruned_dtw_nearest_neighbors(
             return np.where(np.isfinite(kth), kth * kth * (1.0 + slack), np.inf)
 
     # --- stage 0: LB_Kim over all pairs, and k seed DPs per query ----------
-    kim = lb_kim(q, t)
+    kim = kernels.run_lb_kim(q, t) if kernels is not None else lb_kim(q, t)
     seed_cols = np.argsort(kim, axis=1, kind="stable")[:, :k]
     seed_rows = np.repeat(np.arange(n_q), k)
     seed_flat = seed_cols.ravel()
@@ -413,25 +610,60 @@ def pruned_dtw_nearest_neighbors(
     alive = (kim <= thr[:, None]) & ~computed
     lb_kim_pruned = n_pairs - int(alive.sum()) - int(computed.sum())
 
-    # --- stage 2: LB_Keogh, only for the pairs LB_Kim could not answer -----
+    # --- stage 2: LB_Keogh train-side, only pairs LB_Kim could not answer --
+    def keogh_bounds(
+        series: np.ndarray,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        series_idx: np.ndarray,
+        envelope_idx: np.ndarray,
+    ) -> np.ndarray:
+        """Per-pair envelope bound, either direction (see lb_keogh_pairs)."""
+        if kernels is not None:
+            return kernels.run_lb_keogh_pairs(
+                series, lower, upper, series_idx, envelope_idx
+            )
+        length = series.shape[1]
+        out = np.empty(series_idx.shape[0])
+        chunk = max(1, int(block_bytes // (max(length, 1) * channels * 8 * 2)))
+        reduce = "pn,pn->p" if channels == 1 else "pnc,pnc->p"
+        for start in range(0, series_idx.shape[0], chunk):
+            stop = min(start + chunk, series_idx.shape[0])
+            s = series[series_idx[start:stop]]
+            over = np.maximum(s - upper[envelope_idx[start:stop]], 0.0)
+            under = np.maximum(lower[envelope_idx[start:stop]] - s, 0.0)
+            out[start:stop] = np.einsum(reduce, over, over) + np.einsum(
+                reduce, under, under
+            )
+        return out
+
     rows, cols = np.nonzero(alive)
     lb = np.empty(rows.shape[0])
     if rows.shape[0]:
-        lower, upper = dtw_band_envelopes(t, band, query_length=n)
-        chunk = max(1, int(block_bytes // (max(n, 1) * channels * 8 * 2)))
-        reduce = "pn,pn->p" if channels == 1 else "pnc,pnc->p"
-        for start in range(0, rows.shape[0], chunk):
-            stop = min(start + chunk, rows.shape[0])
-            qs = q[rows[start:stop]]
-            over = np.maximum(qs - upper[cols[start:stop]], 0.0)
-            under = np.maximum(lower[cols[start:stop]] - qs, 0.0)
-            lb[start:stop] = np.einsum(reduce, over, over) + np.einsum(
-                reduce, under, under
-            )
+        if envelope_cache is not None:
+            lower, upper = envelope_cache.envelopes(t, band, query_length=n)
+        else:
+            lower, upper = dtw_band_envelopes(t, band, query_length=n)
+        lb = keogh_bounds(q, lower, upper, rows, cols)
         np.maximum(lb, kim[rows, cols], out=lb)
     keep = lb <= thr[rows]
     lb_keogh_pruned = int((~keep).sum())
     rows, cols, lb = rows[keep], cols[keep], lb[keep]
+
+    # --- stage 2b: query-side LB_Keogh for the train-side survivors --------
+    # The mirrored direction (envelopes around each *query*, held against
+    # the raw training samples) is admissible for the same banded DP, so the
+    # cascade prunes on the max of all bounds.  Query envelopes depend on
+    # this call's queries, so they are computed fresh (never cached) and
+    # only once the cheaper bounds have thinned the pair list.
+    lb_keogh_query_pruned = 0
+    if rows.shape[0]:
+        lower_q, upper_q = dtw_band_envelopes(q, band, query_length=m)
+        np.maximum(lb, keogh_bounds(t, lower_q, upper_q, cols, rows), out=lb)
+        keep = lb <= thr[rows]
+        lb_keogh_query_pruned = int((~keep).sum())
+        lb_keogh_pruned += lb_keogh_query_pruned
+        rows, cols, lb = rows[keep], cols[keep], lb[keep]
 
     # --- stage 3: early-abandoning DP for survivors, best-bound first ------
     order = np.argsort(lb, kind="stable")
@@ -456,5 +688,7 @@ def pruned_dtw_nearest_neighbors(
         lb_keogh_pruned=lb_keogh_pruned,
         dp_abandoned=dp_abandoned,
         dp_computed=dp_computed,
+        lb_keogh_query_pruned=lb_keogh_query_pruned,
+        backend=backend_label,
     )
     return indices, distances, stats

@@ -17,6 +17,9 @@ The wavefront kernel also accepts a stack of cost tensors, which is what
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.distance.znorm import znormalize
@@ -26,6 +29,7 @@ __all__ = [
     "znormalized_dtw_distance",
     "dtw_path",
     "dtw_band_envelopes",
+    "EnvelopeCache",
     "lb_kim",
     "lb_keogh",
 ]
@@ -302,6 +306,69 @@ def dtw_band_envelopes(
     windows_lo = np.lib.stride_tricks.sliding_window_view(lo_pad, width, axis=1)
     windows_hi = np.lib.stride_tricks.sliding_window_view(hi_pad, width, axis=1)
     return windows_lo.min(axis=-1)[:, :n], windows_hi.max(axis=-1)[:, :n]
+
+
+class EnvelopeCache:
+    """Memoised :func:`dtw_band_envelopes` keyed by training-set content.
+
+    The envelopes of a training set depend only on the series values, the
+    resolved band, and the query length they are held against -- yet every
+    cascade search used to recompute them per call, which dominates the
+    lower-bound stage when the same training set is queried repeatedly (the
+    k-NN classifier's ``predict``, a serving loop, a sweep).  This cache
+    keys entries by ``(content fingerprint, band, query_length)``, where the
+    fingerprint hashes the array's bytes plus shape and dtype, so a *refit*
+    with different data can never serve stale envelopes -- there is nothing
+    to invalidate, a changed array simply stops matching.
+
+    Entries evict least-recently-used beyond ``maxsize`` (a handful of
+    band/length combinations per training set in practice).  ``hits`` /
+    ``misses`` make reuse observable to tests and telemetry.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self._maxsize = int(maxsize)
+        self._entries: OrderedDict[tuple, tuple[np.ndarray, np.ndarray]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def fingerprint(arr: np.ndarray) -> str:
+        """Content hash of an array (bytes + shape + dtype)."""
+        a = np.ascontiguousarray(arr)
+        digest = hashlib.sha1(a)
+        digest.update(repr((a.shape, a.dtype.str)).encode())
+        return digest.hexdigest()
+
+    def envelopes(
+        self, train: np.ndarray, band: int, query_length: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(lower, upper)`` envelopes, computed at most once per key."""
+        arr = np.asarray(train, dtype=float)
+        n = arr.shape[1] if arr.ndim > 1 and query_length is None else query_length
+        key = (self.fingerprint(arr), int(band), None if n is None else int(n))
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        lower, upper = dtw_band_envelopes(arr, band, query_length=query_length)
+        self._entries[key] = (lower, upper)
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+        return lower, upper
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters included)."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
 
 
 def lb_kim(queries: np.ndarray, train: np.ndarray) -> np.ndarray:

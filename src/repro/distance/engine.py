@@ -72,10 +72,13 @@ import numpy as np
 
 from repro.distance.backends import (
     DTWSearchStats,
+    _warn_compiled_fallback,
+    backend_resolution,
+    compiled_dtw_nearest_neighbors,
     pruned_dtw_nearest_neighbors,
     resolve_backend,
 )
-from repro.distance.dtw import _resolve_band, _wavefront_accumulated_cost
+from repro.distance.dtw import EnvelopeCache, _resolve_band, _wavefront_accumulated_cost
 from repro.memory import resolve_block_bytes
 
 __all__ = [
@@ -94,6 +97,25 @@ __all__ = [
 #: engine across many samples at once (bounds the (n_q, block, n_train)
 #: temporary to a few megabytes for realistic sizes).
 _BLOCK = 64
+
+
+def _compiled_kernels(backend: str | None = None):
+    """The kernels facade iff the resolved backend is a *working* compiled tier.
+
+    Returns ``None`` for the other backends -- and for a ``"compiled"``
+    request that cannot engage, in which case the once-per-process fallback
+    warning fires and the caller proceeds on its interpreted path (which is
+    bit-identical, so the fallback is purely a throughput downgrade).
+    """
+    res = backend_resolution(backend)
+    if res.requested != "compiled":
+        return None
+    if res.resolved != "compiled":
+        _warn_compiled_fallback(res.reason)
+        return None
+    from repro.distance.kernels import cascade
+
+    return cascade
 
 
 def _validated_lengths(lengths: Sequence[int], max_length: int) -> list[int]:
@@ -563,6 +585,17 @@ def batch_prefix_distances(
     n_queries, n_train = arr.shape[0], train.shape[0]
     columns = np.asarray(lengths) * channels - 1
 
+    kernels = _compiled_kernels()
+    if kernels is not None:
+        # The scalar kernel advances one running sum per pair in exactly
+        # np.cumsum's sequential term order, so this route is bit-identical
+        # to the blocked path below (and allocates no (chunk, n_train, L)
+        # tensor at all).
+        out = kernels.run_batch_prefix(arr, train, columns)
+        if not squared:
+            np.sqrt(out, out=out)
+        return out
+
     out = np.empty((len(lengths), n_queries, n_train))
     chunk = max(1, int(block_bytes // (n_train * full * 8)))
     train_prefix = train[None, :, :full]
@@ -659,6 +692,12 @@ def ragged_prefix_distances(
     out = np.empty((n_queries, n_train))
     if n_queries == 0:
         return out
+    kernels = _compiled_kernels()
+    if kernels is not None:
+        out = kernels.run_ragged_prefix(arr, train, per_row * channels - 1)
+        if not squared:
+            np.sqrt(out, out=out)
+        return out
     full = int(per_row.max()) * channels
     chunk = max(1, int(block_bytes // (n_train * full * 8)))
     train_prefix = train[None, :, :full]
@@ -682,6 +721,7 @@ def dtw_pairwise_distances(
     window: int | float | None = None,
     max_block_bytes: int | None = None,
     dtype: np.dtype | type = np.float64,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Banded DTW distance of every query to every training series in one pass.
 
@@ -718,6 +758,9 @@ def dtw_pairwise_distances(
         Accumulation dtype of the dynamic program: ``np.float64`` (default,
         bit-identical to the scalar reference) or ``np.float32`` (halves the
         working set; distances within ~1e-5 relative on realistic data).
+    backend:
+        Explicit backend name overriding ``REPRO_BACKEND``; ``None`` defers
+        to it.
 
     Returns
     -------
@@ -728,10 +771,16 @@ def dtw_pairwise_distances(
     Notes
     -----
     A *pairwise matrix* is dense by definition -- every entry is demanded --
-    so there is nothing here for a lower bound to prune and this kernel is
-    the same under every ``REPRO_BACKEND``.  The backend switch governs
-    :func:`dtw_nearest_neighbors`, where only the k smallest entries per row
-    survive and most pairs can be answered without the dynamic program.
+    so there is nothing here for a lower bound to prune, and the
+    ``"reference"`` and ``"pruned"`` backends share this one numpy kernel.
+    Under ``"compiled"`` the matrix instead runs through the JIT dense
+    kernel (:func:`repro.distance.kernels.dtw_kernels.banded_matrix_costs`;
+    same per-cell recurrence, float64 results bit-identical, ``prange`` over
+    queries instead of a shared wavefront), falling back here with the usual
+    once-per-process warning when numba is unavailable.  The backend switch
+    matters most for :func:`dtw_nearest_neighbors`, where only the k
+    smallest entries per row survive and most pairs can be answered without
+    the dynamic program.
     """
     train = _as_train_tensor(train)
     channels = train.shape[2] if train.ndim == 3 else 1
@@ -747,6 +796,11 @@ def dtw_pairwise_distances(
     n_queries, n_train = arr.shape[0], train.shape[0]
     arr_dp = arr.astype(dt, copy=False)
     train_dp = train.astype(dt, copy=False)
+
+    kernels = _compiled_kernels(backend)
+    if kernels is not None:
+        out_sq = kernels.run_dense_matrix(arr_dp, train_dp, band)
+        return np.sqrt(out_sq, out=out_sq)
 
     out = np.empty((n_queries, n_train))
     # Working set per query: the (n_train, n, m) squared-cost tensor (built
@@ -803,6 +857,7 @@ def dtw_nearest_neighbors(
     dtype: np.dtype | type = np.float64,
     return_stats: bool = False,
     max_block_bytes: int | None = None,
+    envelope_cache: EnvelopeCache | None = None,
 ) -> (
     tuple[np.ndarray, np.ndarray]
     | tuple[np.ndarray, np.ndarray, DTWSearchStats]
@@ -811,12 +866,16 @@ def dtw_nearest_neighbors(
 
     The single entry point every DTW 1-NN consumer should call: the
     ``"reference"`` backend evaluates the dense
-    :func:`dtw_pairwise_distances` matrix and stable-selects per row, while
-    the ``"pruned"`` backend answers most pairs with the
+    :func:`dtw_pairwise_distances` matrix and stable-selects per row, the
+    ``"pruned"`` backend answers most pairs with the
     LB_Kim -> LB_Keogh -> early-abandoning-DP cascade of
-    :func:`repro.distance.backends.pruned_dtw_nearest_neighbors`.  In float64
-    mode the two return bit-identical indices and distances (the equivalence
-    suite pins this), so the backend is purely a throughput choice.
+    :func:`repro.distance.backends.pruned_dtw_nearest_neighbors`, and the
+    ``"compiled"`` backend runs that same cascade on the numba kernels
+    (:func:`repro.distance.backends.compiled_dtw_nearest_neighbors`, which
+    falls back to ``"pruned"`` with one warning when numba is unavailable).
+    In float64 mode all tiers return bit-identical indices and distances
+    (the equivalence suite pins this), so the backend is purely a throughput
+    choice.
 
     Parameters
     ----------
@@ -839,6 +898,11 @@ def dtw_nearest_neighbors(
     max_block_bytes:
         Byte budget forwarded to the underlying kernels (``None`` resolves
         the unified :mod:`repro.memory` budget there).
+    envelope_cache:
+        Optional :class:`repro.distance.dtw.EnvelopeCache` forwarded to the
+        cascade backends so the train-side envelopes are computed once per
+        training set instead of once per call (ignored by ``"reference"``,
+        which uses no envelopes).
 
     Returns
     -------
@@ -856,9 +920,26 @@ def dtw_nearest_neighbors(
             dtype=dtype,
             return_stats=return_stats,
             max_block_bytes=max_block_bytes,
+            envelope_cache=envelope_cache,
+        )
+    if name == "compiled":
+        return compiled_dtw_nearest_neighbors(
+            queries,
+            train,
+            window=window,
+            n_neighbors=n_neighbors,
+            dtype=dtype,
+            return_stats=return_stats,
+            max_block_bytes=max_block_bytes,
+            envelope_cache=envelope_cache,
         )
     distances = dtw_pairwise_distances(
-        queries, train, window=window, max_block_bytes=max_block_bytes, dtype=dtype
+        queries,
+        train,
+        window=window,
+        max_block_bytes=max_block_bytes,
+        dtype=dtype,
+        backend="reference",
     )
     k = int(n_neighbors)
     if not 1 <= k <= distances.shape[1]:
@@ -875,6 +956,7 @@ def dtw_nearest_neighbors(
         lb_keogh_pruned=0,
         dp_abandoned=0,
         dp_computed=n_pairs,
+        backend="reference",
     )
     return idx, vals, stats
 
@@ -912,6 +994,22 @@ class PrefixDTWEngine:
         self.band = band
         self._rows: np.ndarray | None = None
         self._length = 0
+        self._envelope_cache: EnvelopeCache | None = None
+
+    @property
+    def envelope_cache(self) -> EnvelopeCache:
+        """Lazily created :class:`~repro.distance.dtw.EnvelopeCache` for this engine.
+
+        The engine pins a training set for its whole lifetime, so callers
+        that interleave incremental prefix walks with cascade searches
+        against the same series (the serving layer's confirm step) can hand
+        this cache to :func:`dtw_nearest_neighbors` and pay the envelope
+        sweep once.  Content-fingerprinted keys mean a different training
+        set can never be served stale envelopes.
+        """
+        if self._envelope_cache is None:
+            self._envelope_cache = EnvelopeCache()
+        return self._envelope_cache
 
     @property
     def n_channels(self) -> int:

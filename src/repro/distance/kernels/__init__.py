@@ -1,0 +1,74 @@
+"""Compiled kernel tier: numba-JIT DTW, lower-bound and prefix kernels.
+
+The third ``REPRO_BACKEND`` tier (``"compiled"``) lives here: scalar
+``@njit(cache=True)`` transliterations of the package's hot inner loops --
+the rolling two-diagonal banded DTW wavefront with early abandoning
+(:mod:`~repro.distance.kernels.dtw_kernels`), LB_Kim and both-direction
+LB_Keogh (:mod:`~repro.distance.kernels.lb_kernels`), and the channel-summed
+prefix-distance kernels (:mod:`~repro.distance.kernels.prefix_kernels`) --
+plus the driver-facing facade and JIT warmup
+(:mod:`~repro.distance.kernels.cascade`).
+
+numba is strictly optional (the ``[compiled]`` extra).  Importing this
+package never requires it: :mod:`~repro.distance.kernels._compat` probes for
+a *working* numba once and otherwise swaps in passthrough decorators, so
+every kernel stays runnable interpreted -- which is how the equivalence
+tests pin the kernel logic itself on numba-less installs.  Whether the
+``"compiled"`` backend actually engages is a separate, overridable question
+answered by :func:`available`; when it cannot, the backend layer warns once
+and falls back to the ``"pruned"`` numpy cascade (see
+:func:`repro.distance.backends.backend_resolution` for the introspection
+hook recording which tier really ran).
+"""
+
+from __future__ import annotations
+
+from repro.distance.kernels._compat import (
+    NUMBA_AVAILABLE,
+    NUMBA_IMPORT_ERROR,
+    NUMBA_VERSION,
+)
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "NUMBA_IMPORT_ERROR",
+    "NUMBA_VERSION",
+    "available",
+    "force_availability",
+    "unavailable_reason",
+]
+
+#: Test hook: ``True``/``False`` overrides the numba probe (forcing the
+#: compiled code path to run interpreted, or the fallback path to engage on
+#: a numba install); ``None`` defers to :data:`NUMBA_AVAILABLE`.
+_AVAILABILITY_OVERRIDE: bool | None = None
+
+
+def available() -> bool:
+    """Whether the ``"compiled"`` backend will actually run the JIT tier."""
+    if _AVAILABILITY_OVERRIDE is not None:
+        return _AVAILABILITY_OVERRIDE
+    return NUMBA_AVAILABLE
+
+
+def force_availability(flag: bool | None) -> None:
+    """Override (or with ``None`` restore) what :func:`available` reports.
+
+    A testing hook: forcing ``True`` on a numba-less install runs the kernel
+    code interpreted through the real compiled-tier code path (slow, exact);
+    forcing ``False`` on a numba install exercises the fallback warning and
+    the ``"pruned"`` rerouting.
+    """
+    global _AVAILABILITY_OVERRIDE
+    if flag is not None and not isinstance(flag, bool):
+        raise TypeError("force_availability expects True, False or None")
+    _AVAILABILITY_OVERRIDE = flag
+
+
+def unavailable_reason() -> str | None:
+    """Why the compiled tier is off (``None`` when it is on)."""
+    if available():
+        return None
+    if _AVAILABILITY_OVERRIDE is False:
+        return "compiled tier disabled by force_availability(False)"
+    return NUMBA_IMPORT_ERROR or "numba is not installed"

@@ -1,0 +1,75 @@
+"""numba compatibility shim for the compiled kernel tier.
+
+numba is a strictly *optional* dependency (the ``[compiled]`` extra in
+``pyproject.toml``): importing :mod:`repro.distance.kernels` must succeed on
+a numpy-only install, and the kernels themselves must remain *executable* --
+not merely importable -- without it, because the equivalence tests exercise
+their logic interpreted (tiny inputs) in environments where numba is absent.
+
+So instead of a hard ``from numba import njit``, this module probes for
+numba once at import and exports either the real decorators or transparent
+stand-ins:
+
+* :func:`njit` -- the real ``numba.njit`` when available, else a passthrough
+  decorator returning the undecorated Python function (so every kernel is a
+  plain function whose loops run interpreted).
+* :data:`prange` -- ``numba.prange`` or the builtin :func:`range`.
+* :func:`set_num_threads` -- ``numba.set_num_threads`` clamped to the
+  layout's thread count, or a no-op.
+
+:data:`NUMBA_AVAILABLE` / :data:`NUMBA_IMPORT_ERROR` record the probe's
+outcome for :func:`repro.distance.kernels.available` and the
+``backend_resolution()`` introspection hook.  The probe is a *capability*
+probe, not a bare import check: a numba wheel that imports but cannot
+compile (broken llvmlite, unsupported interpreter) is treated as absent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+NUMBA_AVAILABLE = False
+NUMBA_IMPORT_ERROR: str | None = None
+NUMBA_VERSION: str | None = None
+
+try:  # pragma: no cover - exercised only on numba installs
+    import numba as _numba
+
+    # Capability probe: compile and run a trivial kernel once.  A numba that
+    # imports but cannot JIT (e.g. an llvmlite/interpreter mismatch) must
+    # fall back exactly like a missing numba, not explode at first search.
+    @_numba.njit(cache=False)
+    def _probe(x: float) -> float:
+        return x + 1.0
+
+    if _probe(1.0) != 2.0:
+        raise RuntimeError("numba capability probe returned a wrong result")
+    NUMBA_AVAILABLE = True
+    NUMBA_VERSION = getattr(_numba, "__version__", "unknown")
+    njit = _numba.njit
+    prange = _numba.prange
+
+    def set_num_threads(n: int) -> None:
+        _numba.set_num_threads(max(1, min(int(n), _numba.config.NUMBA_NUM_THREADS)))
+
+except Exception as error:  # ImportError, or a failed capability probe
+    NUMBA_IMPORT_ERROR = f"{type(error).__name__}: {error}"
+
+    def njit(*args: Any, **kwargs: Any) -> Callable:
+        """Passthrough ``@njit`` stand-in: returns the function unchanged.
+
+        Supports both ``@njit`` and ``@njit(cache=True, parallel=True)``
+        forms so the kernel modules need no conditional decoration.
+        """
+        if len(args) == 1 and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def decorate(function: Callable) -> Callable:
+            return function
+
+        return decorate
+
+    prange = range
+
+    def set_num_threads(n: int) -> None:  # noqa: ARG001 - signature parity
+        return None

@@ -1,0 +1,234 @@
+"""Driver-facing facade over the JIT kernels, plus warmup.
+
+:mod:`repro.distance.backends` keeps the cascade *driver* (seeding,
+threshold bookkeeping, chunking, top-k insertion) in one place for both the
+``"pruned"`` and ``"compiled"`` tiers; what differs per tier is how each
+stage's numbers are produced.  This module is the compiled tier's side of
+that seam: thin wrappers that normalise layout (3-D contiguous views,
+float64 outputs), size the amount of work handed to one ``prange`` kernel
+call from the :mod:`repro.memory` budget, and pin the numba thread count to
+:func:`repro.memory.get_thread_count` before every parallel region.
+
+Nothing here imports numba directly -- the kernels fall back to interpreted
+Python through :mod:`repro.distance.kernels._compat`, which is also how the
+equivalence tests exercise this exact code path on numba-less installs.
+
+**JIT warmup.**  The first call into each ``@njit(cache=True)`` kernel for
+a given signature pays one-time compilation (seconds on a cold cache,
+milliseconds once ``__pycache__`` holds the compiled artefact).
+:func:`warmup` triggers those compilations on toy inputs so benchmarks and
+latency-sensitive callers can pay the cost up front and measure steady
+state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.kernels import _compat
+from repro.distance.kernels.dtw_kernels import (
+    banded_batch_costs,
+    banded_matrix_costs,
+)
+from repro.distance.kernels.lb_kernels import (
+    band_envelopes,
+    lb_kim_matrix,
+    lb_keogh_pairs,
+)
+from repro.distance.kernels.prefix_kernels import batch_prefix_sq, ragged_prefix_sq
+from repro.memory import get_thread_count
+
+__all__ = [
+    "as_pair_tensor",
+    "dp_pair_chunk",
+    "run_lb_kim",
+    "run_band_envelopes",
+    "run_lb_keogh_pairs",
+    "run_dp_batch",
+    "run_dense_matrix",
+    "run_batch_prefix",
+    "run_ragged_prefix",
+    "warmup",
+]
+
+#: Floor on survivor pairs handed to one DP kernel call: below this the
+#: prange region cannot keep every worker busy.
+_MIN_DP_CHUNK = 64
+
+#: Ceiling keeping one chunk's gathered inputs comfortably cache-resident
+#: even under an enormous budget.
+_MAX_DP_CHUNK = 1 << 16
+
+
+def _threads() -> int:
+    n = get_thread_count()
+    _compat.set_num_threads(n)
+    return n
+
+
+def as_pair_tensor(arr: np.ndarray) -> np.ndarray:
+    """View a 2-D ``(n, L)`` batch as contiguous 3-D ``(n, L, 1)`` for kernels."""
+    out = np.ascontiguousarray(arr)
+    if out.ndim == 2:
+        return out[:, :, None]
+    return out
+
+
+def dp_pair_chunk(n: int, m: int, channels: int, itemsize: int, block_bytes: int) -> int:
+    """Survivor pairs per DP kernel call, sized by the memory budget.
+
+    One chunk's working set is dominated by the gathered per-pair series
+    (``(n + m) * channels * itemsize`` bytes each); the rolling-diagonal
+    state lives per *thread*, not per pair, and is negligible next to it.
+    The chunk is floored at ``max(threads, _MIN_DP_CHUNK)`` so a tiny budget
+    still feeds every worker, mirroring how the interpreted tiers also keep
+    a minimum viable chunk.
+    """
+    per_pair = max(1, (n + m) * channels * itemsize)
+    chunk = int(block_bytes // per_pair)
+    return max(_threads(), _MIN_DP_CHUNK, min(chunk, _MAX_DP_CHUNK))
+
+
+def run_lb_kim(queries: np.ndarray, train: np.ndarray) -> np.ndarray:
+    """``(n_q, n_t)`` LB_Kim matrix via the compiled kernel."""
+    q = as_pair_tensor(queries)
+    t = as_pair_tensor(train)
+    out = np.empty((q.shape[0], t.shape[0]))
+    _threads()
+    lb_kim_matrix(q, t, out)
+    return out
+
+
+def run_band_envelopes(
+    arr: np.ndarray, band: int, query_length: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Band envelopes via the compiled kernel, in the caller's input rank.
+
+    Bit-identical to :func:`repro.distance.dtw.dtw_band_envelopes` (min/max
+    are exact); the cascade driver prefers the numpy implementation plus the
+    :class:`repro.distance.dtw.EnvelopeCache` because envelopes are a
+    once-per-train precompute, but the kernel is part of the compiled
+    surface (and its tests) regardless.
+    """
+    src = np.asarray(arr, dtype=float)
+    squeeze = src.ndim == 2
+    tensor = as_pair_tensor(src)
+    n = tensor.shape[1] if query_length is None else int(query_length)
+    shape = (tensor.shape[0], n, tensor.shape[2])
+    lower = np.empty(shape)
+    upper = np.empty(shape)
+    _threads()
+    band_envelopes(tensor, int(band), lower, upper)
+    if squeeze:
+        return lower[:, :, 0], upper[:, :, 0]
+    return lower, upper
+
+
+def run_lb_keogh_pairs(
+    series: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    series_idx: np.ndarray,
+    envelope_idx: np.ndarray,
+) -> np.ndarray:
+    """Per-pair LB_Keogh (either direction) via the compiled gather kernel."""
+    out = np.empty(series_idx.shape[0])
+    _threads()
+    lb_keogh_pairs(
+        as_pair_tensor(series),
+        as_pair_tensor(lower),
+        as_pair_tensor(upper),
+        np.ascontiguousarray(series_idx, dtype=np.intp),
+        np.ascontiguousarray(envelope_idx, dtype=np.intp),
+        out,
+    )
+    return out
+
+
+def run_dp_batch(
+    q_rows: np.ndarray,
+    t_rows: np.ndarray,
+    band: int,
+    thresholds_sq: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Early-abandoning banded squared costs of gathered pairs.
+
+    Returns ``(squared_costs, abandoned)`` exactly like the interpreted
+    :func:`repro.distance.backends._banded_costs_with_abandon`.
+    """
+    out = np.empty(q_rows.shape[0])
+    _threads()
+    banded_batch_costs(
+        as_pair_tensor(q_rows),
+        as_pair_tensor(t_rows),
+        int(band),
+        np.ascontiguousarray(thresholds_sq, dtype=np.float64),
+        out,
+    )
+    return out, np.isinf(out)
+
+
+def run_dense_matrix(
+    queries: np.ndarray, train: np.ndarray, band: int
+) -> np.ndarray:
+    """Dense ``(n_q, n_t)`` banded squared DTW costs (no pruning)."""
+    q = as_pair_tensor(queries)
+    t = as_pair_tensor(train)
+    out = np.empty((q.shape[0], t.shape[0]))
+    _threads()
+    banded_matrix_costs(q, t, int(band), out)
+    return out
+
+
+def run_batch_prefix(
+    queries_flat: np.ndarray, train_flat: np.ndarray, columns: np.ndarray
+) -> np.ndarray:
+    """``(n_lengths, n_q, n_t)`` squared prefix distances via the kernel."""
+    cols = np.ascontiguousarray(columns, dtype=np.intp)
+    out = np.empty((cols.shape[0], queries_flat.shape[0], train_flat.shape[0]))
+    _threads()
+    batch_prefix_sq(
+        np.ascontiguousarray(queries_flat),
+        np.ascontiguousarray(train_flat),
+        cols,
+        out,
+    )
+    return out
+
+
+def run_ragged_prefix(
+    queries_flat: np.ndarray, train_flat: np.ndarray, columns: np.ndarray
+) -> np.ndarray:
+    """``(n_q, n_t)`` squared prefix distances, one length per query row."""
+    cols = np.ascontiguousarray(columns, dtype=np.intp)
+    out = np.empty((queries_flat.shape[0], train_flat.shape[0]))
+    _threads()
+    ragged_prefix_sq(
+        np.ascontiguousarray(queries_flat),
+        np.ascontiguousarray(train_flat),
+        cols,
+        out,
+    )
+    return out
+
+
+def warmup(dtype: np.dtype | type = np.float64) -> None:
+    """Compile every kernel once on toy inputs (a no-op without numba).
+
+    Benchmarks call this before timing so one-time JIT compilation never
+    pollutes a steady-state measurement; servers can call it at startup.
+    """
+    rng = np.random.default_rng(0)
+    q = rng.standard_normal((2, 6)).astype(dtype)
+    t = rng.standard_normal((3, 6)).astype(dtype)
+    run_lb_kim(q, t)
+    run_band_envelopes(t.astype(float), 2)
+    lower = (t - 1.0).astype(dtype)
+    upper = (t + 1.0).astype(dtype)
+    idx = np.zeros(2, dtype=np.intp)
+    run_lb_keogh_pairs(q, lower, upper, idx, idx)
+    run_dp_batch(q, t[:2], 6, np.full(2, np.inf))
+    run_dense_matrix(q, t, 6)
+    cols = np.asarray([1, 5], dtype=np.intp)
+    run_batch_prefix(q.astype(float), t.astype(float), cols)
+    run_ragged_prefix(q.astype(float), t.astype(float), cols[:2] * 0 + 3)

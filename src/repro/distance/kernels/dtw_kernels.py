@@ -1,0 +1,128 @@
+"""JIT banded DTW wavefront kernels (the ``"compiled"`` tier's DP stage).
+
+Each kernel is the scalar transliteration of the interpreted hot loop it
+replaces, with the *identical* per-cell arithmetic in the identical order:
+
+* cell cost = channel-sequential sum of squared differences (channel 0
+  first, exactly like the pruned backend's ``sq = diff0*diff0; sq += ...``
+  accumulation and the dense reference's per-channel ``cost += diff**2``);
+* recurrence = ``sq + min(cost[i-1, j], cost[i, j-1], cost[i-1, j-1])``
+  (``min`` is exact in floating point, so grouping is irrelevant);
+* only the rolling last two anti-diagonals are kept, indexed by ``i``.
+
+Surviving accumulated costs are therefore bit-identical to
+:func:`repro.distance.dtw._wavefront_accumulated_cost` in float64 -- the
+compiled tier's equivalence contract rests on this file.
+
+Early abandoning mirrors :func:`repro.distance.backends` exactly: a warping
+path advances ``i + j`` by 1 or 2 per step, so it crosses every pair of
+consecutive anti-diagonals at least once with non-decreasing cost; once the
+in-band minima of two consecutive diagonals both exceed the pair's
+threshold, the pair can never finish below it.  Where the numpy tier must
+*compact* dead pairs out of its vectorised working set, here each pair runs
+its own scalar loop and simply returns ``inf`` the moment it dies -- the
+compiled analogue of dead-pair compaction, with zero gather cost.
+
+All kernels take 3-D ``(pairs, length, channels)`` arrays (univariate input
+is viewed as ``d = 1``; the ``d = 1`` inner loop performs the same single
+multiply-add as the 2-D code paths).  Accumulation dtype follows the input
+arrays (float32 in, float32 accumulation), matching the interpreted tier's
+``dtype`` contract; thresholds are always float64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.kernels._compat import njit, prange
+
+__all__ = ["banded_pair_cost", "banded_batch_costs", "banded_matrix_costs"]
+
+
+@njit(cache=True)
+def banded_pair_cost(q, t, band, threshold_sq):
+    """Banded squared DTW cost of one ``(n, d)`` / ``(m, d)`` pair.
+
+    Returns ``inf`` as soon as two consecutive anti-diagonal minima exceed
+    ``threshold_sq`` (early abandoning); otherwise the exact accumulated
+    squared cost of the full banded recurrence, bit-identical to the dense
+    wavefront.
+    """
+    n = q.shape[0]
+    m = t.shape[0]
+    channels = q.shape[1]
+    inf = np.inf
+    # Typed zero so float32 input accumulates in float32, like the
+    # interpreted tier.
+    zero = q[0, 0] - q[0, 0]
+    prev2 = np.full(n + 1, inf, dtype=q.dtype)
+    prev = np.full(n + 1, inf, dtype=q.dtype)
+    cur = np.full(n + 1, inf, dtype=q.dtype)
+    prev2[0] = zero
+    prev_min = inf
+    for diag in range(2, n + m + 1):
+        i_lo = max(1, max(diag - m, (diag - band + 1) // 2))
+        i_hi = min(n, min(diag - 1, (diag + band) // 2))
+        if i_lo > i_hi:
+            continue
+        cur_min = inf
+        for i in range(i_lo, i_hi + 1):
+            best = prev[i - 1]
+            if prev[i] < best:
+                best = prev[i]
+            if prev2[i - 1] < best:
+                best = prev2[i - 1]
+            sq = zero
+            for c in range(channels):
+                diff = q[i - 1, c] - t[diag - i - 1, c]
+                sq += diff * diff
+            value = sq + best
+            cur[i] = value
+            if value < cur_min:
+                cur_min = value
+        # Two-consecutive-diagonal early abandon (exact; see module docs).
+        if prev_min > threshold_sq and cur_min > threshold_sq:
+            return inf
+        # Roll the diagonals: d-1 becomes d-2, d becomes d-1.  The freed
+        # buffer is re-infilled lazily (only in-band cells were written, so
+        # reset exactly those before reuse).
+        rolled = prev2
+        prev2 = prev
+        prev = cur
+        cur = rolled
+        for i in range(i_lo, i_hi + 1):
+            cur[i] = inf
+        cur[0] = inf
+        prev_min = cur_min
+    return float(prev[n])
+
+
+@njit(cache=True, parallel=True)
+def banded_batch_costs(q_rows, t_rows, band, thresholds_sq, out_sq):
+    """Early-abandoning banded squared DTW costs of gathered pairs, in parallel.
+
+    ``q_rows``/``t_rows`` are the already-gathered per-pair series, shapes
+    ``(p, n, d)`` and ``(p, m, d)``; ``thresholds_sq`` the per-pair float64
+    abandon thresholds; ``out_sq`` the ``(p,)`` float64 result (``inf`` for
+    abandoned pairs).  Pairs are independent, so the loop threads with
+    ``prange``; each pair owns its rolling-diagonal state (a few hundred
+    bytes), keeping the per-thread working set trivial next to the gathered
+    inputs the caller sized against the :mod:`repro.memory` budget.
+    """
+    for p in prange(q_rows.shape[0]):
+        out_sq[p] = banded_pair_cost(q_rows[p], t_rows[p], band, thresholds_sq[p])
+
+
+@njit(cache=True, parallel=True)
+def banded_matrix_costs(queries, train, band, out_sq):
+    """Dense banded squared DTW costs of every (query, train) pair.
+
+    The compiled analogue of the shared-wavefront
+    :func:`repro.distance.engine.dtw_pairwise_distances` kernel: no
+    thresholds, no abandoning (a pairwise *matrix* demands every entry), one
+    ``prange`` over queries.  ``queries`` is ``(n_q, n, d)``, ``train``
+    ``(n_t, m, d)``, ``out_sq`` the ``(n_q, n_t)`` float64 result.
+    """
+    for qi in prange(queries.shape[0]):
+        for ti in range(train.shape[0]):
+            out_sq[qi, ti] = banded_pair_cost(queries[qi], train[ti], band, np.inf)

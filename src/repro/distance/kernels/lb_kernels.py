@@ -1,0 +1,120 @@
+"""JIT lower-bound kernels: LB_Kim and LB_Keogh (both envelope directions).
+
+These answer most candidate pairs of a DTW nearest-neighbour search before
+the dynamic program ever runs.  Each kernel mirrors the accumulation
+grouping of its interpreted counterpart in :mod:`repro.distance.dtw`
+(channel-/time-summed partial sums kept separate, added at the end), so the
+bounds it produces are the same admissible quantities -- and the cascade's
+exactness never depends on bound values anyway, only on their being true
+lower bounds compared under a slack-guarded threshold.
+
+LB_Keogh runs in *both* UCR-suite directions:
+
+* **train-side** (envelopes around each training series, the historical
+  direction): ``sum_i max(q[i] - U_t[i], 0)^2 + max(L_t[i] - q[i], 0)^2``;
+* **query-side** (envelopes around each query, held against the raw
+  training samples): ``sum_j max(t[j] - U_q[j], 0)^2 + max(L_q[j] - t[j],
+  0)^2``.
+
+Both are admissible for the same banded DP, so the cascade prunes on their
+maximum.  :func:`lb_keogh_pairs` serves both directions -- the caller swaps
+the (series, envelope-owner) roles -- and walks an explicit ``(rows, cols)``
+pair list so only still-alive pairs pay anything, with no gathered
+temporaries at all.
+"""
+
+from __future__ import annotations
+
+from repro.distance.kernels._compat import njit, prange
+
+__all__ = ["lb_kim_matrix", "band_envelopes", "lb_keogh_pairs"]
+
+
+@njit(cache=True, parallel=True)
+def lb_kim_matrix(queries, train, out):
+    """Endpoint lower bound on the squared DTW cost for every pair.
+
+    ``queries`` is ``(n_q, n, d)``, ``train`` ``(n_t, m, d)``, ``out`` the
+    ``(n_q, n_t)`` float64 result.  First- and last-sample squared
+    differences are channel-summed separately and then added, matching
+    :func:`repro.distance.dtw.lb_kim`.
+    """
+    n = queries.shape[1]
+    m = train.shape[1]
+    channels = queries.shape[2]
+    for qi in prange(queries.shape[0]):
+        for ti in range(train.shape[0]):
+            first = 0.0
+            last = 0.0
+            for c in range(channels):
+                df = queries[qi, 0, c] - train[ti, 0, c]
+                first += df * df
+                dl = queries[qi, n - 1, c] - train[ti, m - 1, c]
+                last += dl * dl
+            out[qi, ti] = first + last
+
+
+@njit(cache=True, parallel=True)
+def band_envelopes(arr, band, lower, upper):
+    """Sakoe-Chiba band envelopes of every series, per channel.
+
+    ``arr`` is ``(n_series, m, d)``; ``lower``/``upper`` are pre-allocated
+    ``(n_series, n_out, d)`` outputs whose window at index ``i`` covers
+    ``arr[s, max(i - band, 0) : min(i + band, m - 1) + 1]`` -- exactly the
+    clipped window of :func:`repro.distance.dtw.dtw_band_envelopes` (min and
+    max are exact, so the two implementations agree bit for bit).  The naive
+    ``O(n_out * band)`` inner scan is fine at realistic bands; the envelopes
+    are computed once per training set (and cached) per search.
+    """
+    m = arr.shape[1]
+    n_out = lower.shape[1]
+    channels = arr.shape[2]
+    for s in prange(arr.shape[0]):
+        for i in range(n_out):
+            lo = i - band
+            if lo < 0:
+                lo = 0
+            hi = i + band
+            if hi > m - 1:
+                hi = m - 1
+            for c in range(channels):
+                mn = arr[s, lo, c]
+                mx = arr[s, lo, c]
+                for j in range(lo + 1, hi + 1):
+                    v = arr[s, j, c]
+                    if v < mn:
+                        mn = v
+                    if v > mx:
+                        mx = v
+                lower[s, i, c] = mn
+                upper[s, i, c] = mx
+
+
+@njit(cache=True, parallel=True)
+def lb_keogh_pairs(series, lower, upper, series_idx, envelope_idx, out):
+    """LB_Keogh over an explicit pair list, one envelope comparison per pair.
+
+    ``series`` is ``(n_series, L, d)``, ``lower``/``upper`` are
+    ``(n_owners, L, d)`` envelopes over the *other* side's band windows, and
+    pair ``p`` compares ``series[series_idx[p]]`` against the envelope of
+    ``envelope_idx[p]``, writing the squared bound into ``out[p]``.  Passing
+    (queries, train envelopes, rows, cols) gives the train-side direction;
+    (train, query envelopes, cols, rows) the query-side one.
+    """
+    length = series.shape[1]
+    channels = series.shape[2]
+    for p in prange(series_idx.shape[0]):
+        s = series_idx[p]
+        e = envelope_idx[p]
+        over_acc = 0.0
+        under_acc = 0.0
+        for i in range(length):
+            for c in range(channels):
+                v = series[s, i, c]
+                over = v - upper[e, i, c]
+                if over > 0.0:
+                    over_acc += over * over
+                under = lower[e, i, c] - v
+                if under > 0.0:
+                    under_acc += under * under
+        out[p] = over_acc + under_acc

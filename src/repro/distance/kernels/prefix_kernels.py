@@ -1,0 +1,68 @@
+"""JIT channel-summed prefix-distance kernels (the compiled Euclidean stage).
+
+The interpreted :func:`repro.distance.engine.batch_prefix_distances` answers
+every (query, train, prefix-length) cell by materialising a blocked
+``(chunk, n_train, L)`` squared-difference tensor, running ``np.cumsum``
+along time and gathering the requested columns.  These kernels compute the
+same running sums scalar-wise -- one accumulator per (query, train) pair,
+advanced sample by sample in exactly ``np.cumsum``'s sequential order, so
+the results are bit-identical to the interpreted path -- while allocating
+*no* intermediate tensor at all: the working set is one float per live
+pair, and ``prange`` threads over queries.
+
+Both kernels speak the engine's time-major flattening: multichannel
+``(L, d)`` series arrive flattened to ``(L * d,)`` and a time prefix ``t``
+is the flat prefix ``t * d`` (see
+:func:`repro.distance.engine._flatten_time_major`), so channel handling
+costs no kernel-side arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.distance.kernels._compat import njit, prange
+
+__all__ = ["batch_prefix_sq", "ragged_prefix_sq"]
+
+
+@njit(cache=True, parallel=True)
+def batch_prefix_sq(queries, train, columns, out):
+    """Squared prefix distances of every pair at several shared prefix lengths.
+
+    ``queries`` ``(n_q, F)`` and ``train`` ``(n_t, F_t)`` are time-major
+    flattened series with ``F <= F_t``; ``columns`` holds the (ascending)
+    flat indices at which the running sum is sampled (``length * d - 1``),
+    and ``out`` is the ``(n_lengths, n_q, n_t)`` float64 result.
+    """
+    n_lengths = columns.shape[0]
+    full = columns[n_lengths - 1] + 1
+    for qi in prange(queries.shape[0]):
+        for ti in range(train.shape[0]):
+            acc = 0.0
+            k = 0
+            for f in range(full):
+                diff = queries[qi, f] - train[ti, f]
+                acc += diff * diff
+                if f == columns[k]:
+                    out[k, qi, ti] = acc
+                    k += 1
+                    if k == n_lengths:
+                        break
+
+
+@njit(cache=True, parallel=True)
+def ragged_prefix_sq(queries, train, columns, out):
+    """Squared prefix distances with one *per-query* prefix length.
+
+    ``columns[qi]`` is query ``qi``'s flat sampling index
+    (``lengths[qi] * d - 1``); ``out`` is the ``(n_q, n_t)`` float64 result.
+    The serving layer's coalesced "every stream at its own length" question,
+    without the blocked cumsum tensor.
+    """
+    for qi in prange(queries.shape[0]):
+        stop = columns[qi] + 1
+        for ti in range(train.shape[0]):
+            acc = 0.0
+            for f in range(stop):
+                diff = queries[qi, f] - train[ti, f]
+                acc += diff * diff
+            out[qi, ti] = acc

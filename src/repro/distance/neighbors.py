@@ -21,6 +21,7 @@ from repro.distance.engine import (
     dtw_nearest_neighbors,
     iter_prefix_distances,
 )
+from repro.distance.dtw import EnvelopeCache
 from repro.distance.euclidean import pairwise_euclidean
 from repro.distance.znorm import EPSILON, znormalize
 
@@ -154,6 +155,7 @@ class KNeighborsTimeSeriesClassifier:
         self._train: np.ndarray | None = None
         self._labels: np.ndarray | None = None
         self._classes: tuple = ()
+        self._envelope_cache: EnvelopeCache | None = None
 
     def _resolve_sweep_budget(self) -> int:
         """The byte budget :meth:`predict_prefixes` caps its sweep against.
@@ -192,6 +194,11 @@ class KNeighborsTimeSeriesClassifier:
         self._train = data
         self._labels = label_arr
         self._classes = tuple(np.unique(label_arr).tolist())
+        # Fresh per fit: the DTW cascade's train-side band envelopes depend
+        # only on the stored training set, so one cache per fitted model lets
+        # every predict/predict_proba call after the first skip the envelope
+        # sweep (content-fingerprinted keys make refits self-invalidating).
+        self._envelope_cache = EnvelopeCache()
         return self
 
     @property
@@ -256,6 +263,7 @@ class KNeighborsTimeSeriesClassifier:
                 train,
                 window=self.metric_params.get("window"),
                 n_neighbors=self.n_neighbors,
+                envelope_cache=self._envelope_cache,
             )
         distances = self._distances_to_train(queries)
         idx = self._k_nearest_stable(distances)

@@ -28,6 +28,17 @@ blocked ``(chunk, n_train, L)`` tensors), not the total RSS of the process:
 inputs, outputs and the interpreter itself are on top.  Chunking never
 changes results -- the equivalence tests pin chunked output bit-identical
 to unchunked for every budgeted kernel.
+
+**Threads.**  The compiled kernel tier (:mod:`repro.distance.kernels`)
+threads its ``prange`` regions; :func:`get_thread_count` resolves how many
+workers it may use, with the same precedence shape as the byte budget
+(:func:`set_thread_count` > ``REPRO_NUM_THREADS`` > ``os.cpu_count()``).
+The two knobs interact deliberately: the byte budget sizes the *gathered
+chunk* one kernel call works on (shared by all threads -- per-thread state
+in the compiled DP is a few rolling diagonals, not a chunk copy), and the
+cascade floors its chunk at the thread count so a tiny budget can never
+starve workers.  Capping threads therefore never changes results, only how
+many cores chew on the same budget-sized chunk.
 """
 
 from __future__ import annotations
@@ -40,10 +51,14 @@ from typing import Iterator
 __all__ = [
     "DEFAULT_MAX_BLOCK_BYTES",
     "MEMORY_BUDGET_ENV_VAR",
+    "THREAD_COUNT_ENV_VAR",
     "get_memory_budget",
+    "get_thread_count",
     "memory_budget",
     "resolve_block_bytes",
+    "resolve_thread_count",
     "set_memory_budget",
+    "set_thread_count",
 ]
 
 #: Fallback byte budget when nothing else is configured -- the historical
@@ -114,6 +129,47 @@ def memory_budget(max_block_bytes: int) -> Iterator[int]:
         yield get_memory_budget()
     finally:
         _BUDGET = previous
+
+
+#: Environment variable capping the compiled tier's ``prange`` worker count.
+THREAD_COUNT_ENV_VAR = "REPRO_NUM_THREADS"
+
+#: Process-wide thread cap installed by :func:`set_thread_count`; ``None``
+#: defers to the environment variable / CPU count.
+_THREADS: int | None = None
+
+
+def set_thread_count(n_threads: int | None) -> None:
+    """Install (or with ``None`` clear) the process-wide kernel thread cap."""
+    global _THREADS
+    if n_threads is None:
+        _THREADS = None
+        return
+    _THREADS = _validated(n_threads, "thread count")
+
+
+def get_thread_count() -> int:
+    """Worker threads the compiled kernels may use right now.
+
+    Resolution order: :func:`set_thread_count`, then the
+    ``REPRO_NUM_THREADS`` environment variable (read at call time, so a
+    scheduler can pin its worker processes to one core each), then
+    ``os.cpu_count()`` (at least 1).  A malformed environment value raises
+    ``ValueError`` rather than being silently ignored.
+    """
+    if _THREADS is not None:
+        return _THREADS
+    raw = os.environ.get(THREAD_COUNT_ENV_VAR)
+    if raw is not None and raw.strip():
+        return _validated(raw.strip(), f"environment variable {THREAD_COUNT_ENV_VAR}")
+    return max(1, os.cpu_count() or 1)
+
+
+def resolve_thread_count(per_call: int | None = None) -> int:
+    """An explicit per-call thread count if given, else :func:`get_thread_count`."""
+    if per_call is None:
+        return get_thread_count()
+    return _validated(per_call, "thread count")
 
 
 def resolve_block_bytes(

@@ -292,6 +292,9 @@ class TestSearchStats:
         )
         assert 0.0 <= stats.pruning_rate < 1.0
         assert stats.dp_abandoned <= stats.dp_computed
+        # The query-side LB_Keogh count is a sub-bucket of the Keogh bucket,
+        # not a fourth partition member.
+        assert 0 <= stats.lb_keogh_query_pruned <= stats.lb_keogh_pruned
 
     def test_reference_stats_report_dense_search(self, random_walks):
         queries, train = random_walks
